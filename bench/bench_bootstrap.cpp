@@ -1,0 +1,96 @@
+// Bootstrap ablation: the cost of acquiring the time the paper assumes.
+//
+// Series: grid-size sweep of the flood-sync phase (ALOHA beacons from a
+// corner root) before the network can switch to the tiling schedule.
+// Expected shape: sync time grows roughly with network diameter (the
+// flood progresses hop by hop), beacons DO collide during the anarchic
+// phase, and after the switch the verification window records zero
+// collisions — the schedule's guarantee restored.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "sim/bootstrap.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+void report() {
+  bench::section("Flood-sync bootstrap (corner root, ALOHA beacons)");
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  Table t({"grid", "sensors", "sync slots (mean of 5)", "beacon tx",
+           "beacon collisions", "post-sync collisions"});
+  for (std::int64_t n : {4, 8, 12, 16}) {
+    const Deployment d = Deployment::grid(Box::cube(2, 0, n - 1), ball);
+    const SensorSlots slots = assign_slots(sched, d);
+    RunningStats sync, beacons, collisions, post;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      BootstrapConfig cfg;
+      cfg.seed = seed;
+      const BootstrapResult r = run_bootstrap(d, Point{0, 0}, slots, cfg);
+      if (!r.converged) continue;
+      sync.add(static_cast<double>(r.sync_slots));
+      beacons.add(static_cast<double>(r.beacon_tx));
+      collisions.add(static_cast<double>(r.beacon_collisions));
+      post.add(static_cast<double>(r.post_sync_collisions));
+    }
+    t.begin_row();
+    t.cell(std::to_string(n) + "x" + std::to_string(n));
+    t.cell(d.size());
+    t.cell(sync.mean(), 1);
+    t.cell(beacons.mean(), 1);
+    t.cell(collisions.mean(), 1);
+    t.cell(post.mean(), 1);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nreading: synchronization costs a diameter-proportional "
+              "anarchic phase with real\ncollisions; once converged, the "
+              "schedule never collides again.  This quantifies\nthe "
+              "paper's 'sensors have access to the current time' "
+              "assumption.\n");
+
+  bench::section("Beacon persistence sweep (12x12)");
+  Table p({"beacon p", "sync slots", "beacon collisions"});
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 11), ball);
+  const SensorSlots slots = assign_slots(sched, d);
+  for (double prob : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    BootstrapConfig cfg;
+    cfg.beacon_probability = prob;
+    cfg.seed = 42;
+    const BootstrapResult r = run_bootstrap(d, Point{0, 0}, slots, cfg);
+    p.begin_row();
+    p.cell(prob, 2);
+    p.cell(r.sync_slots);
+    p.cell(r.beacon_collisions);
+  }
+  std::printf("%s", p.to_string().c_str());
+  std::printf("\nthe classic ALOHA trade-off: timid beacons converge "
+              "slowly, aggressive beacons\ncollide; the optimum sits in "
+              "between.\n");
+}
+
+void bm_bootstrap(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  const Deployment d = Deployment::grid(
+      Box::cube(2, 0, state.range(0) - 1), ball);
+  const SensorSlots slots = assign_slots(sched, d);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    BootstrapConfig cfg;
+    cfg.seed = ++seed;
+    cfg.verify_slots = 0;
+    benchmark::DoNotOptimize(run_bootstrap(d, Point{0, 0}, slots, cfg));
+  }
+}
+BENCHMARK(bm_bootstrap)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

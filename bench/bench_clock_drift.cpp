@@ -1,0 +1,113 @@
+// Ablation (not in the paper): how fragile is determinism to clock skew?
+//
+// The schedules assume "sensors have access to the current time".  We
+// inject per-node slot offsets (a fraction of nodes one slot ahead) and
+// measure the collision rate of the tiling schedule vs TDMA.  Expected
+// shape: both are perfectly collision-free at zero drift; under drift the
+// tiling schedule collides (neighboring slots belong to nearby sensors),
+// while TDMA — with its huge period — degrades more slowly, quantifying
+// the robustness cost of the optimal schedule.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "baseline/tdma.hpp"
+#include "core/guarded.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+std::vector<std::int64_t> drift_offsets(std::size_t n, double fraction,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> offsets(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_bool(fraction)) {
+      offsets[i] = rng.next_bool(0.5) ? 1 : -1;
+    }
+  }
+  return offsets;
+}
+
+void report() {
+  bench::section("Clock drift ablation (12x12 grid, saturated)");
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 11), ball);
+  SimConfig cfg;
+  cfg.slots = 4000;
+  cfg.saturated = true;
+  SlotSimulator sim(d, cfg);
+
+  Table t({"drifted nodes", "tiling collision rate", "tiling tput/sensor",
+           "tdma collision rate", "tdma tput/sensor"});
+  for (double fraction : {0.0, 0.05, 0.10, 0.25, 0.50}) {
+    const auto offsets = drift_offsets(d.size(), fraction, 1234);
+    SlotScheduleMac tiling_mac(assign_slots(sched, d), offsets);
+    SlotScheduleMac tdma_mac(tdma_slots(d), offsets);
+    const SimResult rt = sim.run(tiling_mac);
+    const SimResult rd = sim.run(tdma_mac);
+    t.begin_row();
+    t.cell_percent(fraction, 0);
+    t.cell_percent(rt.collision_rate(), 2);
+    t.cell(rt.per_sensor_throughput(), 5);
+    t.cell_percent(rd.collision_rate(), 2);
+    t.cell(rd.per_sensor_throughput(), 5);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nreading: the optimal 9-slot schedule trades away skew "
+              "robustness — a drifted node\nlands in a nearby sensor's "
+              "slot with high probability.  TDMA pays 16x throughput\n"
+              "for near-immunity.\n");
+
+  bench::section("Guard slots buy the robustness back (guard factor 3)");
+  Table g({"drifted nodes", "plain collisions", "plain tput",
+           "guarded collisions", "guarded tput"});
+  const SensorSlots plain = assign_slots(sched, d);
+  const SensorSlots guarded = guarded_slots(plain, 3);
+  for (double fraction : {0.0, 0.10, 0.25, 0.50}) {
+    const auto offsets = drift_offsets(d.size(), fraction, 777);
+    SlotScheduleMac plain_mac(plain, offsets);
+    SlotScheduleMac guarded_mac(guarded, offsets);
+    const SimResult rp = sim.run(plain_mac);
+    const SimResult rg = sim.run(guarded_mac);
+    g.begin_row();
+    g.cell_percent(fraction, 0);
+    g.cell_percent(rp.collision_rate(), 2);
+    g.cell(rp.per_sensor_throughput(), 5);
+    g.cell_percent(rg.collision_rate(), 2);
+    g.cell(rg.per_sensor_throughput(), 5);
+  }
+  std::printf("%s", g.to_string().c_str());
+  std::printf("\nguard factor 3 tolerates |offset| <= %lld by construction "
+              "(guard_tolerance),\nso ±1 drift causes ZERO collisions — at "
+              "exactly 1/3 of the optimal throughput.\nDeterminism vs "
+              "optimality, made quantitative.\n",
+              static_cast<long long>(guard_tolerance(3)));
+}
+
+void bm_drifted_sim(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 11), ball);
+  SimConfig cfg;
+  cfg.slots = 1000;
+  cfg.saturated = true;
+  SlotSimulator sim(d, cfg);
+  SlotScheduleMac mac(assign_slots(sched, d),
+                      drift_offsets(d.size(), 0.1, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(mac));
+  }
+}
+BENCHMARK(bm_drifted_sim);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

@@ -1,0 +1,36 @@
+// Shared scaffolding for the benchmark binaries.
+//
+// Every bench binary does two jobs:
+//  1. regenerate the paper artifact (figure/claim) it is responsible for,
+//     printing the rows/series as aligned tables — this is the
+//     "reproduction" output recorded in EXPERIMENTS.md;
+//  2. run google-benchmark microbenchmarks of the operations involved.
+//
+// The REPRODUCTION_MAIN macro wires both together: the report runs first,
+// then the registered benchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace latticesched {
+namespace bench {
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace latticesched
+
+#define REPRODUCTION_MAIN(report_fn)                                   \
+  int main(int argc, char** argv) {                                    \
+    report_fn();                                                       \
+    ::benchmark::Initialize(&argc, argv);                              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                             \
+    ::benchmark::Shutdown();                                           \
+    return 0;                                                          \
+  }

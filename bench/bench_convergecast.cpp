@@ -1,0 +1,124 @@
+// Multi-hop data collection (the monitored-area workload, end to end).
+//
+// Series: grid-size sweep of convergecast to a corner sink.  The tiling
+// schedule forwards every frame without collisions, so its delivery
+// ratio stays at 100% while random MACs lose frames at every hop and the
+// deficit compounds with route length.  A second series sweeps the
+// arrival rate to locate each protocol's saturation point.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "sim/convergecast.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+void report() {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+
+  bench::section("Convergecast: grid-size sweep (rate 0.002, corner sink)");
+  Table t({"grid", "protocol", "delivery%", "collisions", "p50 e2e",
+           "p99 e2e", "energy/delivery"});
+  for (std::int64_t n : {8, 12, 16}) {
+    const Deployment field = Deployment::grid(Box::cube(2, 0, n - 1), ball);
+    ConvergecastSimulator sim(field, Point{0, 0});
+    ConvergecastConfig cfg;
+    cfg.slots = 20'000;
+    cfg.arrival_rate = 0.002;
+    struct Entry {
+      const char* label;
+      std::unique_ptr<MacProtocol> mac;
+    };
+    std::vector<Entry> protocols;
+    protocols.push_back({"tiling", std::make_unique<SlotScheduleMac>(
+                                       assign_slots(sched, field))});
+    protocols.push_back({"aloha p=0.1", std::make_unique<AlohaMac>(0.1)});
+    protocols.push_back({"csma", std::make_unique<CsmaMac>()});
+    for (auto& [label, mac] : protocols) {
+      const ConvergecastResult r = sim.run(*mac, cfg);
+      t.begin_row();
+      t.cell(std::to_string(n) + "x" + std::to_string(n));
+      t.cell(label);
+      t.cell_percent(r.delivery_ratio(), 1);
+      t.cell(r.failed_tx);
+      t.cell(r.end_to_end_latency.percentile(50), 1);
+      t.cell(r.end_to_end_latency.percentile(99), 1);
+      t.cell(r.energy_per_delivery(), 2);
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nexpected shape: the tiling schedule is the only protocol "
+              "with ZERO collisions at\nevery size; ALOHA loses frames at "
+              "every hop.  Opportunistic CSMA is latency-\ncompetitive at "
+              "this light load — the rate sweep below shows where "
+              "contention\nflips the comparison.\n");
+
+  bench::section("Arrival-rate sweep on 12x12 (saturation points)");
+  Table s({"rate", "tiling delivery%", "tiling p99 e2e", "csma delivery%",
+           "csma p99 e2e"});
+  const Deployment field = Deployment::grid(Box::cube(2, 0, 11), ball);
+  ConvergecastSimulator sim(field, Point{0, 0});
+  for (double rate : {0.0005, 0.001, 0.002, 0.004, 0.008}) {
+    ConvergecastConfig cfg;
+    cfg.slots = 20'000;
+    cfg.arrival_rate = rate;
+    SlotScheduleMac tiling_mac(assign_slots(sched, field));
+    CsmaMac csma;
+    const ConvergecastResult rt = sim.run(tiling_mac, cfg);
+    const ConvergecastResult rc = sim.run(csma, cfg);
+    s.begin_row();
+    s.cell(rate, 4);
+    s.cell_percent(rt.delivery_ratio(), 1);
+    s.cell(rt.end_to_end_latency.percentile(99), 1);
+    s.cell_percent(rc.delivery_ratio(), 1);
+    s.cell(rc.end_to_end_latency.percentile(99), 1);
+  }
+  std::printf("%s", s.to_string().c_str());
+  std::printf(
+      "\nhonest reading: the sink's funnel is the bottleneck, and the "
+      "uniform tiling\nschedule grants each relay only 1/9 of slots — so "
+      "it saturates EARLIER than\nopportunistic CSMA, which concentrates "
+      "slots where the traffic is.  The paper's\noptimality concerns the "
+      "all-nodes-broadcast pattern, not funnel workloads; what\nthe "
+      "schedule uniquely keeps is zero collisions and a predictable "
+      "saturation\npoint (1/(9·relays) of a slot per sensor), vs CSMA's "
+      "load-dependent tail\n(p99 explodes past its own saturation).\n");
+}
+
+void bm_convergecast_run(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  const Deployment field = Deployment::grid(Box::cube(2, 0, 11), ball);
+  ConvergecastSimulator sim(field, Point{0, 0});
+  ConvergecastConfig cfg;
+  cfg.slots = 2000;
+  cfg.arrival_rate = 0.002;
+  SlotScheduleMac mac(assign_slots(sched, field));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(mac, cfg));
+  }
+}
+BENCHMARK(bm_convergecast_run);
+
+void bm_route_construction(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment field = Deployment::grid(
+      Box::cube(2, 0, state.range(0) - 1), ball);
+  for (auto _ : state) {
+    ConvergecastSimulator sim(field, Point{0, 0});
+    benchmark::DoNotOptimize(sim.next_hop());
+  }
+}
+BENCHMARK(bm_route_construction)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

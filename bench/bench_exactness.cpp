@@ -1,0 +1,142 @@
+// Section 3: deciding exactness is polynomial for polyominoes.
+//
+// The paper cites Wijshoff & van Leeuwen (polynomial), Beauquier & Nivat
+// (O(n^4)) and Gambini & Vuillon (O(n^2)) for boundary words of length n.
+// Series: BN-criterion wall time vs boundary length for exact tiles
+// (Chebyshev balls) and for random polyominoes, plus the decider
+// agreement census the correctness argument rests on.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "tiling/bn_criterion.hpp"
+#include "tiling/enumerate.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+#include "../tests/test_helpers.hpp"
+
+namespace latticesched {
+namespace {
+
+void report() {
+  bench::section("BN criterion wall time vs boundary length");
+  Table t({"tile", "cells", "boundary n", "exact?", "time (ms)"});
+  for (std::int64_t r = 1; r <= 6; ++r) {
+    const Prototile ball = shapes::chebyshev_ball(2, r);
+    const auto t0 = std::chrono::steady_clock::now();
+    const BnResult bn = bn_exactness(ball);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    t.begin_row();
+    t.cell("linf-ball r=" + std::to_string(r));
+    t.cell(ball.size());
+    t.cell(bn.boundary.length());
+    t.cell(bn.exact ? "yes" : "no");
+    t.cell(ms, 3);
+  }
+  // Long skinny rectangles stress the boundary length cheaply.
+  for (std::int64_t k : {16, 32, 64}) {
+    const Prototile rect = shapes::rectangle(k, 2);
+    const auto t0 = std::chrono::steady_clock::now();
+    const BnResult bn = bn_exactness(rect);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    t.begin_row();
+    t.cell("rect " + std::to_string(k) + "x2");
+    t.cell(rect.size());
+    t.cell(bn.boundary.length());
+    t.cell(bn.exact ? "yes" : "no");
+    t.cell(ms, 3);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\npaper: polynomial-time decidability (Gambini-Vuillon "
+              "O(n^2)); the run-table\nimplementation here is O(n^2) "
+              "space with an O(n^3)-bounded factor search.\n");
+
+  bench::section("Decider agreement census (random polyominoes)");
+  Table c({"cells", "samples", "polyominoes", "exact", "BN==lattice-search"});
+  for (std::size_t cells : {4u, 6u, 8u, 10u}) {
+    Rng rng(77 + cells);
+    int applicable = 0, exact_count = 0, agree = 0;
+    const int kSamples = 150;
+    for (int i = 0; i < kSamples; ++i) {
+      const Prototile tile = test_helpers::random_polyomino(rng, cells);
+      const BnResult bn = bn_exactness(tile);
+      if (!bn.applicable) continue;
+      ++applicable;
+      const bool lattice = find_lattice_tiling(tile).has_value();
+      if (bn.exact) ++exact_count;
+      if (bn.exact == lattice) ++agree;
+    }
+    c.begin_row();
+    c.cell(cells);
+    c.cell(kSamples);
+    c.cell(applicable);
+    c.cell(exact_count);
+    c.cell(std::to_string(agree) + "/" + std::to_string(applicable));
+  }
+  std::printf("%s", c.to_string().c_str());
+  std::printf("\nthe last column must always be total agreement: exact "
+              "polyominoes admit lattice\ntilings (Wijshoff-van Leeuwen), "
+              "and our two deciders are independent programs.\n");
+
+  bench::section("Exhaustive exactness census (ALL fixed polyominoes)");
+  Table e({"cells", "fixed polyominoes", "exact", "share"});
+  for (std::size_t cells = 1; cells <= 7; ++cells) {
+    const ExactnessCensus census = exactness_census(cells);
+    e.begin_row();
+    e.cell(census.cells);
+    e.cell(census.polyominoes);
+    e.cell(census.exact);
+    e.cell_percent(static_cast<double>(census.exact) /
+                       static_cast<double>(census.polyominoes),
+                   1);
+  }
+  std::printf("%s", e.to_string().c_str());
+  std::printf("\nevery polyomino with <= 4 cells tiles the plane by "
+              "translations; the first\nnon-exact shapes appear among the "
+              "63 pentominoes.\n");
+}
+
+void bm_bn_chebyshev(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn_exactness(ball));
+  }
+}
+BENCHMARK(bm_bn_chebyshev)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void bm_bn_rectangle(benchmark::State& state) {
+  const Prototile rect = shapes::rectangle(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn_exactness(rect));
+  }
+}
+BENCHMARK(bm_bn_rectangle)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_lattice_tiling_search(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_lattice_tiling(ball));
+  }
+}
+BENCHMARK(bm_lattice_tiling_search)->Arg(1)->Arg(2);
+
+void bm_torus_search_s_tetromino(benchmark::State& state) {
+  const std::vector<Prototile> protos = {shapes::s_tetromino()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search_periodic_tiling(protos));
+  }
+}
+BENCHMARK(bm_torus_search_s_tetromino);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

@@ -1,0 +1,97 @@
+// Figure 2: the three neighborhood shapes — Chebyshev ball, Euclidean
+// ball, directional antenna — and the paper's claim that each is exact.
+//
+// For each shape: exactness decision (method + boundary-word evidence),
+// a concrete tiling, the Theorem-1 schedule with m = |N| slots, and a
+// machine check that the schedule is collision-free and optimal on a
+// deployment window.  Microbenchmarks time the decision pipeline.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/collision.hpp"
+#include "core/optimality.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+std::vector<Prototile> figure2_shapes() {
+  return {shapes::chebyshev_ball(2, 1),
+          shapes::euclidean_ball(Lattice::square(), 1.0),
+          shapes::directional_antenna()};
+}
+
+void report() {
+  bench::section("Figure 2: neighborhood shapes and their exactness");
+  Table t({"neighborhood", "|N|", "exact?", "method", "boundary", "m",
+           "collision-free", "window optimum"});
+  for (const Prototile& shape : figure2_shapes()) {
+    const ExactnessResult ex = decide_exactness(shape);
+    t.begin_row();
+    t.cell(shape.name());
+    t.cell(shape.size());
+    t.cell(ex.exact ? "yes" : "no");
+    t.cell(to_string(ex.method));
+    t.cell(ex.bn.has_value() ? ex.bn->boundary.str() : "-");
+    const TilingSchedule sched(*ex.tiling);
+    t.cell(sched.period());
+    const Deployment d = Deployment::grid(Box::centered(2, 7), shape);
+    t.cell(check_collision_free(d, sched).collision_free ? "yes" : "NO");
+    const DeploymentOptimum opt = optimal_slots_for_deployment(d);
+    t.cell(std::to_string(opt.optimal_slots) +
+           (opt.proven ? " (proven)" : " (best)"));
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\npaper: \"it immediately follows that each prototile shown in "
+      "Figure 2 is exact\" —\n"
+      "and Theorem 1 gives optimal schedules with m = |N| = 9, 5, 8 "
+      "slots respectively.\n");
+
+  bench::section("Figure 2 shapes, rendered");
+  for (const Prototile& shape : figure2_shapes()) {
+    std::printf("%s:\n%s\n", shape.name().c_str(),
+                shape.to_ascii().c_str());
+  }
+}
+
+void bm_decide_exactness(benchmark::State& state) {
+  const auto shapes_list = figure2_shapes();
+  const Prototile& shape =
+      shapes_list[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decide_exactness(shape));
+  }
+}
+BENCHMARK(bm_decide_exactness)->Arg(0)->Arg(1)->Arg(2);
+
+void bm_schedule_construction(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const ExactnessResult ex = decide_exactness(ball);
+  for (auto _ : state) {
+    TilingSchedule sched(*ex.tiling);
+    benchmark::DoNotOptimize(sched.period());
+  }
+}
+BENCHMARK(bm_schedule_construction);
+
+void bm_collision_check(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const ExactnessResult ex = decide_exactness(ball);
+  const TilingSchedule sched(*ex.tiling);
+  const Deployment d =
+      Deployment::grid(Box::centered(2, state.range(0)), ball);
+  const SensorSlots slots = assign_slots(sched, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_collision_free(d, slots));
+  }
+}
+BENCHMARK(bm_collision_check)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

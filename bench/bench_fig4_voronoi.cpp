@@ -1,0 +1,103 @@
+// Figure 4: Voronoi regions — unit squares for the square lattice
+// (quasi-polyominoes) and hexagons for the hexagonal lattice
+// (quasi-polyhexes) — and the lattice-tiling <-> plane-tiling bridge of
+// Section 3: a tile of k lattice points corresponds to a quasi-polyform
+// of area k x covolume.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lattice/voronoi.hpp"
+#include "tiling/shapes.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+void report() {
+  bench::section("Figure 4: Voronoi cells of the two lattices");
+  Table t({"lattice", "cell vertices", "cell area", "expected area",
+           "circumradius"});
+  for (const Lattice& lat : {Lattice::square(), Lattice::hexagonal()}) {
+    const ConvexPolygon cell = voronoi_cell(lat);
+    double circum = 0.0;
+    for (const Vec2& v : cell.vertices()) {
+      circum = std::max(circum, std::sqrt(v.x * v.x + v.y * v.y));
+    }
+    t.begin_row();
+    t.cell(lat.name());
+    t.cell(cell.vertex_count());
+    t.cell(cell.area(), 6);
+    t.cell(lat.covolume(), 6);
+    t.cell(circum, 6);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\npaper: the square-lattice cell is the unit square (4 "
+              "vertices, area 1);\nthe hex-lattice cell is a regular "
+              "hexagon (6 vertices, area sqrt(3)/2 = 0.866025).\n");
+
+  bench::section("Quasi-polyform areas (tile size x covolume)");
+  Table q({"prototile", "|N|", "lattice", "quasi-polyform area"});
+  struct Row {
+    Prototile tile;
+    Lattice lattice;
+  };
+  const Row rows[] = {
+      {shapes::chebyshev_ball(2, 1), Lattice::square()},
+      {shapes::euclidean_ball(Lattice::square(), 1.0), Lattice::square()},
+      {shapes::directional_antenna(), Lattice::square()},
+      {shapes::euclidean_ball(Lattice::hexagonal(), 1.0),
+       Lattice::hexagonal()},
+  };
+  for (const Row& r : rows) {
+    q.begin_row();
+    q.cell(r.tile.name());
+    q.cell(r.tile.size());
+    q.cell(r.lattice.name());
+    q.cell(quasi_polyform_area(r.lattice, r.tile.size()), 6);
+  }
+  std::printf("%s", q.to_string().c_str());
+
+  bench::section("Voronoi vertex coordinates");
+  for (const Lattice& lat : {Lattice::square(), Lattice::hexagonal()}) {
+    std::printf("%s: ", lat.name().c_str());
+    const ConvexPolygon cell = voronoi_cell(lat);
+    for (const Vec2& v : cell.vertices()) {
+      std::printf("(%.4f, %.4f) ", v.x, v.y);
+    }
+    std::printf("\n");
+  }
+}
+
+void bm_voronoi_cell(benchmark::State& state) {
+  const Lattice lat =
+      state.range(0) == 0 ? Lattice::square() : Lattice::hexagonal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voronoi_cell(lat));
+  }
+}
+BENCHMARK(bm_voronoi_cell)->Arg(0)->Arg(1);
+
+void bm_polygon_distance(benchmark::State& state) {
+  const ConvexPolygon cell = voronoi_cell(Lattice::hexagonal());
+  double x = -3.0;
+  for (auto _ : state) {
+    x += 0.013;
+    if (x > 3) x = -3;
+    benchmark::DoNotOptimize(cell.distance_to({x, 0.4 * x}));
+  }
+}
+BENCHMARK(bm_polygon_distance);
+
+void bm_clip_half_plane(benchmark::State& state) {
+  const ConvexPolygon square = ConvexPolygon::centered_square(2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(square.clip_half_plane({0.7, 0.7}, 0.5));
+  }
+}
+BENCHMARK(bm_clip_half_plane);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

@@ -1,0 +1,131 @@
+// Conclusions: location-based scheduling for mobile sensors.
+//
+// Series: sensor-density sweep under random-waypoint mobility.  The
+// paper's rule ("a sensor within the Voronoi region of p sends at
+// slot(p) iff its interference range fits within the tile of p") must be
+// collision-free at every density; mobile slotted ALOHA collides
+// increasingly often.  The price of determinism is the gate: sends
+// forgone when the range does not fit or the cell is contested.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mobile.hpp"
+#include "sim/mobile_sim.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+MobileScheduler make_scheduler() {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  return MobileScheduler(Lattice::square(),
+                         TilingSchedule(*decide_exactness(ball).tiling));
+}
+
+void report() {
+  bench::section("Mobile sensors: location-based rule vs mobile ALOHA");
+  Table t({"sensors", "protocol", "attempts", "collisions", "collision rate",
+           "success/slot", "blocked by gate"});
+  for (std::size_t sensors : {8u, 16u, 32u, 64u}) {
+    MobileConfig cfg;
+    cfg.sensors = sensors;
+    cfg.arena = 16.0;
+    cfg.slots = 4000;
+    cfg.range = 0.35;
+    cfg.speed = 0.07;
+    cfg.aloha_p = 0.15;
+    MobileSimulator sim(make_scheduler(), cfg);
+    const MobileResult loc = sim.run_location_schedule();
+    const MobileResult alo = sim.run_aloha();
+    t.begin_row();
+    t.cell(sensors);
+    t.cell("location-slot");
+    t.cell(loc.attempts);
+    t.cell(loc.collisions);
+    t.cell_percent(loc.collision_rate(), 2);
+    t.cell(loc.utilization(), 3);
+    t.cell(loc.gate_blocked);
+    t.begin_row();
+    t.cell(sensors);
+    t.cell("mobile aloha");
+    t.cell(alo.attempts);
+    t.cell(alo.collisions);
+    t.cell_percent(alo.collision_rate(), 2);
+    t.cell(alo.utilization(), 3);
+    t.cell(alo.gate_blocked);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\npaper: \"Clearly, this yields a collision-free schedule "
+              "for mobile sensors.\"\nexpected shape: location-slot rule "
+              "has 0 collisions at every density; ALOHA's\ncollision rate "
+              "grows with density.\n");
+
+  bench::section("Fit-gate geometry: admissible range vs position");
+  const MobileScheduler sched = make_scheduler();
+  Table g({"position in tile", "rho=0.2", "rho=0.6", "rho=1.2", "rho=2.0"});
+  struct Probe {
+    const char* label;
+    double x, y;
+  };
+  // The origin's tile is a 3x3 block; probe its center and edge cells.
+  const Covering cov =
+      sched.schedule().tiling().covering(Point{0, 0});
+  double cx = 0, cy = 0;
+  for (const Point& n : sched.schedule().tiling().prototile(0).points()) {
+    cx += static_cast<double>(cov.translate[0] + n[0]);
+    cy += static_cast<double>(cov.translate[1] + n[1]);
+  }
+  cx /= 9.0;
+  cy /= 9.0;
+  const Probe probes[] = {{"tile center", cx, cy},
+                          {"edge cell", cx + 1.0, cy},
+                          {"corner cell", cx + 1.0, cy + 1.0}};
+  for (const Probe& p : probes) {
+    g.begin_row();
+    g.cell(p.label);
+    for (double rho : {0.2, 0.6, 1.2, 2.0}) {
+      g.cell(sched.range_fits({p.x, p.y}, rho) ? "fits" : "-");
+    }
+  }
+  std::printf("%s", g.to_string().c_str());
+}
+
+void bm_range_fits(benchmark::State& state) {
+  const MobileScheduler sched = make_scheduler();
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.37;
+    if (x > 40) x = 0;
+    benchmark::DoNotOptimize(sched.range_fits({x, 0.6 * x}, 0.35));
+  }
+}
+BENCHMARK(bm_range_fits);
+
+void bm_slot_of_location(benchmark::State& state) {
+  const MobileScheduler sched = make_scheduler();
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.53;
+    if (x > 40) x = 0;
+    benchmark::DoNotOptimize(sched.slot_of_location({x, 1.3 * x}));
+  }
+}
+BENCHMARK(bm_slot_of_location);
+
+void bm_mobile_sim(benchmark::State& state) {
+  MobileConfig cfg;
+  cfg.sensors = 32;
+  cfg.slots = 500;
+  MobileSimulator sim(make_scheduler(), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_location_schedule());
+  }
+}
+BENCHMARK(bm_mobile_sim);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

@@ -1,0 +1,80 @@
+// Multi-channel extension: slots x frequencies.
+//
+// With c orthogonal channels the slot period shrinks to ceil(|N|/c)
+// while staying collision-free and (pigeonhole-)optimal.  Series: period
+// and saturated per-sensor throughput vs channel count for the three
+// Figure-2 neighborhoods.  Expected shape: throughput grows linearly in
+// c until c reaches |N| (period 1: everyone transmits every slot on a
+// private-per-tile channel), then flattens.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/multichannel.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+void report() {
+  bench::section("Multi-channel schedules for the Figure-2 neighborhoods");
+  Table t({"neighborhood", "|N|", "channels", "slot period",
+           "duty cycle", "optimal?", "collision-free"});
+  for (const Prototile& shape :
+       {shapes::chebyshev_ball(2, 1),
+        shapes::euclidean_ball(Lattice::square(), 1.0),
+        shapes::directional_antenna()}) {
+    const TilingSchedule base(*decide_exactness(shape).tiling);
+    const Deployment d = Deployment::grid(Box::centered(2, 6), shape);
+    for (std::uint32_t c : {1u, 2u, 4u, 8u}) {
+      const MultiChannelSchedule mc(base, c);
+      const CollisionReport rep = check_collision_free_multichannel(
+          d, assign_multichannel(mc, d));
+      t.begin_row();
+      t.cell(shape.name());
+      t.cell(shape.size());
+      t.cell(c);
+      t.cell(mc.period());
+      t.cell(1.0 / static_cast<double>(mc.period()), 4);
+      t.cell(mc.optimal() ? "yes" : "no");
+      t.cell(rep.collision_free ? "yes" : "NO");
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nduty cycle = 1/period grows ~linearly with the channel "
+              "count until saturating at 1\n(period can never go below "
+              "1); optimality is by the pigeonhole bound "
+              "ceil(|N1|/c).\n");
+}
+
+void bm_multichannel_assignment(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule base(*decide_exactness(ball).tiling);
+  const MultiChannelSchedule mc(
+      base, static_cast<std::uint32_t>(state.range(0)));
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(
+        mc.assignment_of(Point{i % 64, (i * 5) % 64}));
+  }
+}
+BENCHMARK(bm_multichannel_assignment)->Arg(1)->Arg(4);
+
+void bm_multichannel_check(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule base(*decide_exactness(ball).tiling);
+  const MultiChannelSchedule mc(base, 3);
+  const Deployment d = Deployment::grid(Box::centered(2, 8), ball);
+  const MultiChannelSlots slots = assign_multichannel(mc, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_collision_free_multichannel(d, slots));
+  }
+}
+BENCHMARK(bm_multichannel_check);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

@@ -1,0 +1,98 @@
+// Sparse deployments: what happens when not every lattice point hosts a
+// sensor (failed nodes, irregular fields)?
+//
+// Two facts the paper implies but does not measure:
+//  1. Restriction safety: the tiling schedule restricted to ANY subset of
+//     the lattice stays collision-free (removing sensors removes
+//     conflicts) — verified per density.
+//  2. Optimality erosion: the schedule still spends |N| slots, but the
+//     exact optimum of a sparse deployment can be smaller — at low
+//     density the conflict graph thins out.  The sweep locates where the
+//     gap opens.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/collision.hpp"
+#include "core/optimality.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+Deployment random_subset(const Box& box, const Prototile& tile,
+                         double density, Rng& rng) {
+  PointVec positions;
+  box.for_each([&](const Point& p) {
+    if (rng.next_bool(density)) positions.push_back(p);
+  });
+  if (positions.empty()) positions.push_back(box.lo());
+  return Deployment::uniform(std::move(positions), tile);
+}
+
+void report() {
+  bench::section("Sparse deployments on a 10x10 window (Chebyshev r=1)");
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  Table t({"density", "sensors (mean)", "schedule collisions",
+           "exact optimum (mean)", "tiling slots", "slots wasted"});
+  Rng rng(2718);
+  for (double density : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    RunningStats sensors, optimum;
+    bool all_collision_free = true;
+    for (int trial = 0; trial < 5; ++trial) {
+      const Deployment d =
+          random_subset(Box::cube(2, 0, 9), ball, density, rng);
+      sensors.add(static_cast<double>(d.size()));
+      all_collision_free &=
+          check_collision_free(d, assign_slots(sched, d)).collision_free;
+      const DeploymentOptimum opt = optimal_slots_for_deployment(d);
+      optimum.add(static_cast<double>(opt.optimal_slots));
+    }
+    t.begin_row();
+    t.cell(density, 2);
+    t.cell(sensors.mean(), 1);
+    t.cell(all_collision_free ? "none" : "SOME");
+    t.cell(optimum.mean(), 1);
+    t.cell(sched.period());
+    t.cell(static_cast<double>(sched.period()) - optimum.mean(), 1);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nreading: the schedule stays collision-free at every density "
+      "(restriction safety),\nbut below full density it over-provisions — "
+      "at 25%% density roughly half its 9\nslots are wasted.  The paper's "
+      "optimality claim is specifically about complete\nlattice "
+      "deployments, which the full-density row recovers exactly.\n");
+}
+
+void bm_sparse_collision_check(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  Rng rng(1);
+  const Deployment d = random_subset(Box::cube(2, 0, 19), ball, 0.5, rng);
+  const SensorSlots slots = assign_slots(sched, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_collision_free(d, slots));
+  }
+}
+BENCHMARK(bm_sparse_collision_check);
+
+void bm_sparse_exact_optimum(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  Rng rng(2);
+  const Deployment d = random_subset(Box::cube(2, 0, 9), ball, 0.5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_slots_for_deployment(d));
+  }
+}
+BENCHMARK(bm_sparse_exact_optimum);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

@@ -1,0 +1,99 @@
+// Scaling claim (Introduction / Related Work): plain TDMA assigns every
+// sensor its own slot, so its period grows with the network and
+// per-sensor throughput collapses; the tiling schedule's period is |N|
+// regardless of network size.
+//
+// Series: n x n deployments of Chebyshev-ball sensors, n in {4..32}:
+// slots and saturated per-sensor throughput for TDMA vs the tiling
+// schedule; plus a radius sweep showing the tiling period tracking |N|
+// only.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "baseline/tdma.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+double saturated_throughput(const Deployment& d, const SensorSlots& slots) {
+  SimConfig cfg;
+  cfg.slots = 2000;
+  cfg.saturated = true;
+  SlotSimulator sim(d, cfg);
+  SlotScheduleMac mac(slots);
+  return sim.run(mac).per_sensor_throughput();
+}
+
+void report() {
+  bench::section("TDMA does not scale; the tiling schedule does");
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule tiling_sched(
+      *decide_exactness(ball).tiling);
+  Table t({"grid", "sensors", "TDMA slots", "tiling slots",
+           "TDMA tput/sensor", "tiling tput/sensor", "speedup"});
+  for (std::int64_t n : {4, 8, 12, 16, 24, 32}) {
+    const Deployment d =
+        Deployment::grid(Box::cube(2, 0, n - 1), ball);
+    const SensorSlots tdma = tdma_slots(d);
+    const SensorSlots tiling = assign_slots(tiling_sched, d);
+    const double tput_tdma = saturated_throughput(d, tdma);
+    const double tput_tiling = saturated_throughput(d, tiling);
+    t.begin_row();
+    t.cell(std::to_string(n) + "x" + std::to_string(n));
+    t.cell(d.size());
+    t.cell(tdma.period);
+    t.cell(tiling.period);
+    t.cell(tput_tdma, 5);
+    t.cell(tput_tiling, 5);
+    t.cell(tput_tiling / tput_tdma, 1);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\npaper: \"The obvious disadvantage of TDMA is that it "
+              "does not scale\" — the tiling\nschedule's period stays at "
+              "|N| = 9 while TDMA's grows with the sensor count,\nso the "
+              "speedup factor grows like n²/9.\n");
+
+  bench::section("Tiling slots track |N| only (radius sweep at 24x24)");
+  Table r({"radius", "|N|", "tiling slots", "TDMA slots"});
+  for (std::int64_t radius : {1, 2, 3}) {
+    const Prototile shape = shapes::chebyshev_ball(2, radius);
+    const TilingSchedule sched(*decide_exactness(shape).tiling);
+    const Deployment d = Deployment::grid(Box::cube(2, 0, 23), shape);
+    r.begin_row();
+    r.cell(radius);
+    r.cell(shape.size());
+    r.cell(sched.period());
+    r.cell(tdma_slots(d).period);
+  }
+  std::printf("%s", r.to_string().c_str());
+}
+
+void bm_tdma_assignment(benchmark::State& state) {
+  const Deployment d = Deployment::grid(
+      Box::cube(2, 0, state.range(0) - 1), shapes::chebyshev_ball(2, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tdma_slots(d));
+  }
+}
+BENCHMARK(bm_tdma_assignment)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_tiling_assignment(benchmark::State& state) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  const Deployment d =
+      Deployment::grid(Box::cube(2, 0, state.range(0) - 1), ball);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign_slots(sched, d));
+  }
+}
+BENCHMARK(bm_tiling_assignment)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

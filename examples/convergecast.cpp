@@ -1,0 +1,92 @@
+// Convergecast: periodic measurements flow hop-by-hop to a sink.
+//
+// The paper's motivating deployment ("sensors are sometimes distributed
+// in a regular fashion to monitor an area") ultimately collects data.
+// This example routes greedily toward a corner sink over the same radio
+// model the schedules are proved against, and compares the collision-free
+// tiling schedule with slotted ALOHA and CSMA end to end.
+//
+//   $ convergecast --n=12 --rate=0.002 --slots=30000
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/tiling_scheduler.hpp"
+#include "sim/convergecast.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latticesched;
+  CliParser cli("Multi-hop data collection to a corner sink.");
+  cli.add_flag("n", "12", "grid side length");
+  cli.add_flag("rate", "0.002", "measurement arrivals per sensor per slot");
+  cli.add_flag("slots", "30000", "simulated slots");
+  cli.add_flag("seed", "1", "simulation seed");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.help_text().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+
+  const std::int64_t n = cli.get_int("n");
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment field = Deployment::grid(Box::cube(2, 0, n - 1), ball);
+  const TilingSchedule schedule(*decide_exactness(ball).tiling);
+  const Point sink{0, 0};
+  ConvergecastSimulator sim(field, sink);
+
+  std::printf("field %ldx%ld, sink at %s; longest route: ", n, n,
+              sink.to_string().c_str());
+  std::uint32_t longest = 0;
+  for (std::uint32_t i = 0; i < field.size(); ++i) {
+    longest = std::max(longest, sim.route_length(i));
+  }
+  std::printf("%u hops\n\n", longest);
+
+  ConvergecastConfig cfg;
+  cfg.slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+  cfg.arrival_rate = cli.get_double("rate");
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  struct Entry {
+    std::string label;
+    std::unique_ptr<MacProtocol> mac;
+  };
+  std::vector<Entry> protocols;
+  protocols.push_back({"tiling", std::make_unique<SlotScheduleMac>(
+                                     assign_slots(schedule, field))});
+  protocols.push_back({"aloha p=0.1", std::make_unique<AlohaMac>(0.1)});
+  protocols.push_back({"csma", std::make_unique<CsmaMac>()});
+
+  Table t({"protocol", "arrivals", "delivered", "delivery%", "collisions",
+           "p50 e2e", "p99 e2e", "mean hops", "energy/delivery"});
+  for (auto& [label, mac] : protocols) {
+    const ConvergecastResult r = sim.run(*mac, cfg);
+    t.begin_row();
+    t.cell(label);
+    t.cell(r.arrivals);
+    t.cell(r.delivered);
+    t.cell_percent(r.delivery_ratio(), 1);
+    t.cell(r.failed_tx);
+    t.cell(r.end_to_end_latency.percentile(50), 1);
+    t.cell(r.end_to_end_latency.percentile(99), 1);
+    t.cell(r.hops.mean(), 2);
+    t.cell(r.energy_per_delivery(), 2);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nreading: the tiling schedule never collides, so its energy per "
+      "delivery and its\nsaturation point are deterministic.  At light "
+      "load opportunistic CSMA can beat its\nlatency (a scheduled node "
+      "waits for its slot even on an idle channel); raise\n--rate to see "
+      "contention flip the comparison.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Hexagonal deployments (Figure 1 right / Figure 4b).
+//
+// Sensors packed on the hexagonal lattice L_H with omnidirectional radios
+// of Euclidean radius 1: the neighborhood is the 7-point hexagonal ball
+// (center + 6 kissing neighbors).  The combinatorics run on Z²
+// coordinates; the geometry (Voronoi hexagons, quasi-polyhexes) comes
+// from the lattice embedding.
+//
+//   $ hexagonal_field
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/collision.hpp"
+#include "core/optimality.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "lattice/voronoi.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace latticesched;
+  const Lattice hex = Lattice::hexagonal();
+
+  // Geometry (Figure 4b): Voronoi cells are regular hexagons.
+  const ConvexPolygon cell = voronoi_cell(hex);
+  std::printf("hexagonal lattice: covolume %.6f; Voronoi cell has %zu "
+              "vertices, area %.6f\n",
+              hex.covolume(), cell.vertex_count(), cell.area());
+
+  // Interference neighborhood: Euclidean ball of radius 1 in L_H.
+  const Prototile ball = shapes::euclidean_ball(hex, 1.0);
+  std::printf("neighborhood %s: %zu points (center + 6 neighbors)\n",
+              ball.name().c_str(), ball.size());
+  std::printf("in Z^2 coordinates:\n%s\n", ball.to_ascii().c_str());
+
+  // The hexagonal ball tiles (perfect 1-error-correcting hexagonal code);
+  // Theorem 1 then gives a 7-slot optimal schedule.
+  const ExactnessResult exact = decide_exactness(ball);
+  if (!exact.exact) {
+    std::fprintf(stderr, "unexpected: hex ball not exact\n");
+    return 1;
+  }
+  std::printf("exact via %s; quasi-polyhex area %.6f (= 7 x covolume)\n",
+              to_string(exact.method),
+              quasi_polyform_area(hex, ball.size()));
+  const TilingSchedule schedule(*exact.tiling);
+  std::printf("schedule: %s\n", schedule.description().c_str());
+
+  // Deploy a rhombic patch (natural for hex coordinates) and verify.
+  const Deployment field = Deployment::grid(Box::centered(2, 6), ball);
+  const CollisionReport report = check_collision_free(field, schedule);
+  std::printf("deployment of %zu sensors: %s\n", field.size(),
+              report.to_string().c_str());
+
+  // Optimality: the window optimum equals |N| = 7.
+  const DeploymentOptimum opt = optimal_slots_for_deployment(field);
+  std::printf("exact window optimum: %u slots (proven: %s)\n",
+              opt.optimal_slots, opt.proven ? "yes" : "no");
+
+  // Slot usage census: every slot serves ~1/7 of the sensors.
+  Table t({"slot", "sensors", "share"});
+  std::vector<std::size_t> counts(schedule.period(), 0);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    ++counts[schedule.slot_of(field.position(i))];
+  }
+  for (std::uint32_t s = 0; s < schedule.period(); ++s) {
+    t.begin_row();
+    t.cell(s + 1);
+    t.cell(counts[s]);
+    t.cell_percent(static_cast<double>(counts[s]) /
+                       static_cast<double>(field.size()),
+                   1);
+  }
+  t.print(std::cout);
+  return report.collision_free ? 0 : 1;
+}

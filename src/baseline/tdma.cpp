@@ -1,0 +1,20 @@
+#include "baseline/tdma.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace latticesched {
+
+SensorSlots tdma_slots(const Deployment& d) {
+  if (d.size() == 0) {
+    throw std::invalid_argument("tdma_slots: empty deployment");
+  }
+  SensorSlots out;
+  out.period = static_cast<std::uint32_t>(d.size());
+  out.slot.resize(d.size());
+  std::iota(out.slot.begin(), out.slot.end(), 0);
+  out.source = "tdma";
+  return out;
+}
+
+}  // namespace latticesched

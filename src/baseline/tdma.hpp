@@ -1,0 +1,22 @@
+// Plain TDMA baseline (paper's Introduction / Related Work).
+//
+// "The simplest way to ensure that the communication will be
+// collision-free is to use a time division multiple access (TDMA)
+// scheme ... The obvious disadvantage of TDMA is that it does not scale:
+// if the number k of sensors is large, then the sensors cannot
+// communicate frequently enough."
+//
+// Each sensor gets its own slot; the period equals the deployment size.
+// Trivially collision-free and maximally wasteful — the foil the tiling
+// schedule is measured against in the scaling experiments.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "graph/interference.hpp"
+
+namespace latticesched {
+
+/// Round-robin slot table: sensor i gets slot i, period = #sensors.
+SensorSlots tdma_slots(const Deployment& d);
+
+}  // namespace latticesched

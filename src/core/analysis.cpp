@@ -1,0 +1,27 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+namespace latticesched {
+
+std::vector<std::uint64_t> slot_histogram(const Schedule& schedule,
+                                          const Box& window) {
+  std::vector<std::uint64_t> counts(schedule.period(), 0);
+  window.for_each(
+      [&](const Point& p) { ++counts[schedule.slot_of(p)]; });
+  return counts;
+}
+
+double slot_balance(const std::vector<std::uint64_t>& histogram) {
+  if (histogram.empty()) return 1.0;
+  const auto [lo, hi] =
+      std::minmax_element(histogram.begin(), histogram.end());
+  if (*hi == 0) return 1.0;
+  return static_cast<double>(*lo) / static_cast<double>(*hi);
+}
+
+double duty_cycle(const Schedule& schedule) {
+  return 1.0 / static_cast<double>(schedule.period());
+}
+
+}  // namespace latticesched

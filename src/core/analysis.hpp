@@ -1,0 +1,29 @@
+// Schedule analysis utilities.
+//
+// Small diagnostics used by the examples and benches: how evenly a
+// schedule spreads sensors over its slots (perfectly evenly for tiling
+// schedules on whole periods — each slot class is a translate of the
+// tiling, Figure 3), and the per-slot sender counts on a window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "lattice/region.hpp"
+
+namespace latticesched {
+
+/// Number of window points assigned to each slot.
+std::vector<std::uint64_t> slot_histogram(const Schedule& schedule,
+                                          const Box& window);
+
+/// max/min sender count over slots (min never 0 on windows at least one
+/// period wide); 1.0 means perfectly balanced.
+double slot_balance(const std::vector<std::uint64_t>& histogram);
+
+/// Duty cycle of a sensor under the schedule: fraction of time it may
+/// transmit (= 1/period for any single-slot-per-sensor schedule).
+double duty_cycle(const Schedule& schedule);
+
+}  // namespace latticesched

@@ -1,0 +1,59 @@
+#include "core/collision.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+std::string CollisionReport::to_string() const {
+  if (collision_free) return "collision-free";
+  std::ostringstream os;
+  os << "collision in slot " << witness->slot << ": sensors #"
+     << witness->sensor_a << " and #" << witness->sensor_b
+     << " both cover " << witness->point;
+  return os.str();
+}
+
+CollisionReport check_collision_free(const Deployment& d,
+                                     const SensorSlots& slots) {
+  if (slots.slot.size() != d.size()) {
+    throw std::invalid_argument("check_collision_free: size mismatch");
+  }
+  if (slots.period == 0) {
+    throw std::invalid_argument("check_collision_free: zero period");
+  }
+  CollisionReport report;
+  // Bucket sensors by slot, then count coverage per lattice point.
+  std::vector<std::vector<std::uint32_t>> by_slot(slots.period);
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    if (slots.slot[i] >= slots.period) {
+      throw std::invalid_argument("check_collision_free: slot >= period");
+    }
+    by_slot[slots.slot[i]].push_back(i);
+  }
+  for (std::uint32_t s = 0; s < slots.period; ++s) {
+    PointMap<std::uint32_t> first_cover;
+    for (std::uint32_t i : by_slot[s]) {
+      for (const Point& p : d.coverage_of(i)) {
+        auto [it, inserted] = first_cover.emplace(p, i);
+        if (!inserted) {
+          ++report.pairs_checked;
+          if (report.collision_free) {
+            report.collision_free = false;
+            report.witness =
+                CollisionWitness{s, static_cast<std::size_t>(it->second),
+                                 static_cast<std::size_t>(i), p};
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+CollisionReport check_collision_free(const Deployment& d,
+                                     const Schedule& schedule) {
+  return check_collision_free(d, assign_slots(schedule, d));
+}
+
+}  // namespace latticesched

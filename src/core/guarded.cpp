@@ -1,0 +1,29 @@
+#include "core/guarded.hpp"
+
+#include <stdexcept>
+
+namespace latticesched {
+
+SensorSlots guarded_slots(const SensorSlots& base,
+                          std::uint32_t guard_factor) {
+  if (guard_factor == 0) {
+    throw std::invalid_argument("guarded_slots: guard_factor == 0");
+  }
+  if (base.period == 0) {
+    throw std::invalid_argument("guarded_slots: zero base period");
+  }
+  SensorSlots out;
+  out.period = base.period * guard_factor;
+  out.slot.reserve(base.slot.size());
+  for (std::uint32_t s : base.slot) {
+    out.slot.push_back(s * guard_factor);
+  }
+  out.source = base.source + "+guard" + std::to_string(guard_factor);
+  return out;
+}
+
+std::int64_t guard_tolerance(std::uint32_t guard_factor) {
+  return (static_cast<std::int64_t>(guard_factor) - 1) / 2;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,33 @@
+// Guard slots: buying clock-skew robustness with period.
+//
+// The paper assumes perfectly synchronized time.  The clock-drift
+// ablation (bench_clock_drift) shows the optimal m-slot schedule is
+// brittle: a node one slot off lands in a neighbor's slot.  The classic
+// remedy is guard slots — stretch the period by a factor g and transmit
+// only on multiples of g, so a drifted transmission lands in an idle
+// guard slot instead of someone else's active slot.
+//
+// Guarantee (proved in the tests): if every node's offset satisfies
+// |offset| < g/2... more precisely, with drift bounded by floor((g-1)/2)
+// slots, a drifted node can only occupy guard positions of its OWN slot
+// group, so two nodes collide only if their *undrifted* slots already
+// collided.  The price is a g-fold throughput reduction — the schedule
+// is no longer optimal in the paper's sense, quantifying exactly what
+// the synchronized-time assumption is worth.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+
+namespace latticesched {
+
+/// Stretches a slot table: slot k (period m) becomes slot k·g
+/// (period m·g); the g-1 slots after each active slot are guards.
+SensorSlots guarded_slots(const SensorSlots& base, std::uint32_t guard_factor);
+
+/// Largest per-node clock offset magnitude the guarded schedule
+/// tolerates while preserving collision-freedom: floor((g-1)/2).
+std::int64_t guard_tolerance(std::uint32_t guard_factor);
+
+}  // namespace latticesched

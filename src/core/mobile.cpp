@@ -1,0 +1,69 @@
+#include "core/mobile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace latticesched {
+
+MobileScheduler::MobileScheduler(Lattice lattice, TilingSchedule schedule)
+    : lattice_(std::move(lattice)), schedule_(std::move(schedule)),
+      cell_(voronoi_cell(lattice_)), cell_circumradius_(0.0) {
+  if (lattice_.dim() != 2) {
+    throw std::invalid_argument("MobileScheduler: 2-D lattices only");
+  }
+  if (schedule_.tiling().dim() != 2) {
+    throw std::invalid_argument("MobileScheduler: schedule must be 2-D");
+  }
+  for (const Vec2& v : cell_.vertices()) {
+    cell_circumradius_ =
+        std::max(cell_circumradius_, std::sqrt(v.x * v.x + v.y * v.y));
+  }
+}
+
+Point MobileScheduler::home_point(const RealVec& x) const {
+  return lattice_.nearest_point(x);
+}
+
+std::uint32_t MobileScheduler::slot_of_location(const RealVec& x) const {
+  return schedule_.slot_of(home_point(x));
+}
+
+bool MobileScheduler::range_fits(const RealVec& x, double rho) const {
+  const Point home = home_point(x);
+  const Covering cov = schedule_.tiling().covering(home);
+  const Prototile& tile = schedule_.tiling().prototile(cov.prototile);
+  // Tile membership set (lattice points of the covering tile).
+  PointSet tile_points;
+  for (const Point& n : tile.points()) {
+    tile_points.insert(cov.translate + n);
+  }
+  // Any Voronoi cell that intersects the disc has its center within
+  // rho + circumradius of x; scan that neighborhood for outside cells.
+  const double reach = rho + cell_circumradius_ + 1e-9;
+  const double min_len = std::sqrt(lattice_.minimum_sq());
+  const auto bound =
+      static_cast<std::int64_t>(std::ceil(reach / std::max(min_len, 1e-9))) +
+      2;
+  const Point base = home;
+  Point off(2);
+  for (off[0] = -bound; off[0] <= bound; ++off[0]) {
+    for (off[1] = -bound; off[1] <= bound; ++off[1]) {
+      const Point q = base + off;
+      if (tile_points.count(q) != 0) continue;  // inside the tile region
+      const RealVec e = lattice_.embed(q);
+      const ConvexPolygon cell_q = cell_.translated({e[0], e[1]});
+      if (cell_q.distance_to({x[0], x[1]}) <= rho) {
+        return false;  // an outside cell reaches into the disc
+      }
+    }
+  }
+  return true;
+}
+
+bool MobileScheduler::may_send(const RealVec& x, double rho,
+                               std::uint64_t t) const {
+  if (t % period() != slot_of_location(x)) return false;
+  return range_fits(x, rho);
+}
+
+}  // namespace latticesched

@@ -1,0 +1,54 @@
+// Location-based scheduling for mobile sensors (Conclusions section).
+//
+// The paper's extension: assign slots to *locations* rather than sensors.
+// Lattice points carry the tiling schedule's slots; a sensor s inside the
+// open Voronoi region of lattice point p may send at time t iff
+// t ≡ slot(p) (mod m) AND the interference range of s fits within the
+// tile of p (the quasi-polyform of Voronoi cells of the tile covering p).
+// Both senders of a collision would have to occupy the same tile region —
+// impossible since each tile has exactly one transmitting cell per slot —
+// so the rule is collision-free for arbitrarily moving sensors.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tiling_scheduler.hpp"
+#include "lattice/lattice.hpp"
+#include "lattice/voronoi.hpp"
+
+namespace latticesched {
+
+class MobileScheduler {
+ public:
+  /// `lattice` supplies geometry (2-D), `schedule` the slot structure.
+  MobileScheduler(Lattice lattice, TilingSchedule schedule);
+
+  std::uint32_t period() const { return schedule_.period(); }
+  const Lattice& lattice() const { return lattice_; }
+  const TilingSchedule& schedule() const { return schedule_; }
+
+  /// Nearest lattice point (the p whose Voronoi region contains x).
+  Point home_point(const RealVec& x) const;
+
+  /// Slot assigned to the location x.
+  std::uint32_t slot_of_location(const RealVec& x) const;
+
+  /// The paper's gate: whether a disc of radius rho centered at x lies
+  /// inside the tile region of x's home point.  Decided exactly: the disc
+  /// escapes the region iff some Voronoi cell of a lattice point OUTSIDE
+  /// the home tile comes within rho of x; only cells whose centers lie
+  /// within rho + cell circumradius can, so finitely many are checked
+  /// via exact point-to-polygon distances.
+  bool range_fits(const RealVec& x, double rho) const;
+
+  /// Combined rule: may the sensor at x with range rho send at time t?
+  bool may_send(const RealVec& x, double rho, std::uint64_t t) const;
+
+ private:
+  Lattice lattice_;
+  TilingSchedule schedule_;
+  ConvexPolygon cell_;        // Voronoi cell of the origin
+  double cell_circumradius_;  // max vertex distance from the center
+};
+
+}  // namespace latticesched

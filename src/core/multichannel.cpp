@@ -1,0 +1,89 @@
+#include "core/multichannel.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+namespace {
+std::uint32_t checked_ceil_div(std::uint32_t num, std::uint32_t den) {
+  if (den == 0) {
+    throw std::invalid_argument("MultiChannelSchedule: zero channels");
+  }
+  return (num + den - 1) / den;
+}
+}  // namespace
+
+MultiChannelSchedule::MultiChannelSchedule(TilingSchedule base,
+                                           std::uint32_t channels)
+    : base_(std::move(base)), channels_(channels),
+      period_(checked_ceil_div(base_.period(), channels)) {}
+
+SlotChannel MultiChannelSchedule::assignment_of(const Point& p) const {
+  const std::uint32_t e = base_.slot_of(p);
+  return SlotChannel{e / channels_, e % channels_};
+}
+
+std::uint32_t MultiChannelSchedule::lower_bound_slots() const {
+  const std::uint32_t clique = base_.lower_bound_slots();
+  return (clique + channels_ - 1) / channels_;
+}
+
+std::string MultiChannelSchedule::description() const {
+  std::ostringstream os;
+  os << "multichannel(" << base_.description() << ", c=" << channels_
+     << ", m=" << period_ << ")";
+  return os.str();
+}
+
+MultiChannelSlots assign_multichannel(const MultiChannelSchedule& schedule,
+                                      const Deployment& d) {
+  MultiChannelSlots out;
+  out.period = schedule.period();
+  out.channels = schedule.channels();
+  out.assignment.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    out.assignment.push_back(schedule.assignment_of(d.position(i)));
+  }
+  return out;
+}
+
+CollisionReport check_collision_free_multichannel(
+    const Deployment& d, const MultiChannelSlots& slots) {
+  if (slots.assignment.size() != d.size()) {
+    throw std::invalid_argument(
+        "check_collision_free_multichannel: size mismatch");
+  }
+  CollisionReport report;
+  // Bucket by (slot, channel); coverage counting within each bucket.
+  std::vector<std::vector<std::uint32_t>> buckets(
+      static_cast<std::size_t>(slots.period) * slots.channels);
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    const SlotChannel& a = slots.assignment[i];
+    if (a.slot >= slots.period || a.channel >= slots.channels) {
+      throw std::invalid_argument(
+          "check_collision_free_multichannel: assignment out of range");
+    }
+    buckets[a.slot * slots.channels + a.channel].push_back(i);
+  }
+  for (std::uint32_t b = 0; b < buckets.size(); ++b) {
+    PointMap<std::uint32_t> first_cover;
+    for (std::uint32_t i : buckets[b]) {
+      for (const Point& p : d.coverage_of(i)) {
+        auto [it, inserted] = first_cover.emplace(p, i);
+        if (!inserted) {
+          ++report.pairs_checked;
+          if (report.collision_free) {
+            report.collision_free = false;
+            report.witness = CollisionWitness{
+                b / slots.channels, static_cast<std::size_t>(it->second),
+                static_cast<std::size_t>(i), p};
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace latticesched

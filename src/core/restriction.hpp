@@ -1,0 +1,35 @@
+// Finite restriction of the infinite schedule (Conclusions section).
+//
+// "A natural question is whether the schedule remains optimal if one
+// restricts the schedule from the lattice L to a finite subset D of L.
+// This question has an affirmative answer if D contains a translate of
+// the set N1 + N1, as the latter set consists of the respectable
+// prototile N1 and its neighbors, in which case our optimality proof
+// carries over without change."
+//
+// This module decides that containment for box-shaped D and supplies a
+// witness translate, so the experiments can show optimality holding above
+// the threshold and (possibly) degrading below it.
+#pragma once
+
+#include <optional>
+
+#include "lattice/region.hpp"
+#include "tiling/prototile.hpp"
+
+namespace latticesched {
+
+struct RestrictionAnalysis {
+  /// Whether D contains x + (N1 + N1) for some x.
+  bool optimality_guaranteed = false;
+  /// A witness translate x when guaranteed.
+  std::optional<Point> witness;
+  /// |N1 + N1| (size of the Minkowski sum that must fit).
+  std::size_t required_size = 0;
+};
+
+/// Checks the Conclusions' sufficient condition on a box window D for the
+/// respectable prototile n1.
+RestrictionAnalysis analyze_restriction(const Box& d, const Prototile& n1);
+
+}  // namespace latticesched

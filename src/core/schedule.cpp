@@ -1,0 +1,16 @@
+#include "core/schedule.hpp"
+
+namespace latticesched {
+
+SensorSlots assign_slots(const Schedule& schedule, const Deployment& d) {
+  SensorSlots out;
+  out.period = schedule.period();
+  out.source = schedule.description();
+  out.slot.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    out.slot.push_back(schedule.slot_of(d.position(i)));
+  }
+  return out;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,54 @@
+// Deterministic periodic schedules.
+//
+// A schedule assigns every sensor a slot k in [0, m); the sensor may
+// broadcast at times t with t ≡ k (mod m).  (The paper writes slots
+// 1..m; we use 0-based slots throughout.)  Two representations are used:
+//
+//  * `Schedule` — a function on lattice *points*, natural for the paper's
+//    infinite-lattice schedules (Theorems 1/2) and location-based mobile
+//    scheduling;
+//  * `SensorSlots` — a per-sensor slot table for a finite deployment,
+//    the common currency of the collision checker, the baselines
+//    (TDMA, coloring) and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/interference.hpp"
+#include "lattice/point.hpp"
+
+namespace latticesched {
+
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+
+  /// Slot period m (number of time slots in one round).
+  virtual std::uint32_t period() const = 0;
+
+  /// Slot of the sensor located at p, in [0, period()).
+  virtual std::uint32_t slot_of(const Point& p) const = 0;
+
+  /// Human-readable summary for reports.
+  virtual std::string description() const = 0;
+
+  /// Whether the sensor at p may broadcast at time t.
+  bool may_send(const Point& p, std::uint64_t t) const {
+    return t % period() == slot_of(p);
+  }
+};
+
+/// Slot table for a finite deployment.
+struct SensorSlots {
+  std::vector<std::uint32_t> slot;  ///< slot[i] for sensor i
+  std::uint32_t period = 0;
+  std::string source;               ///< which scheduler produced it
+};
+
+/// Evaluates a point-schedule on every sensor of a deployment.
+SensorSlots assign_slots(const Schedule& schedule, const Deployment& d);
+
+}  // namespace latticesched

@@ -1,0 +1,103 @@
+#include "core/serialization.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace latticesched {
+
+void write_schedule_csv(std::ostream& os, const Deployment& d,
+                        const SensorSlots& slots) {
+  if (slots.slot.size() != d.size()) {
+    throw std::invalid_argument("write_schedule_csv: size mismatch");
+  }
+  const std::size_t dim = d.size() == 0 ? 0 : d.position(0).dim();
+  for (std::size_t i = 0; i < dim; ++i) {
+    os << "x" << i << ",";
+  }
+  os << "type,slot,period\n";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const Point& p = d.position(i);
+    for (std::size_t c = 0; c < p.dim(); ++c) os << p[c] << ",";
+    os << d.type_of(i) << "," << slots.slot[i] << "," << slots.period
+       << "\n";
+  }
+}
+
+std::string schedule_to_csv(const Deployment& d, const SensorSlots& slots) {
+  std::ostringstream os;
+  write_schedule_csv(os, d, slots);
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::int64_t to_i64(const std::string& s) {
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(s, &pos);
+  if (pos != s.size()) {
+    throw std::invalid_argument("parse_schedule_csv: bad number: " + s);
+  }
+  return v;
+}
+
+}  // namespace
+
+ParsedSchedule parse_schedule_csv(std::istream& is) {
+  ParsedSchedule out;
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("parse_schedule_csv: empty input");
+  }
+  const auto header = split_csv_line(line);
+  if (header.size() < 3 || header[header.size() - 3] != "type" ||
+      header[header.size() - 2] != "slot" ||
+      header[header.size() - 1] != "period") {
+    throw std::invalid_argument("parse_schedule_csv: bad header");
+  }
+  const std::size_t dim = header.size() - 3;
+  bool period_set = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != header.size()) {
+      throw std::invalid_argument("parse_schedule_csv: bad row arity");
+    }
+    Point p(dim);
+    for (std::size_t i = 0; i < dim; ++i) p[i] = to_i64(cells[i]);
+    out.positions.push_back(p);
+    out.types.push_back(static_cast<std::uint32_t>(to_i64(cells[dim])));
+    out.slots.slot.push_back(
+        static_cast<std::uint32_t>(to_i64(cells[dim + 1])));
+    const auto period = static_cast<std::uint32_t>(to_i64(cells[dim + 2]));
+    if (period_set && period != out.slots.period) {
+      throw std::invalid_argument("parse_schedule_csv: inconsistent period");
+    }
+    out.slots.period = period;
+    period_set = true;
+  }
+  out.slots.source = "csv";
+  return out;
+}
+
+ParsedSchedule parse_schedule_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  return parse_schedule_csv(is);
+}
+
+}  // namespace latticesched

@@ -1,0 +1,34 @@
+// Schedule serialization.
+//
+// Deploying a schedule means shipping each sensor its slot; this module
+// writes/reads the assignment as CSV (one row per sensor: coordinates,
+// prototile id, slot, period), so generated schedules can be inspected,
+// diffed, and fed to external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "graph/interference.hpp"
+
+namespace latticesched {
+
+/// Writes "x0,...,x{d-1},type,slot,period" rows with a header line.
+void write_schedule_csv(std::ostream& os, const Deployment& d,
+                        const SensorSlots& slots);
+
+std::string schedule_to_csv(const Deployment& d, const SensorSlots& slots);
+
+struct ParsedSchedule {
+  PointVec positions;
+  std::vector<std::uint32_t> types;
+  SensorSlots slots;
+};
+
+/// Parses the format written by write_schedule_csv; throws
+/// std::invalid_argument on malformed input.
+ParsedSchedule parse_schedule_csv(std::istream& is);
+ParsedSchedule parse_schedule_csv(const std::string& csv);
+
+}  // namespace latticesched

@@ -1,0 +1,52 @@
+#include "core/tiling_scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace latticesched {
+
+TilingSchedule::TilingSchedule(Tiling tiling) : tiling_(std::move(tiling)) {
+  PointVec all;
+  for (const Prototile& t : tiling_.prototiles()) {
+    for (const Point& p : t.points()) all.push_back(p);
+  }
+  union_points_ = sorted_unique(std::move(all));
+  for (std::uint32_t k = 0; k < union_points_.size(); ++k) {
+    slot_by_element_.emplace(union_points_[k], k);
+  }
+}
+
+std::uint32_t TilingSchedule::slot_of(const Point& p) const {
+  const Covering c = tiling_.covering(p);
+  const Point& element =
+      tiling_.prototile(c.prototile).element(c.element_index);
+  return slot_by_element_.at(element);
+}
+
+std::string TilingSchedule::description() const {
+  std::ostringstream os;
+  os << "tiling-schedule(m=" << period() << ", prototiles="
+     << tiling_.prototile_count()
+     << (tiling_.is_respectable() ? ", respectable" : ", non-respectable")
+     << ")";
+  return os.str();
+}
+
+PointVec TilingSchedule::senders_in_slot(std::uint32_t slot,
+                                         const Box& box) const {
+  PointVec out;
+  box.for_each([&](const Point& p) {
+    if (slot_of(p) == slot) out.push_back(p);
+  });
+  return out;
+}
+
+std::uint32_t TilingSchedule::lower_bound_slots() const {
+  std::size_t lb = 0;
+  for (const Prototile& t : tiling_.prototiles()) {
+    lb = std::max(lb, t.size());
+  }
+  return static_cast<std::uint32_t>(lb);
+}
+
+}  // namespace latticesched

@@ -1,0 +1,54 @@
+// The paper's schedules: Theorem 1 (single prototile) and Theorem 2
+// (several prototiles, respectable tilings).
+//
+// Construction (proofs of Theorems 1 and 2): enumerate the union
+// N = N_1 ∪ … ∪ N_n = {n_1 < n_2 < … < n_m}; the sensor at t_ℓ + n_k
+// (t_ℓ a translate of prototile ℓ, n_k ∈ N_ℓ) is scheduled in slot k.
+// The covering map of the tiling makes this well-defined for every
+// lattice point, and m = |N| slots suffice; for respectable tilings m is
+// optimal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/schedule.hpp"
+#include "tiling/tiling.hpp"
+
+namespace latticesched {
+
+class TilingSchedule final : public Schedule {
+ public:
+  /// Builds the Theorem-1/Theorem-2 schedule for a tiling.
+  explicit TilingSchedule(Tiling tiling);
+
+  std::uint32_t period() const override {
+    return static_cast<std::uint32_t>(union_points_.size());
+  }
+  std::uint32_t slot_of(const Point& p) const override;
+  std::string description() const override;
+
+  const Tiling& tiling() const { return tiling_; }
+
+  /// The union N = ∪ N_k in canonical order; slot k belongs to element
+  /// union_points()[k].
+  const PointVec& union_points() const { return union_points_; }
+
+  /// All lattice points scheduled in `slot` within `box` — by the
+  /// argument illustrated in Figure 3, for single-prototile tilings the
+  /// neighborhoods of these senders again tile the lattice.
+  PointVec senders_in_slot(std::uint32_t slot, const Box& box) const;
+
+  /// Paper's optimality bound: no collision-free periodic schedule for
+  /// this deployment uses fewer than max_k |N_k| slots; when the tiling
+  /// is respectable this equals period() and the schedule is optimal.
+  std::uint32_t lower_bound_slots() const;
+  bool optimal() const { return lower_bound_slots() == period(); }
+
+ private:
+  Tiling tiling_;
+  PointVec union_points_;
+  PointMap<std::uint32_t> slot_by_element_;
+};
+
+}  // namespace latticesched

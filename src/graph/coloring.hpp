@@ -1,0 +1,65 @@
+// Graph coloring: heuristics and exact branch-and-bound.
+//
+// Colors play the role of time slots: a proper coloring of the conflict
+// graph is a collision-free schedule, and the chromatic number is the
+// optimal slot count (the quantity the paper's Theorems 1/2 pin down
+// constructively for lattice deployments).  The exact solver is used to
+// machine-check optimality claims on finite windows (including the m=6 vs
+// m=4 comparison of Figure 5); the heuristics are the literature baselines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace latticesched {
+
+using Coloring = std::vector<std::uint32_t>;
+
+/// Number of colors used (max + 1; 0 for empty colorings).
+std::uint32_t color_count(const Coloring& c);
+
+/// Whether `c` assigns different colors across every edge.
+bool is_proper_coloring(const Graph& g, const Coloring& c);
+
+/// First-fit coloring in the given vertex order.
+Coloring greedy_coloring(const Graph& g,
+                         const std::vector<std::uint32_t>& order);
+
+/// First-fit in natural order 0..n-1.
+Coloring greedy_coloring(const Graph& g);
+
+/// Welsh–Powell: first-fit in order of decreasing degree.
+Coloring welsh_powell_coloring(const Graph& g);
+
+/// DSATUR (Brélaz): repeatedly color the vertex with the highest
+/// saturation (distinct neighbor colors), breaking ties by degree.
+Coloring dsatur_coloring(const Graph& g);
+
+struct ExactColoringConfig {
+  /// Branch-and-bound node budget; when exceeded the result is the best
+  /// coloring found with `proven_optimal == false`.
+  std::uint64_t node_limit = 5'000'000;
+  /// Optional known upper bound (e.g. from a constructive schedule).
+  std::uint32_t upper_bound_hint =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+struct ExactColoringResult {
+  Coloring coloring;
+  std::uint32_t colors = 0;
+  bool proven_optimal = false;
+  std::uint64_t nodes = 0;
+  std::uint32_t clique_lower_bound = 0;
+};
+
+/// Exact chromatic number via DSATUR-ordered branch and bound with a
+/// greedy-clique lower bound.  Complete for small graphs; degrades to the
+/// best-found coloring under the node budget.
+ExactColoringResult exact_chromatic(const Graph& g,
+                                    const ExactColoringConfig& config = {});
+
+}  // namespace latticesched

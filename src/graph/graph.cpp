@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latticesched {
+
+Graph::Graph(std::size_t n) : adj_(n) {}
+
+void Graph::add_edge(std::uint32_t u, std::uint32_t v) {
+  if (u >= size() || v >= size()) {
+    throw std::out_of_range("Graph::add_edge: vertex out of range");
+  }
+  if (u == v) return;
+  auto& au = adj_[u];
+  const auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it != au.end() && *it == v) return;  // duplicate
+  au.insert(it, v);
+  auto& av = adj_[v];
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++edges_;
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  if (u >= size() || v >= size()) return false;
+  const auto& au = adj_[u];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+const std::vector<std::uint32_t>& Graph::neighbors(std::uint32_t u) const {
+  return adj_.at(u);
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : adj_) d = std::max(d, a.size());
+  return d;
+}
+
+std::vector<std::uint32_t> Graph::greedy_clique() const {
+  if (size() == 0) return {};
+  std::uint32_t seed = 0;
+  for (std::uint32_t v = 1; v < size(); ++v) {
+    if (degree(v) > degree(seed)) seed = v;
+  }
+  std::vector<std::uint32_t> clique{seed};
+  std::vector<std::uint32_t> candidates = adj_[seed];
+  while (!candidates.empty()) {
+    // Pick the candidate with the most connections into the candidate set.
+    std::uint32_t best = candidates.front();
+    std::size_t best_links = 0;
+    for (std::uint32_t c : candidates) {
+      std::size_t links = 0;
+      for (std::uint32_t d : candidates) {
+        if (c != d && has_edge(c, d)) ++links;
+      }
+      if (links > best_links) {
+        best_links = links;
+        best = c;
+      }
+    }
+    clique.push_back(best);
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t c : candidates) {
+      if (c != best && has_edge(c, best)) next.push_back(c);
+    }
+    candidates = std::move(next);
+  }
+  return clique;
+}
+
+}  // namespace latticesched

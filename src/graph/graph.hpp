@@ -1,0 +1,42 @@
+// Minimal undirected graph used for broadcast-scheduling baselines.
+//
+// The related work the paper positions itself against (McCormick;
+// Lloyd & Ramanathan; Ramanathan & Lloyd; Wang & Ansari; Shi & Wang)
+// phrases collision-free scheduling as distance-2 / conflict-graph
+// coloring.  This module provides the graph substrate those baselines and
+// our optimality verifications run on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace latticesched {
+
+class Graph {
+ public:
+  explicit Graph(std::size_t n = 0);
+
+  std::size_t size() const { return adj_.size(); }
+  std::size_t edge_count() const { return edges_; }
+
+  /// Adds an undirected edge; self-loops and duplicates are ignored.
+  void add_edge(std::uint32_t u, std::uint32_t v);
+
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  /// Sorted neighbor list.
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t u) const;
+
+  std::size_t degree(std::uint32_t u) const { return adj_[u].size(); }
+  std::size_t max_degree() const;
+
+  /// A greedily grown clique (vertex of max degree, extended by common
+  /// neighbors); its size lower-bounds the chromatic number.
+  std::vector<std::uint32_t> greedy_clique() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adj_;  // kept sorted
+  std::size_t edges_ = 0;
+};
+
+}  // namespace latticesched

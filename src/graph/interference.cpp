@@ -1,0 +1,107 @@
+#include "graph/interference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latticesched {
+
+Deployment::Deployment(PointVec positions, std::vector<std::uint32_t> types,
+                       std::vector<Prototile> prototiles)
+    : positions_(std::move(positions)), types_(std::move(types)),
+      prototiles_(std::move(prototiles)) {
+  if (positions_.size() != types_.size()) {
+    throw std::invalid_argument("Deployment: positions/types mismatch");
+  }
+  if (prototiles_.empty()) {
+    throw std::invalid_argument("Deployment: no prototiles");
+  }
+  for (std::uint32_t t : types_) {
+    if (t >= prototiles_.size()) {
+      throw std::invalid_argument("Deployment: bad prototile index");
+    }
+  }
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    if (!index_of_position_.emplace(positions_[i], i).second) {
+      throw std::invalid_argument("Deployment: duplicate sensor position");
+    }
+  }
+}
+
+Deployment Deployment::uniform(PointVec positions, Prototile n) {
+  std::vector<std::uint32_t> types(positions.size(), 0);
+  std::vector<Prototile> protos;
+  protos.push_back(std::move(n));
+  return Deployment(std::move(positions), std::move(types),
+                    std::move(protos));
+}
+
+Deployment Deployment::grid(const Box& box, Prototile n) {
+  return uniform(box.points(), std::move(n));
+}
+
+Deployment Deployment::from_tiling(const Tiling& t, const Box& box) {
+  PointVec positions = box.points();
+  std::vector<std::uint32_t> types;
+  types.reserve(positions.size());
+  for (const Point& p : positions) {
+    types.push_back(t.covering(p).prototile);
+  }
+  return Deployment(std::move(positions), std::move(types), t.prototiles());
+}
+
+PointVec Deployment::coverage_of(std::size_t i) const {
+  return neighborhood_of(i).translated(positions_.at(i));
+}
+
+std::optional<std::size_t> Deployment::sensor_at(const Point& p) const {
+  const auto it = index_of_position_.find(p);
+  if (it == index_of_position_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it->second);
+}
+
+Graph build_conflict_graph(const Deployment& d) {
+  Graph g(d.size());
+  // Invert coverage: for every lattice point, the sensors whose broadcast
+  // reaches it; any two of them conflict (their coverages share it).
+  PointMap<std::vector<std::uint32_t>> covered_by;
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    for (const Point& p : d.coverage_of(i)) {
+      covered_by[p].push_back(i);
+    }
+  }
+  for (const auto& [p, ids] : covered_by) {
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < ids.size(); ++b) {
+        g.add_edge(ids[a], ids[b]);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<std::uint32_t>> build_affects_digraph(
+    const Deployment& d) {
+  std::vector<std::vector<std::uint32_t>> affects(d.size());
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    for (const Point& p : d.coverage_of(i)) {
+      const auto j = d.sensor_at(p);
+      if (j.has_value() && *j != i) {
+        affects[i].push_back(static_cast<std::uint32_t>(*j));
+      }
+    }
+    std::sort(affects[i].begin(), affects[i].end());
+  }
+  return affects;
+}
+
+bool sensors_conflict(const Deployment& d, std::size_t i, std::size_t j) {
+  if (i == j) return false;
+  const PointVec ci = d.coverage_of(i);
+  const PointSet si(ci.begin(), ci.end());
+  for (const Point& p : d.coverage_of(j)) {
+    if (si.count(p) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,73 @@
+// Deployments and interference graphs.
+//
+// A deployment places finitely many sensors on lattice points and assigns
+// each its interference neighborhood (a prototile).  The paper's collision
+// predicate — simultaneous senders s, t collide iff (s+N_s) ∩ (t+N_t) ≠ ∅
+// — induces the *conflict graph* whose proper colorings are exactly the
+// collision-free slot assignments.  The *affects digraph* (v → u iff u is
+// affected by v's radio) is the formulation used in the related work; for
+// completeness we provide both and the tests check that conflict equals
+// "distance ≤ 2 via a common out-neighbor" in the affects digraph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lattice/region.hpp"
+#include "tiling/prototile.hpp"
+#include "tiling/tiling.hpp"
+
+namespace latticesched {
+
+class Deployment {
+ public:
+  /// Sensors at `positions`, all sharing neighborhood `n`.
+  static Deployment uniform(PointVec positions, Prototile n);
+
+  /// Sensors at every point of `box`, all sharing neighborhood `n`.
+  static Deployment grid(const Box& box, Prototile n);
+
+  /// Deployment rule D1 of Section 4: sensors at every point of `box`,
+  /// each inheriting the prototile of the tile covering it.
+  static Deployment from_tiling(const Tiling& t, const Box& box);
+
+  std::size_t size() const { return positions_.size(); }
+  const PointVec& positions() const { return positions_; }
+  const Point& position(std::size_t i) const { return positions_[i]; }
+  std::uint32_t type_of(std::size_t i) const { return types_[i]; }
+  const std::vector<Prototile>& prototiles() const { return prototiles_; }
+  const Prototile& neighborhood_of(std::size_t i) const {
+    return prototiles_[types_[i]];
+  }
+
+  /// Points affected when sensor i broadcasts (its position + prototile).
+  PointVec coverage_of(std::size_t i) const;
+
+  /// Index of the sensor at position p, if any.
+  std::optional<std::size_t> sensor_at(const Point& p) const;
+
+ private:
+  Deployment(PointVec positions, std::vector<std::uint32_t> types,
+             std::vector<Prototile> prototiles);
+  PointVec positions_;
+  std::vector<std::uint32_t> types_;
+  std::vector<Prototile> prototiles_;
+  PointMap<std::uint32_t> index_of_position_;
+};
+
+/// Undirected conflict graph: edge (i, j) iff coverage_of(i) and
+/// coverage_of(j) intersect.  Proper colorings = collision-free schedules.
+Graph build_conflict_graph(const Deployment& d);
+
+/// Directed affects relation as adjacency lists: affects[i] lists sensors
+/// located inside coverage_of(i) (excluding i itself).
+std::vector<std::vector<std::uint32_t>> build_affects_digraph(
+    const Deployment& d);
+
+/// Whether sensors i and j conflict per the paper's intersection predicate
+/// (direct set test; used to cross-check the graph builders).
+bool sensors_conflict(const Deployment& d, std::size_t i, std::size_t j);
+
+}  // namespace latticesched

@@ -1,0 +1,289 @@
+#include "lattice/intmat.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw std::invalid_argument("floor_div: division by zero");
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ext_gcd(std::int64_t a, std::int64_t b, std::int64_t& x,
+                     std::int64_t& y) {
+  // Iterative extended Euclid keeping Bezout coefficients.
+  std::int64_t old_r = a, r = b;
+  std::int64_t old_x = 1, xx = 0;
+  std::int64_t old_y = 0, yy = 1;
+  while (r != 0) {
+    const std::int64_t q = old_r / r;
+    std::int64_t t = old_r - q * r;
+    old_r = r;
+    r = t;
+    t = old_x - q * xx;
+    old_x = xx;
+    xx = t;
+    t = old_y - q * yy;
+    old_y = yy;
+    yy = t;
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_x = -old_x;
+    old_y = -old_y;
+  }
+  x = old_x;
+  y = old_y;
+  return old_r;
+}
+
+IntMatrix::IntMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), a_(rows * cols, 0) {}
+
+IntMatrix::IntMatrix(
+    std::initializer_list<std::initializer_list<std::int64_t>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  a_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("IntMatrix: ragged initializer");
+    }
+    for (std::int64_t v : row) a_.push_back(v);
+  }
+}
+
+IntMatrix IntMatrix::identity(std::size_t n) {
+  IntMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+IntMatrix IntMatrix::diagonal(const std::vector<std::int64_t>& d) {
+  IntMatrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m.at(i, i) = d[i];
+  return m;
+}
+
+IntMatrix IntMatrix::from_columns(const PointVec& cols) {
+  if (cols.empty()) throw std::invalid_argument("from_columns: empty");
+  const std::size_t dim = cols.front().dim();
+  IntMatrix m(dim, cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (cols[j].dim() != dim) {
+      throw std::invalid_argument("from_columns: dimension mismatch");
+    }
+    for (std::size_t i = 0; i < dim; ++i) m.at(i, j) = cols[j][i];
+  }
+  return m;
+}
+
+std::int64_t IntMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("IntMatrix::at");
+  return a_[idx(r, c)];
+}
+
+std::int64_t& IntMatrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("IntMatrix::at");
+  return a_[idx(r, c)];
+}
+
+Point IntMatrix::column(std::size_t c) const {
+  Point p(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) p[i] = at(i, c);
+  return p;
+}
+
+Point IntMatrix::mul(const Point& p) const {
+  if (p.dim() != cols_) throw std::invalid_argument("IntMatrix::mul: dim");
+  Point out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::int64_t s = 0;
+    for (std::size_t j = 0; j < cols_; ++j) s += at(i, j) * p[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+IntMatrix IntMatrix::mul(const IntMatrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("IntMatrix::mul: shape mismatch");
+  }
+  IntMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::int64_t aik = at(i, k);
+      if (aik == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) += aik * other.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+IntMatrix IntMatrix::transpose() const {
+  IntMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+bool IntMatrix::operator==(const IntMatrix& o) const {
+  return rows_ == o.rows_ && cols_ == o.cols_ && a_ == o.a_;
+}
+
+std::int64_t IntMatrix::det() const {
+  if (rows_ != cols_) throw std::invalid_argument("det: not square");
+  const std::size_t n = rows_;
+  if (n == 0) return 1;
+  // Bareiss: all intermediate entries are exact minors, kept in 128 bits.
+  std::vector<__int128> m(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) m[i] = a_[i];
+  auto e = [&](std::size_t r, std::size_t c) -> __int128& {
+    return m[r * n + c];
+  };
+  __int128 prev = 1;
+  int sign = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (e(k, k) == 0) {
+      std::size_t swap_row = k + 1;
+      while (swap_row < n && e(swap_row, k) == 0) ++swap_row;
+      if (swap_row == n) return 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(e(k, c), e(swap_row, c));
+      }
+      sign = -sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        e(i, j) = (e(i, j) * e(k, k) - e(i, k) * e(k, j)) / prev;
+      }
+      e(i, k) = 0;
+    }
+    prev = e(k, k);
+  }
+  const __int128 d = e(n - 1, n - 1) * sign;
+  if (d > std::numeric_limits<std::int64_t>::max() ||
+      d < std::numeric_limits<std::int64_t>::min()) {
+    throw std::overflow_error("det: result exceeds int64");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
+IntMatrix IntMatrix::column_hnf() const {
+  if (rows_ != cols_) throw std::invalid_argument("column_hnf: not square");
+  const std::size_t n = rows_;
+  IntMatrix h = *this;
+  // Process rows top-down; column i becomes the pivot column of row i.
+  for (std::size_t i = 0; i < n; ++i) {
+    // Zero out row i to the right of the pivot with gcd column operations.
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (h.at(i, j) == 0) continue;
+      std::int64_t x, y;
+      const std::int64_t a = h.at(i, i);
+      const std::int64_t b = h.at(i, j);
+      const std::int64_t g = ext_gcd(a, b, x, y);
+      const std::int64_t a_g = a / g;
+      const std::int64_t b_g = b / g;
+      // Unimodular 2x2 column transform: [col_i col_j] *= [[x, -b/g],
+      //                                                    [y,  a/g]]
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::int64_t ci = h.at(r, i);
+        const std::int64_t cj = h.at(r, j);
+        h.at(r, i) = ci * x + cj * y;
+        h.at(r, j) = -ci * b_g + cj * a_g;
+      }
+    }
+    if (h.at(i, i) == 0) {
+      throw std::domain_error("column_hnf: singular matrix");
+    }
+    if (h.at(i, i) < 0) {
+      for (std::size_t r = 0; r < n; ++r) h.at(r, i) = -h.at(r, i);
+    }
+    // Reduce the entries to the left of the pivot in row i into
+    // [0, H[i][i]).  Pivot column i has zeros above row i, so rows < i
+    // stay canonical.
+    for (std::size_t j = 0; j < i; ++j) {
+      const std::int64_t q = floor_div(h.at(i, j), h.at(i, i));
+      if (q == 0) continue;
+      for (std::size_t r = 0; r < n; ++r) {
+        h.at(r, j) -= q * h.at(r, i);
+      }
+    }
+  }
+  return h;
+}
+
+std::string IntMatrix::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntMatrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    os << "[";
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j != 0) os << ", ";
+      os << m.at(i, j);
+    }
+    os << "]";
+    if (i + 1 != m.rows()) os << "\n";
+  }
+  return os;
+}
+
+namespace {
+
+// Recursively assigns diagonal entries (divisors of the remaining index),
+// then fills the below-diagonal free entries of each row.
+void enumerate_rec(std::size_t dim, std::size_t row, std::int64_t remaining,
+                   IntMatrix& work, std::vector<IntMatrix>& out) {
+  if (row == dim) {
+    if (remaining == 1) out.push_back(work);
+    return;
+  }
+  for (std::int64_t d = 1; d <= remaining; ++d) {
+    if (remaining % d != 0) continue;
+    work.at(row, row) = d;
+    // Free entries in row `row`, columns j < row, each in [0, d).
+    std::vector<std::int64_t> free(row, 0);
+    while (true) {
+      for (std::size_t j = 0; j < row; ++j) work.at(row, j) = free[j];
+      enumerate_rec(dim, row + 1, remaining / d, work, out);
+      // Odometer increment over the mixed-radix vector `free`.
+      std::size_t k = 0;
+      while (k < row) {
+        if (++free[k] < d) break;
+        free[k] = 0;
+        ++k;
+      }
+      if (k == row) break;
+      if (row == 0) break;  // no free entries: single iteration
+    }
+    // Reset the row for the next diagonal choice.
+    for (std::size_t j = 0; j <= row; ++j) work.at(row, j) = 0;
+  }
+}
+
+}  // namespace
+
+std::vector<IntMatrix> enumerate_hnf_with_det(std::size_t dim,
+                                              std::int64_t index) {
+  if (dim == 0 || index <= 0) {
+    throw std::invalid_argument("enumerate_hnf_with_det: bad arguments");
+  }
+  std::vector<IntMatrix> out;
+  IntMatrix work(dim, dim);
+  enumerate_rec(dim, 0, index, work, out);
+  return out;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,85 @@
+// Exact integer matrix arithmetic.
+//
+// Tiling search and coset arithmetic need exact linear algebra over Z:
+//  * determinants decide the index of a sublattice (Bareiss, fraction-free),
+//  * the column-style Hermite Normal Form (HNF) canonicalizes sublattice
+//    bases and yields O(d) membership tests and coset reduction,
+//  * enumeration of all HNF matrices with a given determinant enumerates
+//    all sublattices of Z^d of a given index (used to search for lattice
+//    tilings in Section 3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lattice/point.hpp"
+
+namespace latticesched {
+
+/// Floor division (rounds toward -inf); denominator must be nonzero.
+std::int64_t floor_div(std::int64_t a, std::int64_t b);
+
+/// Extended gcd: returns g = gcd(a, b) >= 0 and sets x, y with ax + by = g.
+std::int64_t ext_gcd(std::int64_t a, std::int64_t b, std::int64_t& x,
+                     std::int64_t& y);
+
+/// Dense row-major matrix of int64 with exact arithmetic helpers.
+class IntMatrix {
+ public:
+  IntMatrix() = default;
+  IntMatrix(std::size_t rows, std::size_t cols);
+  IntMatrix(std::initializer_list<std::initializer_list<std::int64_t>> rows);
+
+  static IntMatrix identity(std::size_t n);
+  /// Diagonal matrix from the given entries.
+  static IntMatrix diagonal(const std::vector<std::int64_t>& d);
+  /// Matrix whose j-th column is cols[j]; all points must share dimension.
+  static IntMatrix from_columns(const PointVec& cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::int64_t at(std::size_t r, std::size_t c) const;
+  std::int64_t& at(std::size_t r, std::size_t c);
+
+  Point column(std::size_t c) const;
+  /// Matrix-vector product A·p (p treated as a column vector).
+  Point mul(const Point& p) const;
+  IntMatrix mul(const IntMatrix& other) const;
+  IntMatrix transpose() const;
+
+  bool operator==(const IntMatrix& o) const;
+  bool operator!=(const IntMatrix& o) const { return !(*this == o); }
+
+  /// Exact determinant via Bareiss fraction-free elimination.  Requires a
+  /// square matrix; throws std::overflow_error if intermediates exceed
+  /// 128-bit capacity (cannot happen for the small matrices used here).
+  std::int64_t det() const;
+
+  /// Column-style Hermite Normal Form of a full-rank square matrix:
+  /// returns H with H = A·V for some unimodular V, H lower-triangular,
+  /// H[i][i] > 0, and 0 <= H[i][j] < H[i][i] for j < i.  The columns of H
+  /// generate the same sublattice of Z^d as the columns of A.
+  /// Throws std::domain_error when A is singular.
+  IntMatrix column_hnf() const;
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const IntMatrix& m);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::int64_t> a_;
+  std::size_t idx(std::size_t r, std::size_t c) const { return r * cols_ + c; }
+};
+
+/// All column-HNF matrices H (lower-triangular canonical form, as produced
+/// by IntMatrix::column_hnf) of dimension `dim` with determinant `index`.
+/// Each corresponds to exactly one sublattice of Z^dim of that index, so
+/// this enumerates sublattices.  Count grows like sigma_{dim-1}(index);
+/// intended for small indices (tile sizes).
+std::vector<IntMatrix> enumerate_hnf_with_det(std::size_t dim,
+                                              std::int64_t index);
+
+}  // namespace latticesched

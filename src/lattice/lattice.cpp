@@ -1,0 +1,223 @@
+#include "lattice/lattice.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace latticesched {
+
+namespace {
+
+// Gauss-Jordan inverse of a small dense matrix; throws on singularity.
+std::vector<std::vector<double>> invert(
+    const std::vector<std::vector<double>>& m) {
+  const std::size_t n = m.size();
+  std::vector<std::vector<double>> a = m;
+  std::vector<std::vector<double>> inv(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) inv[i][i] = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      throw std::domain_error("Lattice: singular basis matrix");
+    }
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+    const double p = a[col][col];
+    for (std::size_t c = 0; c < n; ++c) {
+      a[col][c] /= p;
+      inv[col][c] /= p;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a[r][c] -= f * a[col][c];
+        inv[r][c] -= f * inv[col][c];
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+Lattice::Lattice(std::string name,
+                 std::vector<std::vector<double>> basis_columns,
+                 IntMatrix scaled_gram, std::int64_t gram_scale)
+    : name_(std::move(name)), dim_(basis_columns.size()),
+      basis_(std::move(basis_columns)), scaled_gram_(std::move(scaled_gram)),
+      gram_scale_(gram_scale) {
+  if (dim_ == 0 || dim_ > kMaxDim) {
+    throw std::invalid_argument("Lattice: bad dimension");
+  }
+  for (const auto& col : basis_) {
+    if (col.size() != dim_) {
+      throw std::invalid_argument("Lattice: ragged basis");
+    }
+  }
+  if (scaled_gram_.rows() != dim_ || scaled_gram_.cols() != dim_) {
+    throw std::invalid_argument("Lattice: Gram shape mismatch");
+  }
+  if (gram_scale_ <= 0) {
+    throw std::invalid_argument("Lattice: gram_scale must be positive");
+  }
+  // basis_ stores columns; invert expects rows, so build the row-major
+  // matrix B with B[i][j] = basis_[j][i].
+  std::vector<std::vector<double>> b(dim_, std::vector<double>(dim_));
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) b[i][j] = basis_[j][i];
+  }
+  basis_inv_ = invert(b);
+}
+
+Lattice Lattice::cubic(std::size_t dim) {
+  std::vector<std::vector<double>> cols(dim, std::vector<double>(dim, 0.0));
+  for (std::size_t j = 0; j < dim; ++j) cols[j][j] = 1.0;
+  return Lattice(dim == 2 ? "square" : "cubic" + std::to_string(dim),
+                 std::move(cols), IntMatrix::identity(dim), 1);
+}
+
+Lattice Lattice::hexagonal() {
+  const double h = std::sqrt(3.0) / 2.0;
+  std::vector<std::vector<double>> cols = {{1.0, 0.0}, {0.5, h}};
+  // Gram = [[1, 1/2], [1/2, 1]]; scaled by 2: [[2,1],[1,2]].
+  return Lattice("hexagonal", std::move(cols), IntMatrix{{2, 1}, {1, 2}}, 2);
+}
+
+Lattice Lattice::custom(std::string name,
+                        std::vector<std::vector<double>> basis_columns,
+                        IntMatrix scaled_gram, std::int64_t gram_scale) {
+  return Lattice(std::move(name), std::move(basis_columns),
+                 std::move(scaled_gram), gram_scale);
+}
+
+RealVec Lattice::embed(const Point& p) const {
+  if (p.dim() != dim_) throw std::invalid_argument("embed: dim mismatch");
+  RealVec x(dim_, 0.0);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const auto pj = static_cast<double>(p[j]);
+    if (pj == 0.0) continue;
+    for (std::size_t i = 0; i < dim_; ++i) x[i] += pj * basis_[j][i];
+  }
+  return x;
+}
+
+std::int64_t Lattice::norm_sq_scaled(const Point& p) const {
+  if (p.dim() != dim_) {
+    throw std::invalid_argument("norm_sq_scaled: dim mismatch");
+  }
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      s += p[i] * scaled_gram_.at(i, j) * p[j];
+    }
+  }
+  return s;
+}
+
+double Lattice::norm_sq(const Point& p) const {
+  return static_cast<double>(norm_sq_scaled(p)) /
+         static_cast<double>(gram_scale_);
+}
+
+double Lattice::gram_det() const {
+  // det(G) = det(s·G) / s^d, computed exactly on the integer form.
+  const double scaled = static_cast<double>(scaled_gram_.det());
+  return scaled / std::pow(static_cast<double>(gram_scale_),
+                           static_cast<double>(dim_));
+}
+
+double Lattice::covolume() const { return std::sqrt(gram_det()); }
+
+PointVec Lattice::vectors_within(double radius, std::int64_t box_bound) const {
+  if (radius < 0 || box_bound < 0) {
+    throw std::invalid_argument("vectors_within: negative bound");
+  }
+  const double r_sq = radius * radius;
+  PointVec out;
+  Point p(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) p[i] = -box_bound;
+  while (true) {
+    if (!p.is_zero() && norm_sq(p) <= r_sq + 1e-9) out.push_back(p);
+    std::size_t i = 0;
+    while (i < dim_) {
+      if (++p[i] <= box_bound) break;
+      p[i] = -box_bound;
+      ++i;
+    }
+    if (i == dim_) break;
+  }
+  return sorted_unique(std::move(out));
+}
+
+double Lattice::minimum_sq(std::int64_t bound) const {
+  double best = std::numeric_limits<double>::infinity();
+  Point p(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) p[i] = -bound;
+  while (true) {
+    if (!p.is_zero()) best = std::min(best, norm_sq(p));
+    std::size_t i = 0;
+    while (i < dim_) {
+      if (++p[i] <= bound) break;
+      p[i] = -bound;
+      ++i;
+    }
+    if (i == dim_) break;
+  }
+  return best;
+}
+
+Point Lattice::nearest_point(const RealVec& x) const {
+  if (x.size() != dim_) {
+    throw std::invalid_argument("nearest_point: dim mismatch");
+  }
+  // Babai rounding: y = round(B⁻¹ x), then refine over {-1,0,1}^d offsets.
+  Point base(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) s += basis_inv_[i][j] * x[j];
+    base[i] = static_cast<std::int64_t>(std::llround(s));
+  }
+  auto dist_sq = [&](const Point& p) {
+    const RealVec e = embed(p);
+    double s = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const double d = e[i] - x[i];
+      s += d * d;
+    }
+    return s;
+  };
+  Point best = base;
+  double best_d = dist_sq(base);
+  Point off(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) off[i] = -1;
+  while (true) {
+    const Point cand = base + off;
+    const double d = dist_sq(cand);
+    if (d < best_d - 1e-12 ||
+        (std::fabs(d - best_d) <= 1e-12 && cand < best)) {
+      best_d = d;
+      best = cand;
+    }
+    std::size_t i = 0;
+    while (i < dim_) {
+      if (++off[i] <= 1) break;
+      off[i] = -1;
+      ++i;
+    }
+    if (i == dim_) break;
+  }
+  return best;
+}
+
+std::ostream& operator<<(std::ostream& os, const Lattice& l) {
+  os << "Lattice(" << l.name() << ", dim " << l.dim() << ")";
+  return os;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,148 @@
+#include "lattice/point.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+Point::Point(std::size_t dim) : dim_(static_cast<std::uint8_t>(dim)) {
+  if (dim > kMaxDim) throw std::invalid_argument("Point: dim > kMaxDim");
+}
+
+Point::Point(std::initializer_list<std::int64_t> coords)
+    : Point(coords.size()) {
+  std::size_t i = 0;
+  for (std::int64_t v : coords) c_[i++] = v;
+}
+
+Point::Point(const std::vector<std::int64_t>& coords) : Point(coords.size()) {
+  for (std::size_t i = 0; i < coords.size(); ++i) c_[i] = coords[i];
+}
+
+Point Point::unit(std::size_t dim, std::size_t k) {
+  Point p(dim);
+  if (k >= dim) throw std::invalid_argument("Point::unit: k >= dim");
+  p.c_[k] = 1;
+  return p;
+}
+
+std::int64_t Point::at(std::size_t i) const {
+  if (i >= dim_) throw std::out_of_range("Point::at");
+  return c_[i];
+}
+
+void Point::check_same_dim(const Point& o) const {
+  if (dim_ != o.dim_) {
+    throw std::invalid_argument("Point: dimension mismatch");
+  }
+}
+
+Point& Point::operator+=(const Point& o) {
+  check_same_dim(o);
+  for (std::size_t i = 0; i < dim_; ++i) c_[i] += o.c_[i];
+  return *this;
+}
+
+Point& Point::operator-=(const Point& o) {
+  check_same_dim(o);
+  for (std::size_t i = 0; i < dim_; ++i) c_[i] -= o.c_[i];
+  return *this;
+}
+
+Point& Point::operator*=(std::int64_t k) {
+  for (std::size_t i = 0; i < dim_; ++i) c_[i] *= k;
+  return *this;
+}
+
+Point Point::operator-() const {
+  Point p(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) p.c_[i] = -c_[i];
+  return p;
+}
+
+bool Point::operator==(const Point& o) const {
+  if (dim_ != o.dim_) return false;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (c_[i] != o.c_[i]) return false;
+  }
+  return true;
+}
+
+bool Point::operator<(const Point& o) const {
+  if (dim_ != o.dim_) return dim_ < o.dim_;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (c_[i] != o.c_[i]) return c_[i] < o.c_[i];
+  }
+  return false;
+}
+
+std::int64_t Point::dot(const Point& o) const {
+  check_same_dim(o);
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < dim_; ++i) s += c_[i] * o.c_[i];
+  return s;
+}
+
+std::int64_t Point::norm1() const {
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < dim_; ++i) s += std::abs(c_[i]);
+  return s;
+}
+
+std::int64_t Point::norm_inf() const {
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < dim_; ++i) s = std::max(s, std::abs(c_[i]));
+  return s;
+}
+
+std::int64_t Point::norm2_sq() const {
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < dim_; ++i) s += c_[i] * c_[i];
+  return s;
+}
+
+bool Point::is_zero() const {
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (c_[i] != 0) return false;
+  }
+  return true;
+}
+
+std::string Point::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  os << "(";
+  for (std::size_t i = 0; i < p.dim(); ++i) {
+    if (i != 0) os << ", ";
+    os << p[i];
+  }
+  os << ")";
+  return os;
+}
+
+std::size_t Point::Hash::operator()(const Point& p) const noexcept {
+  // FNV-style mix over coordinates plus the dimension.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ p.dim_;
+  for (std::size_t i = 0; i < p.dim_; ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(p.c_[i]);
+    v *= 0x9e3779b97f4a7c15ULL;
+    v ^= v >> 29;
+    h = (h ^ v) * 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+PointVec sorted_unique(PointVec pts) {
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,97 @@
+// Lattice points.
+//
+// The paper works with a Euclidean lattice L in R^d; as an abstract group L
+// is isomorphic to Z^d, so all combinatorics (prototiles, tilings,
+// schedules) are done on integer coordinate vectors.  `Point` is a small
+// value type holding up to kMaxDim int64 coordinates inline — no heap
+// allocation, cheap to copy and hash, which matters because tiling search
+// and the simulator churn through millions of them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace latticesched {
+
+/// Maximum supported lattice dimension.  The paper states its results for
+/// arbitrary d; 8 covers every experiment (and E8, should anyone care).
+inline constexpr std::size_t kMaxDim = 8;
+
+class Point {
+ public:
+  /// Zero-dimensional point; mostly useful as a sentinel.
+  Point() = default;
+
+  /// Origin of the given dimension.
+  explicit Point(std::size_t dim);
+
+  /// From explicit coordinates: Point{1, -2} is (1, -2) in Z^2.
+  Point(std::initializer_list<std::int64_t> coords);
+
+  /// From a coordinate vector.
+  explicit Point(const std::vector<std::int64_t>& coords);
+
+  static Point zero(std::size_t dim) { return Point(dim); }
+  /// k-th standard basis vector e_k of Z^dim.
+  static Point unit(std::size_t dim, std::size_t k);
+
+  std::size_t dim() const { return dim_; }
+
+  std::int64_t operator[](std::size_t i) const { return c_[i]; }
+  std::int64_t& operator[](std::size_t i) { return c_[i]; }
+  std::int64_t at(std::size_t i) const;
+
+  Point& operator+=(const Point& o);
+  Point& operator-=(const Point& o);
+  Point& operator*=(std::int64_t k);
+  friend Point operator+(Point a, const Point& b) { return a += b; }
+  friend Point operator-(Point a, const Point& b) { return a -= b; }
+  friend Point operator*(Point a, std::int64_t k) { return a *= k; }
+  friend Point operator*(std::int64_t k, Point a) { return a *= k; }
+  Point operator-() const;
+
+  bool operator==(const Point& o) const;
+  bool operator!=(const Point& o) const { return !(*this == o); }
+  /// Lexicographic order (dimension first); gives deterministic iteration
+  /// when prototile elements must be enumerated in a canonical order.
+  bool operator<(const Point& o) const;
+
+  std::int64_t dot(const Point& o) const;
+  /// l1 norm Σ|x_i|.
+  std::int64_t norm1() const;
+  /// l∞ (Chebyshev) norm max|x_i|.
+  std::int64_t norm_inf() const;
+  /// Squared Euclidean norm Σx_i² (exact, no floating point).
+  std::int64_t norm2_sq() const;
+  bool is_zero() const;
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Point& p);
+
+  struct Hash {
+    std::size_t operator()(const Point& p) const noexcept;
+  };
+
+ private:
+  std::array<std::int64_t, kMaxDim> c_{};
+  std::uint8_t dim_ = 0;
+  void check_same_dim(const Point& o) const;
+};
+
+using PointVec = std::vector<Point>;
+using PointSet = std::unordered_set<Point, Point::Hash>;
+template <typename V>
+using PointMap = std::unordered_map<Point, V, Point::Hash>;
+
+/// Sorted, deduplicated copy of `pts` (canonical enumeration order).
+PointVec sorted_unique(PointVec pts);
+
+}  // namespace latticesched

@@ -1,0 +1,99 @@
+#include "lattice/region.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+Box::Box(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  if (lo_.dim() != hi_.dim() || lo_.dim() == 0) {
+    throw std::invalid_argument("Box: bad corner dimensions");
+  }
+  for (std::size_t i = 0; i < lo_.dim(); ++i) {
+    if (lo_[i] > hi_[i]) {
+      throw std::invalid_argument("Box: lo > hi on axis " +
+                                  std::to_string(i));
+    }
+  }
+}
+
+Box Box::cube(std::size_t dim, std::int64_t lo, std::int64_t hi) {
+  Point l(dim), h(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    l[i] = lo;
+    h[i] = hi;
+  }
+  return Box(l, h);
+}
+
+Box Box::centered(std::size_t dim, std::int64_t radius) {
+  return cube(dim, -radius, radius);
+}
+
+bool Box::contains(const Point& p) const {
+  if (p.dim() != dim()) return false;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+std::uint64_t Box::size() const {
+  std::uint64_t n = 1;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    n *= static_cast<std::uint64_t>(extent(i));
+  }
+  return n;
+}
+
+Box Box::expanded(std::int64_t k) const {
+  Point l = lo_, h = hi_;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    l[i] -= k;
+    h[i] += k;
+  }
+  return Box(l, h);
+}
+
+Box Box::translated(const Point& t) const {
+  return Box(lo_ + t, hi_ + t);
+}
+
+void Box::for_each(const std::function<void(const Point&)>& fn) const {
+  Point p = lo_;
+  while (true) {
+    fn(p);
+    // Odometer increment, last axis fastest; stop after wrapping axis 0.
+    std::size_t i = dim();
+    bool wrapped_all = true;
+    while (i-- > 0) {
+      if (++p[i] <= hi_[i]) {
+        wrapped_all = false;
+        break;
+      }
+      p[i] = lo_[i];
+    }
+    if (wrapped_all) return;
+  }
+}
+
+PointVec Box::points() const {
+  PointVec out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for_each([&](const Point& p) { out.push_back(p); });
+  return out;
+}
+
+std::string Box::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  os << "Box" << b.lo() << ".." << b.hi();
+  return os;
+}
+
+}  // namespace latticesched

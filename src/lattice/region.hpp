@@ -1,0 +1,61 @@
+// Finite windows of the lattice.
+//
+// Theorems 1 and 2 are stated for the infinite lattice; every concrete
+// deployment, verification, and simulation restricts to a finite region.
+// `Box` is the axis-aligned window used throughout (the Conclusions section
+// analyses when a restriction to a finite D preserves optimality).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "lattice/point.hpp"
+
+namespace latticesched {
+
+/// Axis-aligned box [lo_0, hi_0] x ... x [lo_{d-1}, hi_{d-1}], inclusive.
+class Box {
+ public:
+  Box(Point lo, Point hi);
+
+  /// Cube [lo, hi]^dim.
+  static Box cube(std::size_t dim, std::int64_t lo, std::int64_t hi);
+  /// Cube [-radius, radius]^dim centered at the origin.
+  static Box centered(std::size_t dim, std::int64_t radius);
+
+  std::size_t dim() const { return lo_.dim(); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  bool contains(const Point& p) const;
+
+  /// Number of lattice points inside.
+  std::uint64_t size() const;
+
+  /// Side length along axis i (number of points).
+  std::int64_t extent(std::size_t i) const { return hi_[i] - lo_[i] + 1; }
+
+  /// Box grown by k in every direction (Minkowski sum with [-k, k]^d).
+  Box expanded(std::int64_t k) const;
+
+  /// Translated copy.
+  Box translated(const Point& t) const;
+
+  /// Visits every point in lexicographic order.
+  void for_each(const std::function<void(const Point&)>& fn) const;
+
+  /// Materializes all points (lexicographic order).
+  PointVec points() const;
+
+  bool operator==(const Box& o) const { return lo_ == o.lo_ && hi_ == o.hi_; }
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Box& b);
+
+ private:
+  Point lo_, hi_;
+};
+
+}  // namespace latticesched

@@ -1,0 +1,159 @@
+#include "lattice/snf.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+namespace {
+
+// Applies S <- S with row op (row_i -= q * row_j), mirrored into U.
+void row_op(IntMatrix& s, IntMatrix& u, std::size_t i, std::size_t j,
+            std::int64_t q) {
+  for (std::size_t c = 0; c < s.cols(); ++c) s.at(i, c) -= q * s.at(j, c);
+  for (std::size_t c = 0; c < u.cols(); ++c) u.at(i, c) -= q * u.at(j, c);
+}
+
+void col_op(IntMatrix& s, IntMatrix& v, std::size_t i, std::size_t j,
+            std::int64_t q) {
+  for (std::size_t r = 0; r < s.rows(); ++r) s.at(r, i) -= q * s.at(r, j);
+  for (std::size_t r = 0; r < v.rows(); ++r) v.at(r, i) -= q * v.at(r, j);
+}
+
+void swap_rows(IntMatrix& s, IntMatrix& u, std::size_t i, std::size_t j) {
+  for (std::size_t c = 0; c < s.cols(); ++c) std::swap(s.at(i, c), s.at(j, c));
+  for (std::size_t c = 0; c < u.cols(); ++c) std::swap(u.at(i, c), u.at(j, c));
+}
+
+void swap_cols(IntMatrix& s, IntMatrix& v, std::size_t i, std::size_t j) {
+  for (std::size_t r = 0; r < s.rows(); ++r) std::swap(s.at(r, i), s.at(r, j));
+  for (std::size_t r = 0; r < v.rows(); ++r) std::swap(v.at(r, i), v.at(r, j));
+}
+
+void negate_row(IntMatrix& s, IntMatrix& u, std::size_t i) {
+  for (std::size_t c = 0; c < s.cols(); ++c) s.at(i, c) = -s.at(i, c);
+  for (std::size_t c = 0; c < u.cols(); ++c) u.at(i, c) = -u.at(i, c);
+}
+
+}  // namespace
+
+SmithDecomposition smith_normal_form(const IntMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("smith_normal_form: square matrices only");
+  }
+  const std::size_t n = a.rows();
+  SmithDecomposition out;
+  out.s = a;
+  out.u = IntMatrix::identity(n);
+  out.v = IntMatrix::identity(n);
+  IntMatrix& s = out.s;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Find a nonzero pivot in the trailing block and move it to (k, k).
+    std::size_t pr = n, pc = n;
+    for (std::size_t i = k; i < n && pr == n; ++i) {
+      for (std::size_t j = k; j < n; ++j) {
+        if (s.at(i, j) != 0) {
+          pr = i;
+          pc = j;
+          break;
+        }
+      }
+    }
+    if (pr == n) {
+      throw std::domain_error("smith_normal_form: singular matrix");
+    }
+    if (pr != k) swap_rows(s, out.u, pr, k);
+    if (pc != k) swap_cols(s, out.v, pc, k);
+
+    // Alternate row/column elimination until row k and column k are
+    // clear outside the pivot.
+    bool dirty = true;
+    while (dirty) {
+      dirty = false;
+      for (std::size_t i = k + 1; i < n; ++i) {
+        while (s.at(i, k) != 0) {
+          const std::int64_t q = s.at(i, k) / s.at(k, k);
+          row_op(s, out.u, i, k, q);
+          if (s.at(i, k) != 0) {
+            // Remainder became the smaller value: swap to continue the
+            // Euclidean descent.
+            swap_rows(s, out.u, i, k);
+            dirty = true;
+          }
+        }
+      }
+      for (std::size_t j = k + 1; j < n; ++j) {
+        while (s.at(k, j) != 0) {
+          const std::int64_t q = s.at(k, j) / s.at(k, k);
+          col_op(s, out.v, j, k, q);
+          if (s.at(k, j) != 0) {
+            swap_cols(s, out.v, j, k);
+            dirty = true;
+          }
+        }
+      }
+    }
+
+    // Divisibility fix-up: the pivot must divide every entry of the
+    // trailing block; if some s[i][j] resists, add its row and restart
+    // the elimination for this k.
+    bool restart = true;
+    while (restart) {
+      restart = false;
+      for (std::size_t i = k + 1; i < n && !restart; ++i) {
+        for (std::size_t j = k + 1; j < n && !restart; ++j) {
+          if (s.at(i, j) % s.at(k, k) != 0) {
+            row_op(s, out.u, k, i, -1);  // row_k += row_i
+            restart = true;
+          }
+        }
+      }
+      if (restart) {
+        // Clear the refreshed row/column again.
+        for (std::size_t j = k + 1; j < n; ++j) {
+          while (s.at(k, j) != 0) {
+            const std::int64_t q = s.at(k, j) / s.at(k, k);
+            col_op(s, out.v, j, k, q);
+            if (s.at(k, j) != 0) swap_cols(s, out.v, j, k);
+          }
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+          while (s.at(i, k) != 0) {
+            const std::int64_t q = s.at(i, k) / s.at(k, k);
+            row_op(s, out.u, i, k, q);
+            if (s.at(i, k) != 0) swap_rows(s, out.u, i, k);
+          }
+        }
+      }
+    }
+    if (s.at(k, k) < 0) negate_row(s, out.u, k);
+  }
+
+  out.invariants.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) out.invariants.push_back(s.at(k, k));
+  return out;
+}
+
+std::vector<std::int64_t> quotient_invariants(const Sublattice& m) {
+  const SmithDecomposition snf = smith_normal_form(m.basis());
+  std::vector<std::int64_t> out;
+  for (std::int64_t s : snf.invariants) {
+    if (s != 1) out.push_back(s);
+  }
+  return out;
+}
+
+std::string quotient_group_name(const Sublattice& m) {
+  const auto inv = quotient_invariants(m);
+  if (inv.empty()) return "trivial";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < inv.size(); ++i) {
+    if (i != 0) os << " x ";
+    os << "Z/" << inv[i];
+  }
+  return os.str();
+}
+
+}  // namespace latticesched

@@ -1,0 +1,42 @@
+// Smith Normal Form and quotient group structure.
+//
+// For a full-rank sublattice M ⊆ Z^d the quotient Z^d / M is a finite
+// abelian group; the Smith Normal Form of a basis matrix of M exposes its
+// invariant factors:  Z^d / M ≅ Z/s_1 × Z/s_2 × … × Z/s_d with
+// s_1 | s_2 | … | s_d.  The schedules only need coset arithmetic (HNF),
+// but the group structure explains tilings: a prototile N tiles with
+// translate lattice M exactly when N maps bijectively onto this group,
+// i.e. N is a "perfect difference-free system" for the invariant factors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/intmat.hpp"
+#include "lattice/sublattice.hpp"
+
+namespace latticesched {
+
+struct SmithDecomposition {
+  /// Invariant factors s_1 | s_2 | ... | s_d (all positive).
+  std::vector<std::int64_t> invariants;
+  /// Unimodular row transform U and column transform V with U·A·V = S.
+  IntMatrix u;
+  IntMatrix v;
+  IntMatrix s;  ///< the diagonal Smith form
+};
+
+/// Computes the Smith Normal Form of a square integer matrix via
+/// alternating row/column gcd reduction.  Throws std::domain_error for
+/// singular input (rank-deficient lattices are out of scope).
+SmithDecomposition smith_normal_form(const IntMatrix& a);
+
+/// The invariant factors of Z^d / M, smallest first, with the trivial
+/// factors s_i = 1 removed (so the empty vector means M = Z^d).
+std::vector<std::int64_t> quotient_invariants(const Sublattice& m);
+
+/// Human-readable quotient description, e.g. "Z/2 x Z/4".
+std::string quotient_group_name(const Sublattice& m);
+
+}  // namespace latticesched

@@ -1,0 +1,105 @@
+#include "lattice/sublattice.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+Sublattice::Sublattice(const IntMatrix& basis)
+    : dim_(basis.rows()), hnf_(basis.column_hnf()), index_(0) {
+  if (basis.rows() != basis.cols()) {
+    throw std::invalid_argument("Sublattice: basis must be square");
+  }
+  std::int64_t d = 1;
+  for (std::size_t i = 0; i < dim_; ++i) d *= hnf_.at(i, i);
+  index_ = d;  // HNF diagonal is positive, so this is |det|
+}
+
+Sublattice Sublattice::from_vectors(const PointVec& basis) {
+  return Sublattice(IntMatrix::from_columns(basis));
+}
+
+Sublattice Sublattice::diagonal(const std::vector<std::int64_t>& diag) {
+  for (std::int64_t d : diag) {
+    if (d == 0) throw std::invalid_argument("Sublattice::diagonal: zero");
+  }
+  return Sublattice(IntMatrix::diagonal(diag));
+}
+
+Sublattice Sublattice::scaled(std::size_t dim, std::int64_t k) {
+  return diagonal(std::vector<std::int64_t>(dim, k));
+}
+
+PointVec Sublattice::basis_vectors() const {
+  PointVec out;
+  out.reserve(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) out.push_back(hnf_.column(j));
+  return out;
+}
+
+Point Sublattice::reduce(const Point& p) const {
+  if (p.dim() != dim_) {
+    throw std::invalid_argument("Sublattice::reduce: dimension mismatch");
+  }
+  Point v = p;
+  // The HNF basis is lower-triangular with zeros above each pivot, so a
+  // top-down sweep leaves earlier coordinates canonical.
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const std::int64_t d = hnf_.at(i, i);
+    const std::int64_t q = floor_div(v[i], d);
+    if (q == 0) continue;
+    for (std::size_t r = i; r < dim_; ++r) {
+      v[r] -= q * hnf_.at(r, i);
+    }
+  }
+  return v;
+}
+
+bool Sublattice::contains(const Point& p) const {
+  return reduce(p).is_zero();
+}
+
+bool Sublattice::congruent(const Point& p, const Point& q) const {
+  return reduce(p) == reduce(q);
+}
+
+PointVec Sublattice::coset_representatives() const {
+  // The canonical representatives are exactly the vectors whose i-th
+  // coordinate ranges over [0, H[i][i])... but only for coordinates, not
+  // directly: reduce() maps each such candidate to itself (q == 0 in every
+  // step), and distinct candidates are incongruent, so the mixed-radix
+  // grid below is a complete, duplicate-free list.
+  PointVec out;
+  out.reserve(static_cast<std::size_t>(index_));
+  Point v(dim_);
+  while (true) {
+    out.push_back(v);
+    std::size_t i = 0;
+    while (i < dim_) {
+      if (++v[i] < hnf_.at(i, i)) break;
+      v[i] = 0;
+      ++i;
+    }
+    if (i == dim_) break;
+  }
+  return out;
+}
+
+std::string Sublattice::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Sublattice& m) {
+  os << "Sublattice(index " << m.index() << ", basis ";
+  for (std::size_t j = 0; j < m.dim(); ++j) {
+    if (j != 0) os << " ";
+    os << m.basis().column(j);
+  }
+  os << ")";
+  return os;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,71 @@
+// Full-rank sublattices M of Z^d with canonical (HNF) bases.
+//
+// A lattice tiling in the sense of the paper often takes the translate set
+// T to be a sublattice M: the prototile N tiles Z^d with T = M exactly when
+// N is a complete system of coset representatives of Z^d / M (so |N| must
+// equal the index [Z^d : M] = |det M|).  This class provides the coset
+// arithmetic that makes that check — and the resulting schedules — O(d)
+// per point.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lattice/intmat.hpp"
+#include "lattice/point.hpp"
+
+namespace latticesched {
+
+class Sublattice {
+ public:
+  /// From a basis matrix whose columns generate M; must be square and
+  /// nonsingular.  The basis is canonicalized to column HNF.
+  explicit Sublattice(const IntMatrix& basis);
+
+  /// From basis vectors.
+  static Sublattice from_vectors(const PointVec& basis);
+
+  /// Diagonal sublattice d_0 Z x ... x d_{k-1} Z.
+  static Sublattice diagonal(const std::vector<std::int64_t>& diag);
+
+  /// Scaled lattice k·Z^dim.
+  static Sublattice scaled(std::size_t dim, std::int64_t k);
+
+  std::size_t dim() const { return dim_; }
+
+  /// Index [Z^d : M] = |det(basis)| = number of cosets.
+  std::int64_t index() const { return index_; }
+
+  /// Canonical HNF basis (columns generate M).
+  const IntMatrix& basis() const { return hnf_; }
+  PointVec basis_vectors() const;
+
+  bool contains(const Point& p) const;
+
+  /// Canonical coset representative of p + M: the unique vector congruent
+  /// to p with i-th coordinate in [0, H[i][i]).
+  Point reduce(const Point& p) const;
+
+  /// Whether p and q lie in the same coset of M.
+  bool congruent(const Point& p, const Point& q) const;
+
+  /// All canonical coset representatives, in lexicographic order of the
+  /// mixed-radix coordinates; size() == index().
+  PointVec coset_representatives() const;
+
+  /// Two sublattices are equal iff their HNF bases coincide.
+  bool operator==(const Sublattice& o) const { return hnf_ == o.hnf_; }
+  bool operator!=(const Sublattice& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Sublattice& m);
+
+ private:
+  std::size_t dim_;
+  IntMatrix hnf_;
+  std::int64_t index_;
+};
+
+}  // namespace latticesched

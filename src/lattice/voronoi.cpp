@@ -1,0 +1,127 @@
+#include "lattice/voronoi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace latticesched {
+
+ConvexPolygon::ConvexPolygon(std::vector<Vec2> vertices)
+    : vertices_(std::move(vertices)) {}
+
+ConvexPolygon ConvexPolygon::centered_square(double half_width) {
+  const double w = half_width;
+  return ConvexPolygon({{-w, -w}, {w, -w}, {w, w}, {-w, w}});
+}
+
+double ConvexPolygon::area() const {
+  if (vertices_.size() < 3) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[(i + 1) % vertices_.size()];
+    s += a.x * b.y - b.x * a.y;
+  }
+  return std::fabs(s) / 2.0;
+}
+
+ConvexPolygon ConvexPolygon::clip_half_plane(const Vec2& n, double c) const {
+  std::vector<Vec2> out;
+  const std::size_t k = vertices_.size();
+  if (k == 0) return {};
+  auto side = [&](const Vec2& p) { return p.x * n.x + p.y * n.y - c; };
+  for (std::size_t i = 0; i < k; ++i) {
+    const Vec2& cur = vertices_[i];
+    const Vec2& nxt = vertices_[(i + 1) % k];
+    const double sc = side(cur);
+    const double sn = side(nxt);
+    if (sc <= 1e-12) out.push_back(cur);
+    if ((sc < -1e-12 && sn > 1e-12) || (sc > 1e-12 && sn < -1e-12)) {
+      const double t = sc / (sc - sn);
+      out.push_back({cur.x + t * (nxt.x - cur.x),
+                     cur.y + t * (nxt.y - cur.y)});
+    }
+  }
+  return ConvexPolygon(std::move(out));
+}
+
+bool ConvexPolygon::contains(const Vec2& p, double eps) const {
+  if (vertices_.size() < 3) return false;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[(i + 1) % vertices_.size()];
+    const double cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if (cross < -eps) return false;  // CCW polygons keep interior left
+  }
+  return true;
+}
+
+double ConvexPolygon::distance_to(const Vec2& p) const {
+  if (vertices_.size() < 3) return std::numeric_limits<double>::infinity();
+  if (contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[(i + 1) % vertices_.size()];
+    const double abx = b.x - a.x, aby = b.y - a.y;
+    const double apx = p.x - a.x, apy = p.y - a.y;
+    const double len_sq = abx * abx + aby * aby;
+    double t = len_sq > 0.0 ? (apx * abx + apy * aby) / len_sq : 0.0;
+    t = std::max(0.0, std::min(1.0, t));
+    const double dx = p.x - (a.x + t * abx);
+    const double dy = p.y - (a.y + t * aby);
+    best = std::min(best, std::sqrt(dx * dx + dy * dy));
+  }
+  return best;
+}
+
+ConvexPolygon ConvexPolygon::translated(const Vec2& t) const {
+  std::vector<Vec2> v = vertices_;
+  for (auto& p : v) {
+    p.x += t.x;
+    p.y += t.y;
+  }
+  return ConvexPolygon(std::move(v));
+}
+
+ConvexPolygon voronoi_cell(const Lattice& lattice) {
+  if (lattice.dim() != 2) {
+    throw std::invalid_argument("voronoi_cell: 2-D lattices only");
+  }
+  // Neighbors within twice the covering-radius scale suffice for the
+  // well-conditioned bases used here; harvest generously and clip.
+  const double reach = 4.0 * std::sqrt(lattice.minimum_sq());
+  const PointVec neighbors = lattice.vectors_within(reach, 4);
+  ConvexPolygon cell = ConvexPolygon::centered_square(reach);
+  for (const Point& v : neighbors) {
+    const RealVec e = lattice.embed(v);
+    const double len_sq = e[0] * e[0] + e[1] * e[1];
+    cell = cell.clip_half_plane({e[0], e[1]}, len_sq / 2.0);
+    if (cell.empty()) break;
+  }
+  // Deduplicate nearly coincident vertices produced by redundant clips.
+  const auto& vs = cell.vertices();
+  std::vector<Vec2> dedup;
+  for (const Vec2& p : vs) {
+    if (dedup.empty() ||
+        std::fabs(p.x - dedup.back().x) + std::fabs(p.y - dedup.back().y) >
+            1e-7) {
+      dedup.push_back(p);
+    }
+  }
+  if (dedup.size() > 1) {
+    const Vec2& first = dedup.front();
+    const Vec2& last = dedup.back();
+    if (std::fabs(first.x - last.x) + std::fabs(first.y - last.y) < 1e-7) {
+      dedup.pop_back();
+    }
+  }
+  return ConvexPolygon(std::move(dedup));
+}
+
+double quasi_polyform_area(const Lattice& lattice, std::size_t tile_size) {
+  return static_cast<double>(tile_size) * lattice.covolume();
+}
+
+}  // namespace latticesched

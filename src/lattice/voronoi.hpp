@@ -1,0 +1,65 @@
+// Voronoi regions of two-dimensional lattices (paper Figure 4).
+//
+// The Voronoi cell about a lattice point is the set of points of R² at
+// least as close to it as to any other lattice point; it is the
+// intersection of the half-planes bounded by perpendicular bisectors
+// towards the neighboring lattice points.  The union of the cells about
+// the points of a prototile N is the quasi-polyform that tiles R² exactly
+// when N tiles the lattice (Section 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lattice/lattice.hpp"
+#include "lattice/point.hpp"
+
+namespace latticesched {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Convex polygon with counterclockwise vertex order.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  explicit ConvexPolygon(std::vector<Vec2> vertices);
+
+  /// Axis-aligned square centered at the origin with the given half-width.
+  static ConvexPolygon centered_square(double half_width);
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  std::size_t vertex_count() const { return vertices_.size(); }
+  bool empty() const { return vertices_.size() < 3; }
+
+  /// Shoelace area (non-negative for CCW order).
+  double area() const;
+
+  /// Clips against the half-plane {p : p·n <= c} (Sutherland-Hodgman).
+  ConvexPolygon clip_half_plane(const Vec2& n, double c) const;
+
+  /// Point-in-polygon test (boundary counts as inside; eps tolerance).
+  bool contains(const Vec2& p, double eps = 1e-9) const;
+
+  /// Euclidean distance from p to the polygon (0 when inside).
+  double distance_to(const Vec2& p) const;
+
+  ConvexPolygon translated(const Vec2& t) const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// The Voronoi cell of the origin of a 2-D lattice.  Deduplicates nearly
+/// coincident vertices so the vertex count matches the geometric cell
+/// (4 for the square lattice, 6 for the hexagonal lattice).
+ConvexPolygon voronoi_cell(const Lattice& lattice);
+
+/// Area of the quasi-polyform built from the Voronoi cells about the
+/// points of `tile_points`: |tile| · covolume.  (Cells are disjoint up to
+/// boundary, so the union area is the sum.)
+double quasi_polyform_area(const Lattice& lattice, std::size_t tile_size);
+
+}  // namespace latticesched

@@ -1,0 +1,112 @@
+#include "sim/bootstrap.hpp"
+
+#include <stdexcept>
+
+namespace latticesched {
+
+BootstrapResult run_bootstrap(const Deployment& d, const Point& root,
+                              const SensorSlots& slots,
+                              const BootstrapConfig& config) {
+  const auto root_id = d.sensor_at(root);
+  if (!root_id.has_value()) {
+    throw std::invalid_argument("run_bootstrap: root is not a sensor");
+  }
+  if (slots.slot.size() != d.size() || slots.period == 0) {
+    throw std::invalid_argument("run_bootstrap: bad slot table");
+  }
+  const std::size_t n = d.size();
+
+  // Interference structure (same model as SlotSimulator).
+  std::vector<std::vector<std::uint32_t>> listeners(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const Point& p : d.coverage_of(u)) {
+      const auto r = d.sensor_at(p);
+      if (r.has_value() && *r != u) {
+        listeners[u].push_back(static_cast<std::uint32_t>(*r));
+      }
+    }
+  }
+
+  BootstrapResult res;
+  res.sync_time.assign(n, 0);
+  Rng rng(config.seed);
+
+  // Initial clock offsets; synchronized nodes have offset 0 (they adopt
+  // the root's clock exactly — propagation is instantaneous in slots).
+  std::vector<bool> synced(n, false);
+  synced[*root_id] = true;
+  std::size_t synced_count = 1;
+
+  std::vector<std::uint32_t> tx;
+  std::vector<std::uint32_t> cover(n, 0);
+  std::vector<std::uint8_t> transmitting(n, 0);
+
+  // ---- Phase 1: beacon flood until everyone is synced. ----
+  std::uint64_t slot = 0;
+  for (; slot < config.max_slots && synced_count < n; ++slot) {
+    tx.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (synced[u] && rng.next_bool(config.beacon_probability)) {
+        tx.push_back(u);
+      }
+    }
+    for (std::uint32_t u : tx) {
+      transmitting[u] = 1;
+      for (std::uint32_t r : listeners[u]) ++cover[r];
+    }
+    for (std::uint32_t u : tx) {
+      ++res.beacon_tx;
+      bool reached_someone_new = false;
+      bool collided_somewhere = false;
+      for (std::uint32_t r : listeners[u]) {
+        if (transmitting[r] != 0 || cover[r] != 1) {
+          collided_somewhere = true;
+          continue;
+        }
+        if (!synced[r]) {
+          synced[r] = true;
+          ++synced_count;
+          res.sync_time[r] = slot + 1;
+          reached_someone_new = true;
+        }
+      }
+      if (collided_somewhere && !reached_someone_new) {
+        ++res.beacon_collisions;
+      }
+    }
+    for (std::uint32_t u : tx) {
+      transmitting[u] = 0;
+      for (std::uint32_t r : listeners[u]) cover[r] = 0;
+    }
+  }
+  res.converged = synced_count == n;
+  res.sync_slots = slot;
+  if (!res.converged) return res;
+
+  // ---- Phase 2: everyone runs the tiling schedule, saturated. ----
+  for (std::uint64_t t = 0; t < config.verify_slots; ++t) {
+    tx.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (t % slots.period == slots.slot[u]) tx.push_back(u);
+    }
+    for (std::uint32_t u : tx) {
+      transmitting[u] = 1;
+      for (std::uint32_t r : listeners[u]) ++cover[r];
+    }
+    for (std::uint32_t u : tx) {
+      for (std::uint32_t r : listeners[u]) {
+        if (transmitting[r] != 0 || cover[r] != 1) {
+          ++res.post_sync_collisions;
+          break;
+        }
+      }
+    }
+    for (std::uint32_t u : tx) {
+      transmitting[u] = 0;
+      for (std::uint32_t r : listeners[u]) cover[r] = 0;
+    }
+  }
+  return res;
+}
+
+}  // namespace latticesched

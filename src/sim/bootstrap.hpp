@@ -1,0 +1,57 @@
+// Network bootstrap: how sensors acquire the synchronized time the
+// schedules assume.
+//
+// The paper assumes "the sensors have access to the current time".  This
+// simulator models the missing systems layer: nodes boot with arbitrary
+// clock offsets and learn the reference time by flooding sync beacons
+// from a root over the collision-prone channel (beacons are sent with
+// ALOHA persistence, since no schedule can be used before time is
+// agreed).  A node that decodes a beacon adopts the sender's clock and
+// starts beaconing in turn.  Once every node is synchronized the network
+// switches to the tiling schedule, which is collision-free from then on.
+//
+// Measured: slots until full synchronization (by network size and beacon
+// persistence), and a post-switch verification window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "graph/interference.hpp"
+#include "util/rng.hpp"
+
+namespace latticesched {
+
+struct BootstrapConfig {
+  /// Beacon transmit probability per backlogged (synced) node per slot.
+  double beacon_probability = 0.2;
+  /// Maximum slots to attempt synchronization.
+  std::uint64_t max_slots = 100'000;
+  /// Slots to run under the tiling schedule after convergence, checking
+  /// for collisions (all nodes saturated).
+  std::uint64_t verify_slots = 500;
+  std::uint64_t seed = 1;
+  /// Magnitude bound for the random initial clock offsets.
+  std::int64_t max_initial_offset = 1'000;
+};
+
+struct BootstrapResult {
+  bool converged = false;
+  std::uint64_t sync_slots = 0;       ///< slots until every node synced
+  std::uint64_t beacon_tx = 0;        ///< beacons transmitted during sync
+  std::uint64_t beacon_collisions = 0;
+  /// Collisions observed AFTER switching to the schedule (must be 0).
+  std::uint64_t post_sync_collisions = 0;
+  /// Per-node slot at which it synchronized.
+  std::vector<std::uint64_t> sync_time;
+};
+
+/// Runs the flood-sync bootstrap on a deployment.  `root` must be a
+/// deployed sensor; `slots` is the tiling slot table the network switches
+/// to after convergence.
+BootstrapResult run_bootstrap(const Deployment& d, const Point& root,
+                              const SensorSlots& slots,
+                              const BootstrapConfig& config = {});
+
+}  // namespace latticesched

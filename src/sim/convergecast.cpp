@@ -1,0 +1,162 @@
+#include "sim/convergecast.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace latticesched {
+
+namespace {
+
+std::int64_t dist_sq_to(const Point& a, const Point& b) {
+  return (a - b).norm2_sq();
+}
+
+}  // namespace
+
+ConvergecastSimulator::ConvergecastSimulator(const Deployment& deployment,
+                                             const Point& sink)
+    : deployment_(deployment) {
+  const auto sink_id = deployment_.sensor_at(sink);
+  if (!sink_id.has_value()) {
+    throw std::invalid_argument("convergecast: sink is not a sensor");
+  }
+  sink_ = static_cast<std::uint32_t>(*sink_id);
+
+  const std::size_t n = deployment_.size();
+  listeners_.resize(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const Point& p : deployment_.coverage_of(u)) {
+      const auto r = deployment_.sensor_at(p);
+      if (r.has_value() && *r != u) {
+        listeners_[u].push_back(static_cast<std::uint32_t>(*r));
+      }
+    }
+  }
+
+  // Greedy geographic routing: forward to the in-range neighbor strictly
+  // closest to the sink.
+  next_hop_.assign(n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (u == sink_) {
+      next_hop_[u] = u;
+      continue;
+    }
+    const std::int64_t own = dist_sq_to(deployment_.position(u), sink);
+    std::optional<std::uint32_t> best;
+    std::int64_t best_d = own;
+    for (std::uint32_t r : listeners_[u]) {
+      const std::int64_t d = dist_sq_to(deployment_.position(r), sink);
+      if (d < best_d) {
+        best_d = d;
+        best = r;
+      }
+    }
+    if (!best.has_value()) {
+      throw std::invalid_argument(
+          "convergecast: sensor " + deployment_.position(u).to_string() +
+          " has no neighbor closer to the sink (field disconnected)");
+    }
+    next_hop_[u] = *best;
+  }
+  // Greedy progress is strictly decreasing, so routes are loop-free and
+  // route_length is well defined.
+}
+
+std::uint32_t ConvergecastSimulator::route_length(std::uint32_t i) const {
+  std::uint32_t hops = 0;
+  std::uint32_t cur = i;
+  while (cur != sink_) {
+    cur = next_hop_[cur];
+    ++hops;
+  }
+  return hops;
+}
+
+ConvergecastResult ConvergecastSimulator::run(
+    MacProtocol& mac, const ConvergecastConfig& config) {
+  const std::size_t n = deployment_.size();
+  ConvergecastResult res;
+  res.slots = config.slots;
+
+  struct Frame {
+    std::uint64_t created = 0;
+    std::uint32_t hops = 0;
+  };
+  std::vector<std::deque<Frame>> queue(n);
+  Rng rng(config.seed);
+  mac.reset(n, config.seed ^ 0xc0117ec7ULL);
+
+  std::vector<std::uint32_t> cover_count(n, 0);
+  std::vector<std::uint8_t> transmitting(n, 0);
+  std::vector<std::uint8_t> busy_last(n, 0);
+  std::vector<std::uint32_t> tx_list;
+
+  for (std::uint64_t slot = 0; slot < config.slots; ++slot) {
+    // Measurement arrivals at every non-sink sensor.
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (u == sink_) continue;
+      if (rng.next_bool(config.arrival_rate)) {
+        ++res.arrivals;
+        if (queue[u].size() >= config.queue_capacity) {
+          ++res.source_drops;
+        } else {
+          queue[u].push_back(Frame{slot, 0});
+        }
+      }
+    }
+
+    // MAC decisions; the sink never transmits.
+    tx_list.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (u == sink_ || queue[u].empty()) continue;
+      if (mac.wants_transmit(u, slot, busy_last[u] != 0)) {
+        tx_list.push_back(u);
+      }
+    }
+
+    for (std::uint32_t u : tx_list) {
+      transmitting[u] = 1;
+      for (std::uint32_t r : listeners_[u]) ++cover_count[r];
+    }
+
+    for (std::uint32_t u : tx_list) {
+      ++res.attempted_tx;
+      res.energy += config.tx_cost;
+      const std::uint32_t hop = next_hop_[u];
+      const bool received =
+          transmitting[hop] == 0 && cover_count[hop] == 1;
+      if (received) {
+        ++res.successful_tx;
+        res.energy += config.rx_cost;
+        Frame frame = queue[u].front();
+        queue[u].pop_front();
+        ++frame.hops;
+        if (hop == sink_) {
+          ++res.delivered;
+          res.end_to_end_latency.add(
+              static_cast<double>(slot - frame.created));
+          res.hops.add(static_cast<double>(frame.hops));
+        } else if (queue[hop].size() >= config.queue_capacity) {
+          ++res.relay_drops;
+        } else {
+          queue[hop].push_back(frame);
+        }
+      } else {
+        ++res.failed_tx;
+      }
+      mac.notify_result(u, received);
+    }
+
+    for (std::uint32_t r = 0; r < n; ++r) {
+      busy_last[r] = static_cast<std::uint8_t>(cover_count[r] > 0 ? 1 : 0);
+    }
+    for (std::uint32_t u : tx_list) {
+      transmitting[u] = 0;
+      for (std::uint32_t r : listeners_[u]) cover_count[r] = 0;
+    }
+    res.energy += config.idle_cost * static_cast<double>(n);
+  }
+  return res;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,56 @@
+// Simulation metrics.
+//
+// The introduction motivates the scheme with two costs of collisions:
+// senders "need to resend their messages, which is evidently a waste of
+// energy".  The metrics below quantify exactly that — delivery throughput,
+// collision rate, retransmission energy, and queueing latency — so the
+// deterministic schedule can be compared against probabilistic MACs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace latticesched {
+
+struct SimResult {
+  std::uint64_t slots = 0;            ///< simulated slots
+  std::size_t sensors = 0;
+  std::uint64_t arrivals = 0;         ///< messages generated
+  std::uint64_t drops = 0;            ///< arrivals lost to full queues
+  std::uint64_t attempted_tx = 0;     ///< transmissions started
+  std::uint64_t successful_tx = 0;    ///< broadcasts received by ALL neighbors
+  std::uint64_t failed_tx = 0;        ///< failed (collision or loss); retried
+  std::uint64_t collision_failures = 0;  ///< failures involving interference
+  std::uint64_t loss_failures = 0;    ///< failures from channel noise alone
+  double energy = 0.0;                ///< total energy spent (model units)
+  SampleSet latency;                  ///< arrival -> successful broadcast, in slots
+  std::vector<double> per_sensor_success;  ///< successful broadcasts per sensor
+
+  double collision_rate() const {
+    return attempted_tx == 0
+               ? 0.0
+               : static_cast<double>(failed_tx) /
+                     static_cast<double>(attempted_tx);
+  }
+  /// Successful broadcasts per slot across the network.
+  double throughput() const {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(successful_tx) /
+                            static_cast<double>(slots);
+  }
+  /// Successful broadcasts per slot per sensor.
+  double per_sensor_throughput() const {
+    return sensors == 0 ? 0.0
+                        : throughput() / static_cast<double>(sensors);
+  }
+  double energy_per_delivery() const {
+    return successful_tx == 0
+               ? 0.0
+               : energy / static_cast<double>(successful_tx);
+  }
+  double fairness() const { return jain_fairness(per_sensor_success); }
+};
+
+}  // namespace latticesched

@@ -1,0 +1,117 @@
+#include "sim/protocols.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+SlotScheduleMac::SlotScheduleMac(SensorSlots slots)
+    : SlotScheduleMac(std::move(slots), {}) {}
+
+SlotScheduleMac::SlotScheduleMac(SensorSlots slots,
+                                 std::vector<std::int64_t> offsets)
+    : slots_(std::move(slots)), offsets_(std::move(offsets)) {
+  if (slots_.period == 0) {
+    throw std::invalid_argument("SlotScheduleMac: zero period");
+  }
+  if (!offsets_.empty() && offsets_.size() != slots_.slot.size()) {
+    throw std::invalid_argument("SlotScheduleMac: offsets size mismatch");
+  }
+}
+
+std::string SlotScheduleMac::name() const {
+  std::ostringstream os;
+  os << slots_.source << "(m=" << slots_.period << ")";
+  if (!offsets_.empty()) os << "+drift";
+  return os.str();
+}
+
+void SlotScheduleMac::reset(std::size_t sensors, std::uint64_t seed) {
+  (void)seed;
+  if (sensors != slots_.slot.size()) {
+    throw std::invalid_argument("SlotScheduleMac: deployment size mismatch");
+  }
+}
+
+bool SlotScheduleMac::wants_transmit(std::uint32_t node, std::uint64_t slot,
+                                     bool channel_busy_last_slot) {
+  (void)channel_busy_last_slot;
+  const auto period = static_cast<std::int64_t>(slots_.period);
+  std::int64_t local = static_cast<std::int64_t>(slot % slots_.period);
+  if (!offsets_.empty()) {
+    local = (local + offsets_[node]) % period;
+    if (local < 0) local += period;
+  }
+  return static_cast<std::uint32_t>(local) == slots_.slot[node];
+}
+
+AlohaMac::AlohaMac(double p) : p_(p), rng_(0) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("AlohaMac: p must be in (0, 1]");
+  }
+}
+
+std::string AlohaMac::name() const {
+  std::ostringstream os;
+  os << "aloha(p=" << p_ << ")";
+  return os.str();
+}
+
+void AlohaMac::reset(std::size_t sensors, std::uint64_t seed) {
+  (void)sensors;
+  rng_ = Rng(seed ^ 0xa10aa10aULL);
+}
+
+bool AlohaMac::wants_transmit(std::uint32_t node, std::uint64_t slot,
+                              bool channel_busy_last_slot) {
+  (void)node;
+  (void)slot;
+  (void)channel_busy_last_slot;
+  return rng_.next_bool(p_);
+}
+
+CsmaMac::CsmaMac(std::uint32_t min_window, std::uint32_t max_window)
+    : min_window_(min_window), max_window_(max_window), rng_(0) {
+  if (min_window == 0 || max_window < min_window) {
+    throw std::invalid_argument("CsmaMac: bad contention windows");
+  }
+}
+
+std::string CsmaMac::name() const {
+  std::ostringstream os;
+  os << "csma(cw=" << min_window_ << ".." << max_window_ << ")";
+  return os.str();
+}
+
+void CsmaMac::reset(std::size_t sensors, std::uint64_t seed) {
+  backoff_.assign(sensors, 0);
+  window_.assign(sensors, min_window_);
+  rng_ = Rng(seed ^ 0xc53ac53aULL);
+}
+
+bool CsmaMac::wants_transmit(std::uint32_t node, std::uint64_t slot,
+                             bool channel_busy_last_slot) {
+  (void)slot;
+  if (backoff_[node] > 0) {
+    --backoff_[node];
+    return false;
+  }
+  if (channel_busy_last_slot) {
+    backoff_[node] =
+        static_cast<std::uint32_t>(rng_.next_below(window_[node])) + 1;
+    return false;
+  }
+  return true;
+}
+
+void CsmaMac::notify_result(std::uint32_t node, bool success) {
+  if (success) {
+    window_[node] = min_window_;
+  } else {
+    window_[node] = std::min(window_[node] * 2, max_window_);
+    backoff_[node] =
+        static_cast<std::uint32_t>(rng_.next_below(window_[node])) + 1;
+  }
+}
+
+}  // namespace latticesched

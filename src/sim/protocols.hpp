@@ -1,0 +1,103 @@
+// Medium-access protocols for the slot simulator.
+//
+// The paper contrasts its deterministic schedule with the probabilistic
+// protocols "most communication protocols for wireless sensor networks"
+// use.  The simulator runs any of:
+//   * SlotScheduleMac — a deterministic slot table (tiling schedule, TDMA,
+//     coloring baselines), optionally with per-node clock drift injected;
+//   * AlohaMac       — slotted ALOHA, transmit with probability p;
+//   * CsmaMac        — carrier sensing with binary-exponential backoff
+//     (sensing sees the PREVIOUS slot: same-slot decisions are
+//     simultaneous in a slotted system).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace latticesched {
+
+class MacProtocol {
+ public:
+  virtual ~MacProtocol() = default;
+  virtual std::string name() const = 0;
+
+  /// Called once before a run.
+  virtual void reset(std::size_t sensors, std::uint64_t seed) = 0;
+
+  /// Whether sensor `node`, whose queue is nonempty, transmits in `slot`.
+  /// `channel_busy_last_slot` reports carrier sensing from the node's
+  /// perspective for the previous slot.
+  virtual bool wants_transmit(std::uint32_t node, std::uint64_t slot,
+                              bool channel_busy_last_slot) = 0;
+
+  /// Outcome feedback for a transmission this node made.
+  virtual void notify_result(std::uint32_t node, bool success) = 0;
+};
+
+/// Deterministic slot table, with optional per-node clock offsets (slot
+/// drift fault injection: offset[i] slots are added to node i's clock).
+class SlotScheduleMac final : public MacProtocol {
+ public:
+  explicit SlotScheduleMac(SensorSlots slots);
+  SlotScheduleMac(SensorSlots slots, std::vector<std::int64_t> offsets);
+
+  std::string name() const override;
+  void reset(std::size_t sensors, std::uint64_t seed) override;
+  bool wants_transmit(std::uint32_t node, std::uint64_t slot,
+                      bool channel_busy_last_slot) override;
+  void notify_result(std::uint32_t node, bool success) override {
+    (void)node;
+    (void)success;
+  }
+
+ private:
+  SensorSlots slots_;
+  std::vector<std::int64_t> offsets_;
+};
+
+/// Slotted ALOHA: transmit with probability p whenever backlogged.
+class AlohaMac final : public MacProtocol {
+ public:
+  explicit AlohaMac(double p);
+
+  std::string name() const override;
+  void reset(std::size_t sensors, std::uint64_t seed) override;
+  bool wants_transmit(std::uint32_t node, std::uint64_t slot,
+                      bool channel_busy_last_slot) override;
+  void notify_result(std::uint32_t node, bool success) override {
+    (void)node;
+    (void)success;
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Non-persistent CSMA with binary exponential backoff.  A backlogged
+/// node defers while its backoff counter runs; when ready it senses the
+/// channel (previous slot) and transmits only if idle, otherwise it draws
+/// a fresh backoff.  Collisions double the contention window.
+class CsmaMac final : public MacProtocol {
+ public:
+  CsmaMac(std::uint32_t min_window = 2, std::uint32_t max_window = 64);
+
+  std::string name() const override;
+  void reset(std::size_t sensors, std::uint64_t seed) override;
+  bool wants_transmit(std::uint32_t node, std::uint64_t slot,
+                      bool channel_busy_last_slot) override;
+  void notify_result(std::uint32_t node, bool success) override;
+
+ private:
+  std::uint32_t min_window_, max_window_;
+  std::vector<std::uint32_t> backoff_;
+  std::vector<std::uint32_t> window_;
+  Rng rng_;
+};
+
+}  // namespace latticesched

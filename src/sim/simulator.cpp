@@ -1,0 +1,124 @@
+#include "sim/simulator.hpp"
+
+#include <deque>
+
+namespace latticesched {
+
+SlotSimulator::SlotSimulator(const Deployment& deployment, SimConfig config)
+    : deployment_(deployment), config_(config) {
+  const std::size_t n = deployment_.size();
+  listeners_.resize(n);
+  hears_.resize(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const Point& p : deployment_.coverage_of(u)) {
+      const auto r = deployment_.sensor_at(p);
+      if (r.has_value() && *r != u) {
+        listeners_[u].push_back(static_cast<std::uint32_t>(*r));
+        hears_[*r].push_back(u);
+      }
+    }
+  }
+}
+
+SimResult SlotSimulator::run(MacProtocol& mac) {
+  const std::size_t n = deployment_.size();
+  SimResult res;
+  res.slots = config_.slots;
+  res.sensors = n;
+  res.per_sensor_success.assign(n, 0.0);
+
+  Rng rng(config_.seed);
+  mac.reset(n, config_.seed ^ 0x5157e11aULL);
+
+  // Per-sensor FIFO of arrival timestamps.
+  std::vector<std::deque<std::uint64_t>> queue(n);
+  // Coverage counters, reused across slots.
+  std::vector<std::uint32_t> cover_count(n, 0);
+  std::vector<std::uint8_t> transmitting(n, 0);
+  std::vector<std::uint8_t> busy_last(n, 0);
+  std::vector<std::uint32_t> tx_list;
+  tx_list.reserve(n);
+
+  for (std::uint64_t slot = 0; slot < config_.slots; ++slot) {
+    // Arrivals.
+    if (!config_.saturated) {
+      for (std::size_t u = 0; u < n; ++u) {
+        if (rng.next_bool(config_.arrival_rate)) {
+          ++res.arrivals;
+          if (queue[u].size() >= config_.queue_capacity) {
+            ++res.drops;
+          } else {
+            queue[u].push_back(slot);
+          }
+        }
+      }
+    }
+
+    // MAC decisions (simultaneous; sensing sees the previous slot).
+    tx_list.clear();
+    for (std::uint32_t u = 0; u < n; ++u) {
+      const bool backlogged = config_.saturated || !queue[u].empty();
+      if (!backlogged) continue;
+      if (mac.wants_transmit(u, slot, busy_last[u] != 0)) {
+        tx_list.push_back(u);
+      }
+    }
+
+    // Radio propagation: count transmitter coverage per sensor position.
+    for (std::uint32_t u : tx_list) {
+      transmitting[u] = 1;
+      for (std::uint32_t r : listeners_[u]) ++cover_count[r];
+    }
+
+    // Outcomes.
+    for (std::uint32_t u : tx_list) {
+      ++res.attempted_tx;
+      res.energy += config_.tx_cost;
+      bool success = true;
+      bool interfered = false;
+      for (std::uint32_t r : listeners_[u]) {
+        if (transmitting[r] != 0 || cover_count[r] != 1) {
+          success = false;
+          interfered = true;
+          break;
+        }
+        if (config_.loss_rate > 0.0 && rng.next_bool(config_.loss_rate)) {
+          success = false;  // channel noise ate this reception
+        }
+      }
+      // An isolated sensor (no listeners) trivially succeeds.
+      if (success) {
+        ++res.successful_tx;
+        res.per_sensor_success[u] += 1.0;
+        res.energy +=
+            config_.rx_cost * static_cast<double>(listeners_[u].size());
+        if (!config_.saturated) {
+          res.latency.add(static_cast<double>(slot - queue[u].front()));
+          queue[u].pop_front();
+        }
+      } else {
+        ++res.failed_tx;
+        if (interfered) {
+          ++res.collision_failures;
+        } else {
+          ++res.loss_failures;
+        }
+      }
+      mac.notify_result(u, success);
+    }
+
+    // Carrier state for next slot's sensing, then cleanup.
+    for (std::uint32_t r = 0; r < n; ++r) {
+      busy_last[r] =
+          static_cast<std::uint8_t>(cover_count[r] > 0 ? 1 : 0);
+    }
+    for (std::uint32_t u : tx_list) {
+      transmitting[u] = 0;
+      for (std::uint32_t r : listeners_[u]) cover_count[r] = 0;
+    }
+    res.energy += config_.idle_cost * static_cast<double>(n);
+  }
+  return res;
+}
+
+}  // namespace latticesched

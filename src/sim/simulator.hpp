@@ -1,0 +1,65 @@
+// Slot-synchronous wireless sensor network simulator.
+//
+// The radio model is the paper's, implemented verbatim on lattice points:
+// a broadcast by sensor u occupies exactly coverage(u) = pos_u + N_u; a
+// listener r ∈ coverage(u) decodes u's message iff r is not itself
+// transmitting (half duplex) and no other simultaneous transmitter covers
+// r.  A broadcast "succeeds" when ALL listeners decode it — the paper's
+// collision events ("B within interference range of A", "C within range
+// of both A and B") are exactly the failure cases, and failed broadcasts
+// are retransmitted, spending energy.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/interference.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocols.hpp"
+#include "util/rng.hpp"
+
+namespace latticesched {
+
+struct SimConfig {
+  std::uint64_t slots = 10'000;
+  /// Bernoulli arrival probability per sensor per slot.
+  double arrival_rate = 0.05;
+  std::uint64_t seed = 1;
+  std::size_t queue_capacity = 64;
+  /// Energy model (arbitrary units): cost of one transmission, one
+  /// successful reception, and one idle slot per sensor.
+  double tx_cost = 1.0;
+  double rx_cost = 0.5;
+  double idle_cost = 0.01;
+  /// Saturated mode: queues never empty (arrival process ignored);
+  /// used for pure capacity/collision measurements.
+  bool saturated = false;
+  /// Channel-noise fault injection: each individual reception is lost
+  /// with this probability even without interference.  A lost reception
+  /// fails the whole broadcast (the paper's all-neighbors semantics), so
+  /// even collision-free schedules retransmit under loss.
+  double loss_rate = 0.0;
+};
+
+class SlotSimulator {
+ public:
+  SlotSimulator(const Deployment& deployment, SimConfig config);
+
+  /// Runs the protocol for config.slots slots and returns the metrics.
+  SimResult run(MacProtocol& mac);
+
+  /// Listeners of each sensor (sensor ids inside its coverage).
+  const std::vector<std::vector<std::uint32_t>>& listeners() const {
+    return listeners_;
+  }
+
+ private:
+  const Deployment& deployment_;
+  SimConfig config_;
+  /// listeners_[u]: sensors covered by u's broadcast (excluding u).
+  std::vector<std::vector<std::uint32_t>> listeners_;
+  /// hears_[r]: sensors whose broadcast covers r (excluding r) — carrier
+  /// sensing and interference both look through this map.
+  std::vector<std::vector<std::uint32_t>> hears_;
+};
+
+}  // namespace latticesched

@@ -1,0 +1,104 @@
+#include "tiling/bn_criterion.hpp"
+
+#include <vector>
+
+namespace latticesched {
+
+namespace {
+
+// runs[c][i] = the number of consecutive index pairs
+//   (i, c-i), (i+1, c-i-1), (i+2, c-i-2), ...   (indices mod n)
+// that satisfy W[p] == complement(W[q]), capped at n.  A factor U of
+// length L starting at i matches the hat of the factor half a turn away
+// exactly when all its pairs lie on one such anti-diagonal chain, so the
+// check reduces to runs[c][i] >= L.
+std::vector<std::vector<std::int32_t>> build_run_table(const std::string& w) {
+  const std::size_t n = w.size();
+  auto comp = [](char ch) {
+    switch (ch) {
+      case 'r': return 'l';
+      case 'l': return 'r';
+      case 'u': return 'd';
+      default: return 'u';  // 'd'
+    }
+  };
+  std::vector<std::vector<std::int32_t>> runs(
+      n, std::vector<std::int32_t>(n, 0));
+  for (std::size_t c = 0; c < n; ++c) {
+    auto match = [&](std::size_t i) {
+      const std::size_t j = (c + n - i % n) % n;
+      return w[i % n] == comp(w[j]);
+    };
+    auto& row = runs[c];
+    // Find any mismatch to anchor the cyclic suffix-run computation.
+    std::size_t anchor = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!match(i)) {
+        anchor = i;
+        break;
+      }
+    }
+    if (anchor == n) {
+      // The whole chain matches; every run is maximal.
+      for (std::size_t i = 0; i < n; ++i) row[i] = static_cast<int>(n);
+      continue;
+    }
+    // Walk backwards from the anchor so each run extends its successor.
+    row[anchor] = 0;
+    for (std::size_t k = 1; k < n; ++k) {
+      const std::size_t i = (anchor + n - k) % n;
+      row[i] = match(i) ? row[(i + 1) % n] + 1 : 0;
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+std::optional<BnFactorization> find_bn_factorization(const BoundaryWord& w) {
+  const std::string& s = w.str();
+  const std::size_t n = s.size();
+  if (n == 0 || n % 2 != 0) return std::nullopt;
+  const std::size_t half = n / 2;
+  const auto runs = build_run_table(s);
+
+  // Factor starting at alpha with length len matches the hat of the factor
+  // at alpha + half iff runs[(2*alpha + half + len - 1) % n][alpha] >= len.
+  auto factor_ok = [&](std::size_t alpha, std::size_t len) {
+    if (len == 0) return true;
+    const std::size_t c = (2 * alpha + half + len - 1) % n;
+    return runs[c][alpha % n] >= static_cast<std::int32_t>(len);
+  };
+
+  for (std::size_t p0 = 0; p0 < n; ++p0) {
+    for (std::size_t a = 0; a <= half; ++a) {
+      if (!factor_ok(p0, a)) continue;
+      for (std::size_t b = 0; a + b <= half; ++b) {
+        if (!factor_ok(p0 + a, b)) continue;
+        const std::size_t c_len = half - a - b;
+        if (!factor_ok(p0 + a + b, c_len)) continue;
+        // Reject factorizations with two or more empty pieces: those would
+        // describe a degenerate X·X̂ boundary, which no simple closed
+        // curve has; requiring it keeps the reported factorization
+        // geometrically meaningful.
+        const int empties = (a == 0) + (b == 0) + (c_len == 0);
+        if (empties >= 2) continue;
+        return BnFactorization{p0, a, b, c_len};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+BnResult bn_exactness(const Prototile& tile) {
+  BnResult out;
+  const BoundaryAnalysis ba = trace_boundary(tile);
+  out.applicable = ba.is_polyomino;
+  if (!out.applicable) return out;
+  out.boundary = ba.word;
+  out.factorization = find_bn_factorization(ba.word);
+  out.exact = out.factorization.has_value();
+  return out;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,53 @@
+// Beauquier–Nivat exactness criterion for polyominoes.
+//
+// A polyomino tiles the plane by translations (equivalently: its cell set
+// is an exact prototile of Z², Section 3 of the paper) if and only if its
+// boundary word W admits a cyclic factorization
+//
+//     W  =  X · Y · Z · X̂ · Ŷ · Ẑ
+//
+// where  · ̂  reverses a word and complements each step, and at most one of
+// X, Y, Z may be empty (the "pseudo-square" case).  The paper cites the
+// O(n²) algorithm of Gambini & Vuillon; we implement the criterion with a
+// precomputed anti-diagonal match-run table which makes each candidate
+// factor check O(1), for an overall O(n·(n/2)²) search — polynomial and
+// effectively instant for all realistic neighborhoods.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tiling/boundary.hpp"
+#include "tiling/prototile.hpp"
+
+namespace latticesched {
+
+/// A successful BN factorization: the boundary word rotated to start at
+/// `start` factors as X (length `len_x`), Y (length `len_y`),
+/// Z (length n/2 - len_x - len_y), followed by their hats.
+struct BnFactorization {
+  std::size_t start = 0;
+  std::size_t len_x = 0;
+  std::size_t len_y = 0;
+  std::size_t len_z = 0;
+};
+
+/// Searches for a BN factorization of a (closed) boundary word.
+/// Returns the first factorization found, or nullopt when none exists.
+std::optional<BnFactorization> find_bn_factorization(const BoundaryWord& w);
+
+/// Outcome of the polyomino exactness test.
+struct BnResult {
+  /// Whether the tile is a polyomino at all (connected, simply connected);
+  /// the BN criterion is only applicable when true.
+  bool applicable = false;
+  /// Whether the polyomino is exact (tiles the plane by translations).
+  bool exact = false;
+  BoundaryWord boundary;
+  std::optional<BnFactorization> factorization;
+};
+
+/// Applies the BN criterion to a 2-D prototile.
+BnResult bn_exactness(const Prototile& tile);
+
+}  // namespace latticesched

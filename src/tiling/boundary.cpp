@@ -1,0 +1,171 @@
+#include "tiling/boundary.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace latticesched {
+
+char step_to_char(Step s) {
+  switch (s) {
+    case Step::kRight: return 'r';
+    case Step::kUp: return 'u';
+    case Step::kLeft: return 'l';
+    case Step::kDown: return 'd';
+  }
+  throw std::logic_error("step_to_char: bad step");
+}
+
+Step char_to_step(char c) {
+  switch (c) {
+    case 'r': return Step::kRight;
+    case 'u': return Step::kUp;
+    case 'l': return Step::kLeft;
+    case 'd': return Step::kDown;
+    default: throw std::invalid_argument("char_to_step: bad char");
+  }
+}
+
+Step complement(Step s) {
+  switch (s) {
+    case Step::kRight: return Step::kLeft;
+    case Step::kLeft: return Step::kRight;
+    case Step::kUp: return Step::kDown;
+    case Step::kDown: return Step::kUp;
+  }
+  throw std::logic_error("complement: bad step");
+}
+
+namespace {
+Point step_vec(Step s) {
+  switch (s) {
+    case Step::kRight: return Point{1, 0};
+    case Step::kUp: return Point{0, 1};
+    case Step::kLeft: return Point{-1, 0};
+    case Step::kDown: return Point{0, -1};
+  }
+  throw std::logic_error("step_vec: bad step");
+}
+}  // namespace
+
+BoundaryWord::BoundaryWord(std::string word) : w_(std::move(word)) {
+  for (char c : w_) char_to_step(c);  // validates
+}
+
+BoundaryWord BoundaryWord::hat() const {
+  std::string out(w_.rbegin(), w_.rend());
+  for (char& c : out) c = step_to_char(complement(char_to_step(c)));
+  return BoundaryWord(std::move(out));
+}
+
+Point BoundaryWord::displacement() const {
+  Point d{0, 0};
+  for (char c : w_) d += step_vec(char_to_step(c));
+  return d;
+}
+
+namespace {
+
+// Left/front quadrant cells around corner v for each incoming direction;
+// cells are unit squares [i,i+1]x[j,j+1] addressed by their low corner.
+Point front_left_cell(const Point& v, Step d) {
+  switch (d) {
+    case Step::kRight: return Point{v[0], v[1]};          // NE
+    case Step::kUp: return Point{v[0] - 1, v[1]};         // NW
+    case Step::kLeft: return Point{v[0] - 1, v[1] - 1};   // SW
+    case Step::kDown: return Point{v[0], v[1] - 1};       // SE
+  }
+  throw std::logic_error("front_left_cell");
+}
+
+Point front_right_cell(const Point& v, Step d) {
+  switch (d) {
+    case Step::kRight: return Point{v[0], v[1] - 1};      // SE
+    case Step::kUp: return Point{v[0], v[1]};             // NE
+    case Step::kLeft: return Point{v[0] - 1, v[1]};       // NW
+    case Step::kDown: return Point{v[0] - 1, v[1] - 1};   // SW
+  }
+  throw std::logic_error("front_right_cell");
+}
+
+Step turn_left(Step d) {
+  return static_cast<Step>((static_cast<int>(d) + 1) % 4);
+}
+Step turn_right(Step d) {
+  return static_cast<Step>((static_cast<int>(d) + 3) % 4);
+}
+
+// Flood fill over the complement of the tile within an expanded bounding
+// box; returns true when every empty cell inside the box is reachable from
+// the box border (i.e. the tile has no holes).
+bool complement_connected(const Prototile& tile) {
+  const Box bb = tile.bounding_box().expanded(1);
+  PointSet seen;
+  std::deque<Point> queue;
+  const Point start = bb.lo();  // expanded corner is never a tile cell
+  queue.push_back(start);
+  seen.insert(start);
+  const Point dirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  while (!queue.empty()) {
+    const Point p = queue.front();
+    queue.pop_front();
+    for (const Point& d : dirs) {
+      const Point q = p + d;
+      if (!bb.contains(q) || tile.contains(q)) continue;
+      if (seen.insert(q).second) queue.push_back(q);
+    }
+  }
+  std::uint64_t empty_cells = 0;
+  bool all_reached = true;
+  bb.for_each([&](const Point& p) {
+    if (tile.contains(p)) return;
+    ++empty_cells;
+    if (seen.count(p) == 0) all_reached = false;
+  });
+  (void)empty_cells;
+  return all_reached;
+}
+
+}  // namespace
+
+BoundaryAnalysis trace_boundary(const Prototile& tile) {
+  if (tile.dim() != 2) {
+    throw std::invalid_argument("trace_boundary: 2-D prototiles only");
+  }
+  BoundaryAnalysis out;
+  out.connected = tile.is_connected();
+  out.simply_connected = out.connected && complement_connected(tile);
+  out.is_polyomino = out.connected && out.simply_connected;
+  if (!out.is_polyomino) return out;
+
+  // Start at the bottom-left corner of the lowest-then-leftmost cell and
+  // walk CCW (interior on the left), beginning along the bottom edge.
+  Point start_cell = tile.points().front();
+  for (const Point& p : tile.points()) {
+    if (p[1] < start_cell[1] ||
+        (p[1] == start_cell[1] && p[0] < start_cell[0])) {
+      start_cell = p;
+    }
+  }
+  const Point start_corner{start_cell[0], start_cell[1]};
+  Point corner = start_corner;
+  Step dir = Step::kRight;
+  std::string word;
+  do {
+    corner += step_vec(dir);
+    word.push_back(step_to_char(dir));
+    if (tile.contains(front_right_cell(corner, dir))) {
+      dir = turn_right(dir);
+    } else if (tile.contains(front_left_cell(corner, dir))) {
+      // keep going straight
+    } else {
+      dir = turn_left(dir);
+    }
+    if (word.size() > 8 * tile.size() + 8) {
+      throw std::logic_error("trace_boundary: runaway trace");
+    }
+  } while (!(corner == start_corner && dir == Step::kRight));
+  out.word = BoundaryWord(std::move(word));
+  return out;
+}
+
+}  // namespace latticesched

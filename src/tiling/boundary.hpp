@@ -1,0 +1,64 @@
+// Boundary words of polyominoes.
+//
+// Section 3 of the paper reduces exactness of a polyomino to a property of
+// the word over {u, d, l, r} describing its boundary (Wijshoff & van
+// Leeuwen; Beauquier & Nivat; Gambini & Vuillon).  This module extracts
+// that word: the counterclockwise outline of the union of unit squares
+// centered on the tile cells, with the interior kept on the left.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tiling/prototile.hpp"
+
+namespace latticesched {
+
+/// One step of a boundary word.
+enum class Step : std::uint8_t { kRight = 0, kUp = 1, kLeft = 2, kDown = 3 };
+
+char step_to_char(Step s);
+Step char_to_step(char c);
+/// The opposite direction (r<->l, u<->d); the "bar" of the BN calculus.
+Step complement(Step s);
+
+/// A boundary word; thin wrapper over a string of 'r','u','l','d'.
+class BoundaryWord {
+ public:
+  BoundaryWord() = default;
+  explicit BoundaryWord(std::string word);
+
+  const std::string& str() const { return w_; }
+  std::size_t length() const { return w_.size(); }
+
+  /// Reverse the word and complement each letter: the path traversed
+  /// backwards.  BN factorizations pair each factor with its hat.
+  BoundaryWord hat() const;
+
+  /// Net displacement of the path.
+  Point displacement() const;
+
+  /// Whether the path returns to its start (required of boundaries).
+  bool is_closed() const { return displacement().is_zero(); }
+
+  bool operator==(const BoundaryWord& o) const { return w_ == o.w_; }
+
+ private:
+  std::string w_;
+};
+
+/// Result of tracing a prototile's outline.
+struct BoundaryAnalysis {
+  bool is_polyomino = false;     ///< connected with simply-connected interior
+  bool connected = false;
+  bool simply_connected = false;
+  BoundaryWord word;             ///< valid iff is_polyomino
+};
+
+/// Traces the boundary of a 2-D prototile.  The word is produced CCW
+/// starting from the bottom-left corner of the lowest-then-leftmost cell.
+/// For disconnected or holey tiles only the flags are meaningful.
+BoundaryAnalysis trace_boundary(const Prototile& tile);
+
+}  // namespace latticesched

@@ -1,0 +1,66 @@
+#include "tiling/enumerate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "tiling/bn_criterion.hpp"
+
+namespace latticesched {
+
+namespace {
+
+// Canonical form: translate so the lexicographically smallest cell is 0.
+PointVec canonicalize(PointVec cells) {
+  cells = sorted_unique(std::move(cells));
+  const Point origin = cells.front();
+  for (Point& p : cells) p -= origin;
+  return cells;
+}
+
+}  // namespace
+
+std::vector<Prototile> enumerate_fixed_polyominoes(std::size_t cells) {
+  if (cells == 0) return {};
+  // BFS over canonical cell sets: grow every polyomino of size k by every
+  // adjacent empty cell, canonicalize, deduplicate.
+  std::set<PointVec> current;
+  current.insert(PointVec{Point{0, 0}});
+  const Point dirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  for (std::size_t size = 1; size < cells; ++size) {
+    std::set<PointVec> next;
+    for (const PointVec& poly : current) {
+      const PointSet occupied(poly.begin(), poly.end());
+      for (const Point& cell : poly) {
+        for (const Point& d : dirs) {
+          const Point cand = cell + d;
+          if (occupied.count(cand) != 0) continue;
+          PointVec grown = poly;
+          grown.push_back(cand);
+          next.insert(canonicalize(std::move(grown)));
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  std::vector<Prototile> out;
+  out.reserve(current.size());
+  for (const PointVec& poly : current) {
+    out.emplace_back(poly);
+  }
+  return out;
+}
+
+ExactnessCensus exactness_census(std::size_t cells) {
+  ExactnessCensus census;
+  census.cells = cells;
+  for (const Prototile& tile : enumerate_fixed_polyominoes(cells)) {
+    ++census.polyominoes;
+    const BnResult bn = bn_exactness(tile);
+    // Every enumerated tile is connected; simply-connectedness can fail
+    // from size 7 on (first holes), and holey tiles are never exact.
+    if (bn.applicable && bn.exact) ++census.exact;
+  }
+  return census;
+}
+
+}  // namespace latticesched

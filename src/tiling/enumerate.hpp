@@ -1,0 +1,35 @@
+// Exhaustive enumeration of small prototiles.
+//
+// Section 3 asks WHICH prototiles are exact.  For polyominoes the library
+// can answer exhaustively at small sizes: enumerate every fixed polyomino
+// (translations quotiented out, rotations/reflections kept distinct — the
+// right notion here, since an interference neighborhood has a fixed
+// orientation) and run the exactness deciders on each.  Known counts of
+// fixed polyominoes: 1, 2, 6, 19, 63, 216, 760 for n = 1..7 — the tests
+// pin the enumerator against them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tiling/prototile.hpp"
+
+namespace latticesched {
+
+/// All fixed polyominoes with `cells` cells, each in canonical position
+/// (translated so its lexicographically smallest cell is the origin),
+/// enumerated deterministically (sorted by their point sets).
+/// Growth is exponential; intended for cells <= 8.
+std::vector<Prototile> enumerate_fixed_polyominoes(std::size_t cells);
+
+/// Census of the enumeration: how many tiles of each size are exact.
+struct ExactnessCensus {
+  std::size_t cells = 0;
+  std::size_t polyominoes = 0;  ///< fixed polyominoes of this size
+  std::size_t exact = 0;        ///< of which exact (tile the plane)
+};
+
+/// Runs the (complete) BN decider over every fixed polyomino of the size.
+ExactnessCensus exactness_census(std::size_t cells);
+
+}  // namespace latticesched

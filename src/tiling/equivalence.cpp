@@ -1,0 +1,66 @@
+#include "tiling/equivalence.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace latticesched {
+
+namespace {
+
+using Placements = std::vector<std::pair<Point, std::uint32_t>>;
+
+Placements shifted_placements(const Tiling& t, const Point& shift) {
+  Placements out;
+  out.reserve(t.placements().size());
+  for (const auto& [translate, proto] : t.placements()) {
+    out.emplace_back(t.period().reduce(translate + shift), proto);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool same_prototiles(const Tiling& a, const Tiling& b) {
+  if (a.prototile_count() != b.prototile_count()) return false;
+  for (std::size_t k = 0; k < a.prototile_count(); ++k) {
+    if (a.prototile(k) != b.prototile(k)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool tilings_equal_up_to_translation(const Tiling& a, const Tiling& b) {
+  if (a.period() != b.period() || !same_prototiles(a, b)) return false;
+  if (a.placements().size() != b.placements().size()) return false;
+  const Placements target = shifted_placements(b, Point::zero(b.dim()));
+  for (const Point& shift : a.period().coset_representatives()) {
+    if (shifted_placements(a, shift) == target) return true;
+  }
+  return false;
+}
+
+Placements translation_canonical_placements(const Tiling& t) {
+  Placements best;
+  bool first = true;
+  for (const Point& shift : t.period().coset_representatives()) {
+    Placements cand = shifted_placements(t, shift);
+    if (first || cand < best) {
+      best = std::move(cand);
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::vector<Tiling> dedup_tilings_up_to_translation(std::vector<Tiling> ts) {
+  std::vector<Tiling> out;
+  std::set<Placements> seen;
+  for (Tiling& t : ts) {
+    if (seen.insert(translation_canonical_placements(t)).second) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,30 @@
+// Tiling equivalence up to lattice translation.
+//
+// The torus search enumerates tilings as placement sets; many of them are
+// translates of one another and describe the same infinite tiling seen
+// from a shifted origin.  Quotienting by translation gives the honest
+// count of genuinely different tilings (used by the Figure-5 census) and
+// a canonical representative per class.
+#pragma once
+
+#include <vector>
+
+#include "tiling/tiling.hpp"
+
+namespace latticesched {
+
+/// Whether b equals a translated by some lattice vector.  Requires both
+/// tilings to share the period sublattice and the prototile list
+/// (returns false otherwise).
+bool tilings_equal_up_to_translation(const Tiling& a, const Tiling& b);
+
+/// Canonical placement fingerprint of the translation class of `t`:
+/// the lexicographically smallest placement set over all translates.
+std::vector<std::pair<Point, std::uint32_t>> translation_canonical_placements(
+    const Tiling& t);
+
+/// Keeps one representative per translation class, preserving input
+/// order of first appearance.
+std::vector<Tiling> dedup_tilings_up_to_translation(std::vector<Tiling> ts);
+
+}  // namespace latticesched

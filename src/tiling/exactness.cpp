@@ -1,0 +1,66 @@
+#include "tiling/exactness.hpp"
+
+#include "tiling/lattice_tiling_search.hpp"
+
+namespace latticesched {
+
+const char* to_string(ExactnessMethod m) {
+  switch (m) {
+    case ExactnessMethod::kBeauquierNivat: return "beauquier-nivat";
+    case ExactnessMethod::kLatticeTiling: return "lattice-tiling";
+    case ExactnessMethod::kTorusSearch: return "torus-search";
+    case ExactnessMethod::kUndecided: return "undecided";
+  }
+  return "?";
+}
+
+ExactnessResult decide_exactness(const Prototile& tile,
+                                 const TorusSearchConfig& config) {
+  ExactnessResult out;
+
+  // Engine 1: BN criterion for polyominoes — a complete decider.
+  if (tile.dim() == 2) {
+    BnResult bn = bn_exactness(tile);
+    if (bn.applicable) {
+      out.bn = bn;
+      out.decided = true;
+      out.exact = bn.exact;
+      out.method = ExactnessMethod::kBeauquierNivat;
+      if (out.exact) {
+        // Exact polyominoes admit lattice tilings; construct one.
+        out.tiling = make_lattice_tiling(tile);
+        if (!out.tiling.has_value()) {
+          // Should be unreachable; fall back to the torus search so the
+          // caller still receives a certificate.
+          out.tiling = search_periodic_tiling({tile}, config);
+        }
+      }
+      return out;
+    }
+  }
+
+  // Engine 2: lattice tilings for arbitrary tiles.
+  if (auto t = make_lattice_tiling(tile); t.has_value()) {
+    out.decided = true;
+    out.exact = true;
+    out.method = ExactnessMethod::kLatticeTiling;
+    out.tiling = std::move(t);
+    return out;
+  }
+
+  // Engine 3: budgeted torus search for non-lattice periodic tilings.
+  if (auto t = search_periodic_tiling({tile}, config); t.has_value()) {
+    out.decided = true;
+    out.exact = true;
+    out.method = ExactnessMethod::kTorusSearch;
+    out.tiling = std::move(t);
+    return out;
+  }
+
+  out.decided = false;
+  out.exact = false;
+  out.method = ExactnessMethod::kUndecided;
+  return out;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,52 @@
+// Unified exactness decision pipeline (Section 3, question Q1).
+//
+// "When is a given prototile N exact, i.e. when does a translate set T
+// with T1 and T2 exist?"  Three engines cooperate:
+//
+//  1. For polyominoes (connected, simply connected 2-D tiles) the
+//     Beauquier–Nivat boundary-word criterion decides exactness outright.
+//  2. Enumerating index-|N| sublattices finds every *lattice* tiling; for
+//     exact polyominoes one always exists, so engines 1 and 2 must agree
+//     (a property the test suite checks extensively).
+//  3. The torus exact-cover search finds non-lattice periodic tilings and
+//     serves as a semi-decider for arbitrary (e.g. disconnected) tiles —
+//     the general problem is undecidable-flavored (Szegedy's algorithms
+//     cover only prime sizes and size 4), so a budgeted search is the
+//     honest tool.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tiling/bn_criterion.hpp"
+#include "tiling/prototile.hpp"
+#include "tiling/tiling.hpp"
+#include "tiling/torus_search.hpp"
+
+namespace latticesched {
+
+enum class ExactnessMethod {
+  kBeauquierNivat,   ///< decided by the boundary-word criterion
+  kLatticeTiling,    ///< a sublattice tiling was found
+  kTorusSearch,      ///< a periodic (possibly non-lattice) tiling was found
+  kUndecided,        ///< no tiling found within budget; exactness open
+};
+
+const char* to_string(ExactnessMethod m);
+
+struct ExactnessResult {
+  /// True when `exact` is a definitive answer (not a budget timeout).
+  bool decided = false;
+  bool exact = false;
+  ExactnessMethod method = ExactnessMethod::kUndecided;
+  /// A concrete tiling, whenever one was constructed.
+  std::optional<Tiling> tiling;
+  /// Boundary-word details when the BN criterion was applicable.
+  std::optional<BnResult> bn;
+};
+
+/// Runs the pipeline above.
+ExactnessResult decide_exactness(const Prototile& tile,
+                                 const TorusSearchConfig& config = {});
+
+}  // namespace latticesched

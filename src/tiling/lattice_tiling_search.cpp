@@ -1,0 +1,45 @@
+#include "tiling/lattice_tiling_search.hpp"
+
+namespace latticesched {
+
+bool tiles_by_sublattice(const Prototile& tile, const Sublattice& m) {
+  if (tile.dim() != m.dim()) return false;
+  if (static_cast<std::int64_t>(tile.size()) != m.index()) return false;
+  PointSet residues;
+  residues.reserve(tile.size() * 2);
+  for (const Point& p : tile.points()) {
+    if (!residues.insert(m.reduce(p)).second) return false;
+  }
+  return true;  // |N| distinct residues out of index-many == complete system
+}
+
+std::optional<Sublattice> find_lattice_tiling(const Prototile& tile) {
+  const auto hnfs = enumerate_hnf_with_det(
+      tile.dim(), static_cast<std::int64_t>(tile.size()));
+  for (const IntMatrix& h : hnfs) {
+    Sublattice m(h);
+    if (tiles_by_sublattice(tile, m)) return m;
+  }
+  return std::nullopt;
+}
+
+std::vector<Sublattice> all_lattice_tilings(const Prototile& tile,
+                                            std::size_t limit) {
+  std::vector<Sublattice> out;
+  const auto hnfs = enumerate_hnf_with_det(
+      tile.dim(), static_cast<std::int64_t>(tile.size()));
+  for (const IntMatrix& h : hnfs) {
+    if (out.size() >= limit) break;
+    Sublattice m(h);
+    if (tiles_by_sublattice(tile, m)) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::optional<Tiling> make_lattice_tiling(const Prototile& tile) {
+  const auto m = find_lattice_tiling(tile);
+  if (!m.has_value()) return std::nullopt;
+  return Tiling::lattice_tiling(tile, *m);
+}
+
+}  // namespace latticesched

@@ -1,0 +1,36 @@
+// Search for lattice tilings: translate sets T that are sublattices.
+//
+// A prototile N tiles Z^d with a sublattice T = M exactly when |N| equals
+// the index of M and the elements of N are pairwise incongruent modulo M
+// (then they form a complete residue system, so T1 and T2 both hold).
+// Enumerating the Hermite-normal-form bases of all sublattices of index
+// |N| therefore yields every lattice tiling of N.  For polyominoes this is
+// even a complete exactness decider, since exact polyominoes always admit
+// a lattice (regular) tiling (Beauquier–Nivat / Wijshoff–van Leeuwen).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "lattice/sublattice.hpp"
+#include "tiling/prototile.hpp"
+#include "tiling/tiling.hpp"
+
+namespace latticesched {
+
+/// Whether N tiles Z^d with translate set M (checks the complete-residue
+/// condition; also requires |N| == index).
+bool tiles_by_sublattice(const Prototile& tile, const Sublattice& m);
+
+/// First sublattice (in HNF enumeration order) tiling with `tile`.
+std::optional<Sublattice> find_lattice_tiling(const Prototile& tile);
+
+/// All sublattices of index |tile| that tile with `tile`, up to `limit`.
+std::vector<Sublattice> all_lattice_tilings(
+    const Prototile& tile, std::size_t limit = static_cast<std::size_t>(-1));
+
+/// Convenience: builds the Tiling object for the first lattice tiling.
+std::optional<Tiling> make_lattice_tiling(const Prototile& tile);
+
+}  // namespace latticesched

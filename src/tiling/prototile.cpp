@@ -1,0 +1,203 @@
+#include "tiling/prototile.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+Prototile::Prototile(PointVec points, std::string name)
+    : points_(sorted_unique(std::move(points))), name_(std::move(name)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("Prototile: empty point set");
+  }
+  const std::size_t d = points_.front().dim();
+  for (const Point& p : points_) {
+    if (p.dim() != d) {
+      throw std::invalid_argument("Prototile: mixed dimensions");
+    }
+  }
+  point_set_ = PointSet(points_.begin(), points_.end());
+  if (point_set_.count(Point::zero(d)) == 0) {
+    throw std::invalid_argument(
+        "Prototile: must contain the origin (it is a neighborhood of 0)");
+  }
+}
+
+Prototile Prototile::from_ascii(const std::vector<std::string>& rows,
+                                std::string name) {
+  PointVec pts;
+  std::optional<Point> anchor;
+  const auto height = static_cast<std::int64_t>(rows.size());
+  for (std::int64_t r = 0; r < height; ++r) {
+    const std::string& row = rows[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < static_cast<std::int64_t>(row.size()); ++c) {
+      const char ch = row[static_cast<std::size_t>(c)];
+      if (ch == '#' || ch == 'X' || ch == 'O') {
+        // ASCII row 0 is the top; flip so +y points up.
+        const Point p{c, height - 1 - r};
+        pts.push_back(p);
+        if (ch == 'O') {
+          if (anchor.has_value()) {
+            throw std::invalid_argument("from_ascii: multiple 'O' anchors");
+          }
+          anchor = p;
+        }
+      } else if (ch != '.' && ch != ' ') {
+        throw std::invalid_argument(std::string("from_ascii: bad char '") +
+                                    ch + "'");
+      }
+    }
+  }
+  if (pts.empty()) throw std::invalid_argument("from_ascii: no cells");
+  const Point origin = anchor.value_or(sorted_unique(pts).front());
+  for (Point& p : pts) p -= origin;
+  return Prototile(std::move(pts), std::move(name));
+}
+
+bool Prototile::contains(const Point& p) const {
+  return point_set_.count(p) != 0;
+}
+
+std::optional<std::size_t> Prototile::index_of(const Point& p) const {
+  const auto it = std::lower_bound(points_.begin(), points_.end(), p);
+  if (it != points_.end() && *it == p) {
+    return static_cast<std::size_t>(it - points_.begin());
+  }
+  return std::nullopt;
+}
+
+PointVec Prototile::translated(const Point& t) const {
+  PointVec out;
+  out.reserve(points_.size());
+  for (const Point& p : points_) out.push_back(p + t);
+  return out;
+}
+
+Prototile Prototile::normalized_at(const Point& new_origin) const {
+  if (!contains(new_origin)) {
+    throw std::invalid_argument("normalized_at: not an element");
+  }
+  PointVec pts;
+  pts.reserve(points_.size());
+  for (const Point& p : points_) pts.push_back(p - new_origin);
+  return Prototile(std::move(pts), name_);
+}
+
+bool Prototile::contains_tile(const Prototile& other) const {
+  for (const Point& p : other.points()) {
+    if (!contains(p)) return false;
+  }
+  return true;
+}
+
+PointVec Prototile::minkowski_sum(const Prototile& other) const {
+  PointVec out;
+  out.reserve(points_.size() * other.points_.size());
+  for (const Point& a : points_) {
+    for (const Point& b : other.points_) out.push_back(a + b);
+  }
+  return sorted_unique(std::move(out));
+}
+
+PointVec Prototile::difference_set() const {
+  PointVec out;
+  out.reserve(points_.size() * points_.size());
+  for (const Point& a : points_) {
+    for (const Point& b : points_) out.push_back(a - b);
+  }
+  return sorted_unique(std::move(out));
+}
+
+Box Prototile::bounding_box() const {
+  Point lo = points_.front(), hi = points_.front();
+  for (const Point& p : points_) {
+    for (std::size_t i = 0; i < p.dim(); ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+  return Box(lo, hi);
+}
+
+void Prototile::require_2d(const char* what) const {
+  if (dim() != 2) {
+    throw std::logic_error(std::string(what) + ": 2-D prototiles only");
+  }
+}
+
+Prototile Prototile::rotated90() const {
+  require_2d("rotated90");
+  PointVec pts;
+  pts.reserve(points_.size());
+  for (const Point& p : points_) pts.push_back(Point{-p[1], p[0]});
+  return Prototile(std::move(pts), name_.empty() ? "" : name_ + "+r90");
+}
+
+Prototile Prototile::reflected_x() const {
+  require_2d("reflected_x");
+  PointVec pts;
+  pts.reserve(points_.size());
+  for (const Point& p : points_) pts.push_back(Point{-p[0], p[1]});
+  return Prototile(std::move(pts), name_.empty() ? "" : name_ + "+mx");
+}
+
+std::vector<Prototile> Prototile::rotations() const {
+  require_2d("rotations");
+  std::vector<Prototile> out;
+  Prototile cur = *this;
+  for (int i = 0; i < 4; ++i) {
+    if (std::none_of(out.begin(), out.end(),
+                     [&](const Prototile& t) { return t == cur; })) {
+      out.push_back(cur);
+    }
+    cur = cur.rotated90();
+  }
+  return out;
+}
+
+bool Prototile::is_connected() const {
+  require_2d("is_connected");
+  PointSet seen;
+  std::deque<Point> queue;
+  queue.push_back(points_.front());
+  seen.insert(points_.front());
+  const Point dirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  while (!queue.empty()) {
+    const Point p = queue.front();
+    queue.pop_front();
+    for (const Point& d : dirs) {
+      const Point q = p + d;
+      if (contains(q) && seen.insert(q).second) queue.push_back(q);
+    }
+  }
+  return seen.size() == points_.size();
+}
+
+std::string Prototile::to_ascii() const {
+  require_2d("to_ascii");
+  const Box bb = bounding_box();
+  std::ostringstream os;
+  for (std::int64_t y = bb.hi()[1]; y >= bb.lo()[1]; --y) {
+    for (std::int64_t x = bb.lo()[0]; x <= bb.hi()[0]; ++x) {
+      const Point p{x, y};
+      if (p.is_zero() && contains(p)) {
+        os << 'O';
+      } else {
+        os << (contains(p) ? '#' : '.');
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Prototile& t) {
+  os << "Prototile(" << (t.name().empty() ? "unnamed" : t.name()) << ", "
+     << t.size() << " cells)";
+  return os;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,93 @@
+// Prototiles (interference neighborhoods).
+//
+// Following Section 2 of the paper, a prototile N is a finite subset of the
+// lattice containing 0.  N doubles as the interference neighborhood: a
+// sensor at t affects exactly t + N.  The same object is the combinatorial
+// tile whose translates may tile the lattice (conditions T1/T2).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/point.hpp"
+#include "lattice/region.hpp"
+
+namespace latticesched {
+
+class Prototile {
+ public:
+  /// From points; must be nonempty, all of one dimension, and contain 0
+  /// (the paper's definition of a neighborhood of the point 0).
+  /// Points are deduplicated and stored sorted, which fixes the canonical
+  /// element order n_1 < n_2 < ... < n_m used by the schedules.
+  explicit Prototile(PointVec points, std::string name = "");
+
+  /// Parses 2-D ASCII art, rows listed top-to-bottom.  '#' or 'X' mark
+  /// cells, 'O' marks the cell that becomes the origin (optional; default
+  /// anchor is the lexicographically smallest cell), '.' and ' ' are empty.
+  static Prototile from_ascii(const std::vector<std::string>& rows,
+                              std::string name = "");
+
+  const std::string& name() const { return name_; }
+  std::size_t dim() const { return points_.front().dim(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Elements in canonical (sorted) order; contains Point::zero(dim()).
+  const PointVec& points() const { return points_; }
+  const Point& element(std::size_t i) const { return points_.at(i); }
+
+  bool contains(const Point& p) const;
+  /// Index of p in the canonical order, if present.
+  std::optional<std::size_t> index_of(const Point& p) const;
+
+  /// The translate t + N as a point list.
+  PointVec translated(const Point& t) const;
+
+  /// Re-anchors so that `new_origin` (must be an element) maps to 0.
+  Prototile normalized_at(const Point& new_origin) const;
+
+  /// Whether this prototile contains every point of `other`
+  /// (the respectability relation N ⊇ N_k of Section 4).
+  bool contains_tile(const Prototile& other) const;
+
+  /// Minkowski sum N + M (used for the finite-restriction condition
+  /// "D contains a translate of N1 + N1" from the Conclusions).
+  PointVec minkowski_sum(const Prototile& other) const;
+
+  /// Difference set N - N; s and t interfere iff s - t ∈ (N - N).
+  PointVec difference_set() const;
+
+  /// Smallest box containing all elements.
+  Box bounding_box() const;
+
+  /// 90° counterclockwise rotation about the origin (2-D only); the
+  /// result is re-anchored to contain 0 if rotation moved 0 away (it
+  /// cannot: rotation fixes 0).
+  Prototile rotated90() const;
+  /// Mirror image across the y-axis (2-D only).
+  Prototile reflected_x() const;
+  /// All distinct images under the 4 rotations (2-D only).
+  std::vector<Prototile> rotations() const;
+
+  /// 4-neighbour connectivity in Z² (polyomino test prerequisite).
+  bool is_connected() const;
+
+  /// ASCII rendering (2-D only), rows top-to-bottom; origin drawn as 'O'.
+  std::string to_ascii() const;
+
+  bool operator==(const Prototile& o) const { return points_ == o.points_; }
+  bool operator!=(const Prototile& o) const { return !(*this == o); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Prototile& t);
+
+ private:
+  PointVec points_;
+  PointSet point_set_;
+  std::string name_;
+  void require_2d(const char* what) const;
+};
+
+}  // namespace latticesched

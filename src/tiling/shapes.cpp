@@ -1,0 +1,122 @@
+#include "tiling/shapes.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace latticesched {
+namespace shapes {
+
+namespace {
+
+// Enumerates the coordinate box [-b, b]^dim and keeps points passing
+// `keep`; shared skeleton of the ball factories.
+template <typename Pred>
+PointVec filter_box(std::size_t dim, std::int64_t b, Pred keep) {
+  PointVec out;
+  Point p(dim);
+  for (std::size_t i = 0; i < dim; ++i) p[i] = -b;
+  while (true) {
+    if (keep(p)) out.push_back(p);
+    std::size_t i = 0;
+    while (i < dim) {
+      if (++p[i] <= b) break;
+      p[i] = -b;
+      ++i;
+    }
+    if (i == dim) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Prototile chebyshev_ball(std::size_t dim, std::int64_t r) {
+  if (r < 0) throw std::invalid_argument("chebyshev_ball: negative radius");
+  return Prototile(
+      filter_box(dim, r, [&](const Point& p) { return p.norm_inf() <= r; }),
+      "linf-ball-r" + std::to_string(r));
+}
+
+Prototile l1_ball(std::size_t dim, std::int64_t r) {
+  if (r < 0) throw std::invalid_argument("l1_ball: negative radius");
+  return Prototile(
+      filter_box(dim, r, [&](const Point& p) { return p.norm1() <= r; }),
+      "l1-ball-r" + std::to_string(r));
+}
+
+Prototile euclidean_ball(const Lattice& lattice, double r) {
+  if (r < 0) throw std::invalid_argument("euclidean_ball: negative radius");
+  // Conservative coordinate bound: |B·p| >= |p|_inf * min basis reach;
+  // simply use r / shortest-vector length, rounded up, plus slack.
+  const double min_len = std::sqrt(lattice.minimum_sq());
+  const auto bound =
+      static_cast<std::int64_t>(std::ceil(r / std::max(min_len, 1e-9))) + 1;
+  const double r_sq = r * r + 1e-9;
+  PointVec pts = filter_box(lattice.dim(), bound, [&](const Point& p) {
+    return lattice.norm_sq(p) <= r_sq;
+  });
+  char radius_str[32];
+  std::snprintf(radius_str, sizeof radius_str, "%g", r);
+  return Prototile(std::move(pts),
+                   lattice.name() + "-l2-ball-r" + radius_str);
+}
+
+Prototile rectangle(std::int64_t w, std::int64_t h, std::int64_t origin_x,
+                    std::int64_t origin_y) {
+  if (w <= 0 || h <= 0) throw std::invalid_argument("rectangle: empty");
+  if (origin_x < 0 || origin_x >= w || origin_y < 0 || origin_y >= h) {
+    throw std::invalid_argument("rectangle: origin outside rectangle");
+  }
+  PointVec pts;
+  for (std::int64_t x = 0; x < w; ++x) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      pts.push_back(Point{x - origin_x, y - origin_y});
+    }
+  }
+  return Prototile(std::move(pts), "rect" + std::to_string(w) + "x" +
+                                       std::to_string(h));
+}
+
+Prototile directional_antenna() {
+  // 2 wide, 4 tall, origin at the top-left cell: the antenna radiates
+  // into the two columns below/right of the sensor.
+  return rectangle(2, 4, /*origin_x=*/0, /*origin_y=*/3);
+}
+
+Prototile s_tetromino() {
+  return Prototile::from_ascii({".XX",
+                                "OX."},
+                               "S-tetromino");
+}
+
+Prototile z_tetromino() {
+  return Prototile::from_ascii({"XX.",
+                                ".OX"},
+                               "Z-tetromino");
+}
+
+Prototile l_tromino() {
+  return Prototile::from_ascii({"X.",
+                                "OX"},
+                               "L-tromino");
+}
+
+Prototile straight_polyomino(std::int64_t k) {
+  if (k <= 0) throw std::invalid_argument("straight_polyomino: k <= 0");
+  PointVec pts;
+  for (std::int64_t x = 0; x < k; ++x) pts.push_back(Point{x, 0});
+  return Prototile(std::move(pts), "I" + std::to_string(k));
+}
+
+Prototile quadrant_sector(std::int64_t r) {
+  if (r < 0) throw std::invalid_argument("quadrant_sector: negative radius");
+  PointVec pts;
+  for (std::int64_t x = 0; x <= r; ++x) {
+    for (std::int64_t y = 0; y <= r; ++y) pts.push_back(Point{x, y});
+  }
+  return Prototile(std::move(pts), "quadrant-r" + std::to_string(r));
+}
+
+}  // namespace shapes
+}  // namespace latticesched

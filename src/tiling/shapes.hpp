@@ -1,0 +1,62 @@
+// Factory functions for the neighborhood shapes discussed in the paper.
+//
+// Figure 2 shows three examples: a Chebyshev (l∞) ball, a Euclidean (l2)
+// ball, and a directional-antenna neighborhood.  Figure 5 uses S- and
+// Z-tetrominoes.  These factories produce them (and relatives) for any
+// radius/size, so the experiments can sweep neighborhood sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/lattice.hpp"
+#include "tiling/prototile.hpp"
+
+namespace latticesched {
+namespace shapes {
+
+/// Ball of radius r in the Chebyshev (l∞) metric: (2r+1)^d points
+/// (Figure 2 left for d=2, r=1: 9 points).
+Prototile chebyshev_ball(std::size_t dim, std::int64_t r);
+
+/// Ball of radius r in the l1 metric (diamond / cross for r=1).
+Prototile l1_ball(std::size_t dim, std::int64_t r);
+
+/// Ball of (Euclidean) radius r in the metric of the given lattice
+/// (Figure 2 middle: square lattice, r=1 gives the 5-point plus shape).
+/// Membership is decided exactly via the lattice's scaled Gram form when
+/// r is rational-friendly; a small epsilon guards double rounding.
+Prototile euclidean_ball(const Lattice& lattice, double r);
+
+/// Axis-aligned w x h rectangle of cells with the origin at the given
+/// offset inside it (defaults to the top-left cell, matching the 2x4
+/// directional-antenna neighborhood of Figures 2/3 when w=2, h=4: the
+/// sensor radiates "south" of itself).
+Prototile rectangle(std::int64_t w, std::int64_t h,
+                    std::int64_t origin_x = 0, std::int64_t origin_y = 0);
+
+/// The paper's Figure 2 (right) / Figure 3 directional-antenna
+/// neighborhood: a 2-wide, 4-tall block with the origin in the top-left.
+Prototile directional_antenna();
+
+/// S-tetromino ("XX.." over ".XX" reading top-down):
+///   .XX
+///   XX.
+Prototile s_tetromino();
+
+/// Z-tetromino, the mirror image:
+///   XX.
+///   .XX
+Prototile z_tetromino();
+
+/// L-tromino (three cells).
+Prototile l_tromino();
+
+/// Straight k-omino along the x-axis (1 x k).
+Prototile straight_polyomino(std::int64_t k);
+
+/// A 90° quadrant sector of a Chebyshev ball: models a sensor whose
+/// antenna radiates into the first quadrant with range r.
+Prototile quadrant_sector(std::int64_t r);
+
+}  // namespace shapes
+}  // namespace latticesched

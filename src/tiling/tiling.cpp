@@ -1,0 +1,145 @@
+#include "tiling/tiling.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+Tiling::Tiling(std::vector<Prototile> prototiles, Sublattice period)
+    : prototiles_(std::move(prototiles)), period_(std::move(period)) {}
+
+Tiling Tiling::lattice_tiling(Prototile tile, const Sublattice& translates) {
+  if (static_cast<std::int64_t>(tile.size()) != translates.index()) {
+    throw std::invalid_argument(
+        "lattice_tiling: |tile| != index of translate sublattice");
+  }
+  std::vector<Prototile> protos;
+  protos.push_back(std::move(tile));
+  return periodic(std::move(protos), translates,
+                  {{Point::zero(translates.dim()), 0}});
+}
+
+Tiling Tiling::periodic(
+    std::vector<Prototile> prototiles, const Sublattice& period,
+    std::vector<std::pair<Point, std::uint32_t>> placements) {
+  if (prototiles.empty()) {
+    throw std::invalid_argument("Tiling::periodic: no prototiles");
+  }
+  const std::size_t d = period.dim();
+  for (const Prototile& t : prototiles) {
+    if (t.dim() != d) {
+      throw std::invalid_argument("Tiling::periodic: dimension mismatch");
+    }
+  }
+  Tiling out(std::move(prototiles), period);
+  for (const auto& [translate, k] : placements) {
+    if (k >= out.prototiles_.size()) {
+      throw std::invalid_argument("Tiling::periodic: bad prototile index");
+    }
+    const Point rep = period.reduce(translate);
+    if (!out.placement_by_residue_.emplace(rep, k).second) {
+      throw std::invalid_argument(
+          "Tiling::periodic: duplicate placement translate class");
+    }
+    out.placements_.emplace_back(rep, k);
+    const Prototile& tile = out.prototiles_[k];
+    for (std::size_t i = 0; i < tile.size(); ++i) {
+      const Point cell = period.reduce(rep + tile.element(i));
+      Cell info;
+      info.prototile = k;
+      info.element_index = static_cast<std::uint32_t>(i);
+      info.translate_class = rep;
+      if (!out.cell_by_residue_.emplace(cell, info).second) {
+        std::ostringstream os;
+        os << "Tiling::periodic: overlap at coset " << cell
+           << " (violates T2/GT2)";
+        throw std::invalid_argument(os.str());
+      }
+    }
+  }
+  if (out.cell_by_residue_.size() !=
+      static_cast<std::size_t>(period.index())) {
+    std::ostringstream os;
+    os << "Tiling::periodic: cover incomplete (violates T1/GT1): "
+       << out.cell_by_residue_.size() << " of " << period.index()
+       << " cosets covered";
+    throw std::invalid_argument(os.str());
+  }
+  return out;
+}
+
+Covering Tiling::covering(const Point& p) const {
+  const Point rep = period_.reduce(p);
+  const auto it = cell_by_residue_.find(rep);
+  if (it == cell_by_residue_.end()) {
+    throw std::logic_error("Tiling::covering: residue missing (corrupt)");
+  }
+  const Cell& cell = it->second;
+  Covering c;
+  c.prototile = cell.prototile;
+  c.element_index = cell.element_index;
+  c.translate =
+      p - prototiles_[cell.prototile].element(cell.element_index);
+  return c;
+}
+
+std::vector<std::pair<Point, std::uint32_t>> Tiling::placements_in(
+    const Box& box) const {
+  std::vector<std::pair<Point, std::uint32_t>> out;
+  box.for_each([&](const Point& t) {
+    const auto it = placement_by_residue_.find(period_.reduce(t));
+    if (it != placement_by_residue_.end()) {
+      out.emplace_back(t, it->second);
+    }
+  });
+  return out;
+}
+
+std::optional<std::uint32_t> Tiling::respectable_prototile() const {
+  for (std::uint32_t k = 0; k < prototiles_.size(); ++k) {
+    bool contains_all = true;
+    for (std::size_t j = 0; j < prototiles_.size(); ++j) {
+      if (!prototiles_[k].contains_tile(prototiles_[j])) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (contains_all) return k;
+  }
+  return std::nullopt;
+}
+
+bool Tiling::verify_window(const Box& box, std::string* error) const {
+  // Any tile whose translate is within reach of the box can contribute;
+  // expand by the largest bounding-box extent among prototiles.
+  std::int64_t reach = 0;
+  for (const Prototile& t : prototiles_) {
+    const Box bb = t.bounding_box();
+    for (std::size_t i = 0; i < t.dim(); ++i) {
+      reach = std::max(reach,
+                       static_cast<std::int64_t>(std::llabs(bb.lo()[i])));
+      reach = std::max(reach,
+                       static_cast<std::int64_t>(std::llabs(bb.hi()[i])));
+    }
+  }
+  PointMap<int> coverage;
+  for (const auto& [t, k] : placements_in(box.expanded(reach))) {
+    for (const Point& p : prototiles_[k].translated(t)) {
+      if (box.contains(p)) ++coverage[p];
+    }
+  }
+  bool ok = true;
+  std::ostringstream os;
+  box.for_each([&](const Point& p) {
+    const auto it = coverage.find(p);
+    const int c = it == coverage.end() ? 0 : it->second;
+    if (c != 1 && ok) {
+      ok = false;
+      os << "point " << p << " covered " << c << " times";
+    }
+  });
+  if (!ok && error != nullptr) *error = os.str();
+  return ok;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,99 @@
+// Tilings of Z^d by translates of prototiles (Sections 2 and 4).
+//
+// A tiling is a translate set T (single prototile, conditions T1/T2) or a
+// family T_1 … T_n (several prototiles, conditions GT1/GT2).  Every tiling
+// this library constructs is *periodic*: invariant under a finite-index
+// period sublattice P.  A periodic tiling is stored as its quotient data —
+// for every coset of P, which (translate class, prototile, element) covers
+// it — which makes `covering(p)` an O(d) lookup and lets a finite check on
+// the quotient certify the infinite conditions T1/T2 (coverage counts are
+// P-periodic, so "each coset covered exactly once" lifts to "each lattice
+// point covered exactly once").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lattice/region.hpp"
+#include "lattice/sublattice.hpp"
+#include "tiling/prototile.hpp"
+
+namespace latticesched {
+
+/// Which tile covers a given lattice point: the point equals
+/// `translate + prototile.element(element_index)`.
+struct Covering {
+  Point translate;
+  std::uint32_t prototile = 0;
+  std::uint32_t element_index = 0;
+};
+
+class Tiling {
+ public:
+  /// Lattice tiling (T = sublattice): requires |tile| == translates.index()
+  /// and that the tile's elements form a complete residue system modulo
+  /// the translate sublattice; throws otherwise.
+  static Tiling lattice_tiling(Prototile tile, const Sublattice& translates);
+
+  /// General periodic tiling from explicit placements: each placement is a
+  /// (translate, prototile-index) pair, interpreted modulo `period`.
+  /// Validates the exact-cover property (GT1 + GT2 on the quotient) and
+  /// throws std::invalid_argument when violated.
+  static Tiling periodic(std::vector<Prototile> prototiles,
+                         const Sublattice& period,
+                         std::vector<std::pair<Point, std::uint32_t>> placements);
+
+  std::size_t dim() const { return period_.dim(); }
+  const Sublattice& period() const { return period_; }
+  const std::vector<Prototile>& prototiles() const { return prototiles_; }
+  const Prototile& prototile(std::size_t k) const {
+    return prototiles_.at(k);
+  }
+  std::size_t prototile_count() const { return prototiles_.size(); }
+
+  /// Canonical placements (translate classes reduced modulo the period).
+  const std::vector<std::pair<Point, std::uint32_t>>& placements() const {
+    return placements_;
+  }
+
+  /// The unique tile covering p (always defined: condition T1/GT1).
+  Covering covering(const Point& p) const;
+
+  /// All placements whose translate lies in `box` (translates enumerated
+  /// in the infinite tiling, not just canonical ones).
+  std::vector<std::pair<Point, std::uint32_t>> placements_in(const Box& box)
+      const;
+
+  /// Index of a prototile containing all others (the paper's respectable
+  /// prototile N_1), if one exists.  Single-prototile tilings are always
+  /// respectable.
+  std::optional<std::uint32_t> respectable_prototile() const;
+  bool is_respectable() const { return respectable_prototile().has_value(); }
+
+  /// Independent brute-force re-verification of the covering conditions on
+  /// a window: every point of `box` must be covered exactly once by the
+  /// placements found near the box.  Returns false and fills `error`
+  /// (when non-null) on violation.  Used by tests as a second opinion on
+  /// the quotient-based constructor validation.
+  bool verify_window(const Box& box, std::string* error = nullptr) const;
+
+ private:
+  Tiling(std::vector<Prototile> prototiles, Sublattice period);
+
+  std::vector<Prototile> prototiles_;
+  Sublattice period_;
+  std::vector<std::pair<Point, std::uint32_t>> placements_;
+
+  struct Cell {
+    std::uint32_t prototile = 0;
+    std::uint32_t element_index = 0;
+    Point translate_class;  // canonical representative of the translate
+  };
+  PointMap<Cell> cell_by_residue_;
+  PointMap<std::uint32_t> placement_by_residue_;
+};
+
+}  // namespace latticesched

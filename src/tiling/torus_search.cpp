@@ -1,0 +1,186 @@
+#include "tiling/torus_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latticesched {
+
+namespace {
+
+struct SearchState {
+  const std::vector<Prototile>* prototiles = nullptr;
+  const Sublattice* period = nullptr;
+  // Torus cells in a fixed order with an index lookup.
+  PointVec cells;
+  PointMap<std::uint32_t> cell_index;
+  std::vector<bool> covered;
+  std::size_t covered_count = 0;
+  std::vector<std::pair<Point, std::uint32_t>> placements;
+  std::vector<std::size_t> uses;  // placements per prototile
+  std::uint64_t nodes = 0;
+  std::uint64_t node_limit = 0;
+  bool require_all = false;
+  std::size_t result_limit = 1;
+  std::vector<Tiling>* results = nullptr;
+
+  // Precomputed: for prototile k and element e, the list of cell-index
+  // deltas is not constant on a general torus, so placements are computed
+  // on demand via reduce(); the reduce cost dominates but stays tiny for
+  // the torus sizes used here.
+};
+
+// Records the current placement list as a Tiling (validation re-runs in
+// Tiling::periodic, which acts as an internal consistency check).
+void emit(SearchState& st) {
+  st.results->push_back(
+      Tiling::periodic(*st.prototiles, *st.period, st.placements));
+}
+
+bool search(SearchState& st) {
+  if (st.covered_count == st.cells.size()) {
+    if (st.require_all) {
+      for (std::size_t k = 0; k < st.uses.size(); ++k) {
+        if (st.uses[k] == 0) return false;
+      }
+    }
+    emit(st);
+    return st.results->size() >= st.result_limit;
+  }
+  // First uncovered cell; every placement covering it is tried once.
+  std::size_t first = 0;
+  while (st.covered[first]) ++first;
+  const Point& target = st.cells[first];
+
+  for (std::uint32_t k = 0; k < st.prototiles->size(); ++k) {
+    const Prototile& tile = (*st.prototiles)[k];
+    for (std::size_t e = 0; e < tile.size(); ++e) {
+      if (++st.nodes > st.node_limit) return true;  // budget exhausted
+      const Point translate = target - tile.element(e);
+      // Collect the covered cell indices; reject overlaps and self-wraps.
+      bool feasible = true;
+      std::vector<std::uint32_t> ids;
+      ids.reserve(tile.size());
+      for (const Point& n : tile.points()) {
+        const Point cell = st.period->reduce(translate + n);
+        const std::uint32_t id = st.cell_index.at(cell);
+        if (st.covered[id] ||
+            std::find(ids.begin(), ids.end(), id) != ids.end()) {
+          feasible = false;
+          break;
+        }
+        ids.push_back(id);
+      }
+      if (!feasible) continue;
+      for (std::uint32_t id : ids) st.covered[id] = true;
+      st.covered_count += ids.size();
+      st.placements.emplace_back(translate, k);
+      ++st.uses[k];
+      const bool done = search(st);
+      --st.uses[k];
+      st.placements.pop_back();
+      st.covered_count -= ids.size();
+      for (std::uint32_t id : ids) st.covered[id] = false;
+      if (done) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Tiling> run_search(const std::vector<Prototile>& prototiles,
+                               const Sublattice& period,
+                               const TorusSearchConfig& config,
+                               std::size_t limit) {
+  if (prototiles.empty()) {
+    throw std::invalid_argument("torus search: no prototiles");
+  }
+  for (const Prototile& t : prototiles) {
+    if (t.dim() != period.dim()) {
+      throw std::invalid_argument("torus search: dimension mismatch");
+    }
+  }
+  std::vector<Tiling> results;
+  SearchState st;
+  st.prototiles = &prototiles;
+  st.period = &period;
+  st.cells = period.coset_representatives();
+  for (std::uint32_t i = 0; i < st.cells.size(); ++i) {
+    st.cell_index.emplace(st.cells[i], i);
+  }
+  st.covered.assign(st.cells.size(), false);
+  st.uses.assign(prototiles.size(), 0);
+  st.node_limit = config.node_limit;
+  st.require_all = config.require_all_prototiles;
+  st.result_limit = limit;
+  st.results = &results;
+  search(st);
+  return results;
+}
+
+}  // namespace
+
+std::optional<Tiling> find_tiling_on_torus(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    const TorusSearchConfig& config) {
+  auto results = run_search(prototiles, period, config, 1);
+  if (results.empty()) return std::nullopt;
+  return std::move(results.front());
+}
+
+std::vector<Tiling> all_tilings_on_torus(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    std::size_t limit, const TorusSearchConfig& config) {
+  return run_search(prototiles, period, config, limit);
+}
+
+std::optional<Tiling> search_periodic_tiling(
+    const std::vector<Prototile>& prototiles,
+    const TorusSearchConfig& config) {
+  if (prototiles.empty()) {
+    throw std::invalid_argument("search_periodic_tiling: no prototiles");
+  }
+  const std::size_t d = prototiles.front().dim();
+  // Candidate diagonal periods ordered by cell count, then by shape.
+  std::vector<std::vector<std::int64_t>> shapes;
+  if (d == 2) {
+    for (std::int64_t a = 1; a * a <= config.max_period_cells * 4; ++a) {
+      for (std::int64_t b = a; a * b <= config.max_period_cells; ++b) {
+        shapes.push_back({a, b});
+        if (a != b) shapes.push_back({b, a});
+      }
+    }
+  } else {
+    for (std::int64_t a = 1;; ++a) {
+      std::int64_t cells = 1;
+      for (std::size_t i = 0; i < d; ++i) cells *= a;
+      if (cells > config.max_period_cells) break;
+      shapes.push_back(std::vector<std::int64_t>(d, a));
+    }
+  }
+  std::sort(shapes.begin(), shapes.end(),
+            [](const auto& x, const auto& y) {
+              std::int64_t px = 1, py = 1;
+              for (auto v : x) px *= v;
+              for (auto v : y) py *= v;
+              if (px != py) return px < py;
+              return x < y;
+            });
+  // Minimum cells: the smallest prototile must fit at least once, and for
+  // single-prototile tilings the size must divide the cell count.
+  std::size_t min_tile = prototiles.front().size();
+  for (const auto& t : prototiles) min_tile = std::min(min_tile, t.size());
+  for (const auto& shape : shapes) {
+    std::int64_t cells = 1;
+    for (auto v : shape) cells *= v;
+    if (cells < static_cast<std::int64_t>(min_tile)) continue;
+    if (prototiles.size() == 1 &&
+        cells % static_cast<std::int64_t>(min_tile) != 0) {
+      continue;
+    }
+    auto tiling = find_tiling_on_torus(prototiles,
+                                       Sublattice::diagonal(shape), config);
+    if (tiling.has_value()) return tiling;
+  }
+  return std::nullopt;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,58 @@
+// Periodic tiling search by exact cover on a quotient torus.
+//
+// Fix a finite-index period sublattice P.  Tiles placed on the quotient
+// Z^d / P (with all arithmetic modulo P) that cover every coset exactly
+// once lift to a P-periodic tiling of Z^d — this is how non-lattice
+// translate sets (such as the mixed S/Z tetromino tiling of the paper's
+// Figure 5) are found.  The search is a classic first-empty-cell
+// backtracking over placements, complete for the given torus.
+//
+// Completeness note: any tiling that is periodic with some index-q period
+// is also periodic with the diagonal period q·Z^d (the quotient group has
+// exponent dividing q), so sweeping diagonal tori of growing size
+// eventually finds every periodic tiling.  The sweep is still a
+// semi-decision procedure: tiles admitting only aperiodic tilings (none
+// are known for single polyominoes) or only large periods fall outside a
+// finite budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lattice/sublattice.hpp"
+#include "tiling/prototile.hpp"
+#include "tiling/tiling.hpp"
+
+namespace latticesched {
+
+struct TorusSearchConfig {
+  /// Upper bound on period cells for the period sweep.
+  std::int64_t max_period_cells = 256;
+  /// Backtracking node budget (placements tried) per torus.
+  std::uint64_t node_limit = 20'000'000;
+  /// Require every prototile to appear at least once (used to force
+  /// genuinely mixed tilings like Figure 5 left).
+  bool require_all_prototiles = false;
+};
+
+/// Exact-cover search on the torus Z^d / period; returns a Tiling whose
+/// period is `period` when one exists within the node budget.
+std::optional<Tiling> find_tiling_on_torus(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    const TorusSearchConfig& config = {});
+
+/// Enumerates ALL tilings on the given torus (up to `limit` results);
+/// used to survey the schedule-quality spread across tilings (Figure 5's
+/// point is that the optimum depends on the chosen tiling).
+std::vector<Tiling> all_tilings_on_torus(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    std::size_t limit, const TorusSearchConfig& config = {});
+
+/// Sweeps diagonal periods a·Z x b·Z (2-D) or cubes (higher d) of
+/// increasing cell count and returns the first tiling found.
+std::optional<Tiling> search_periodic_tiling(
+    const std::vector<Prototile>& prototiles,
+    const TorusSearchConfig& config = {});
+
+}  // namespace latticesched

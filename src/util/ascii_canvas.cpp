@@ -1,0 +1,62 @@
+#include "util/ascii_canvas.hpp"
+
+#include <stdexcept>
+
+namespace latticesched {
+
+AsciiCanvas::AsciiCanvas(std::size_t width, std::size_t height, char fill)
+    : width_(width), height_(height),
+      rows_(height, std::string(width, fill)) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("AsciiCanvas: zero dimension");
+  }
+}
+
+bool AsciiCanvas::in_bounds(std::int64_t x, std::int64_t y) const {
+  return x >= 0 && y >= 0 && static_cast<std::size_t>(x) < width_ &&
+         static_cast<std::size_t>(y) < height_;
+}
+
+void AsciiCanvas::put(std::int64_t x, std::int64_t y, char c) {
+  if (in_bounds(x, y)) {
+    rows_[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = c;
+  }
+}
+
+void AsciiCanvas::put_text(std::int64_t x, std::int64_t y,
+                           const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    put(x + static_cast<std::int64_t>(i), y, s[i]);
+  }
+}
+
+void AsciiCanvas::hline(std::int64_t x, std::int64_t y, std::size_t len,
+                        char c) {
+  for (std::size_t i = 0; i < len; ++i) {
+    put(x + static_cast<std::int64_t>(i), y, c);
+  }
+}
+
+void AsciiCanvas::vline(std::int64_t x, std::int64_t y, std::size_t len,
+                        char c) {
+  for (std::size_t i = 0; i < len; ++i) {
+    put(x, y + static_cast<std::int64_t>(i), c);
+  }
+}
+
+char AsciiCanvas::at(std::int64_t x, std::int64_t y) const {
+  if (!in_bounds(x, y)) return '\0';
+  return rows_[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)];
+}
+
+std::string AsciiCanvas::to_string() const {
+  std::string out;
+  out.reserve((width_ + 1) * height_);
+  for (std::size_t y = height_; y-- > 0;) {
+    out += rows_[y];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace latticesched

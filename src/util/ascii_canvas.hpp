@@ -1,0 +1,48 @@
+// Fixed-size character canvas used to render lattice schedules, tilings and
+// Voronoi sketches as ASCII diagrams (the reproduction of the paper's
+// Figures 3 and 5 is emitted through this class).
+//
+// Coordinates follow the mathematical convention: x grows to the right and
+// y grows upward; the canvas flips y when rendering so the origin row
+// appears at the bottom of the printed block.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace latticesched {
+
+class AsciiCanvas {
+ public:
+  /// Creates a canvas of `width` x `height` characters filled with `fill`.
+  AsciiCanvas(std::size_t width, std::size_t height, char fill = ' ');
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  /// Writes a single character; out-of-bounds writes are silently clipped
+  /// (convenient when sketching shapes that straddle the border).
+  void put(std::int64_t x, std::int64_t y, char c);
+
+  /// Writes a string starting at (x, y), growing in +x; clipped.
+  void put_text(std::int64_t x, std::int64_t y, const std::string& s);
+
+  /// Draws a horizontal run of `c` of length `len` starting at (x, y).
+  void hline(std::int64_t x, std::int64_t y, std::size_t len, char c = '-');
+
+  /// Draws a vertical run of `c` of length `len` starting at (x, y).
+  void vline(std::int64_t x, std::int64_t y, std::size_t len, char c = '|');
+
+  char at(std::int64_t x, std::int64_t y) const;
+
+  /// Renders top row last (y flipped), each row newline-terminated.
+  std::string to_string() const;
+
+ private:
+  std::size_t width_, height_;
+  std::vector<std::string> rows_;  // rows_[y] is the row at height y
+  bool in_bounds(std::int64_t x, std::int64_t y) const;
+};
+
+}  // namespace latticesched

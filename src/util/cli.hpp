@@ -1,0 +1,51 @@
+// Minimal command-line flag parser for the example programs.
+//
+// Supports `--name=value` and boolean `--name` forms.  Unrecognized flags
+// raise, so typos are caught instead of silently using defaults (an easy
+// way to invalidate an experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace latticesched {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Registers a flag with a default value and help text.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv; throws std::invalid_argument on unknown flags or
+  /// malformed input.  Recognizes --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  std::string help_text() const;
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  const Flag& find(const std::string& name) const;
+};
+
+}  // namespace latticesched

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (workload generators, simulated
+// annealing, mobility models, property-test generators) draw from `Rng`,
+// a xoshiro256** generator seeded through splitmix64.  Two runs with the
+// same seed produce bit-identical streams on every platform, which is what
+// makes the benchmark harness reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace latticesched {
+
+/// Splitmix64 step; used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator, so it
+/// can be plugged into <random> distributions as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound); `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (no modulo bias).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double next_gaussian();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel-safe sub-streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace latticesched

@@ -1,0 +1,82 @@
+// Summary statistics used by the benchmark harness and the simulator
+// metrics: online mean/variance (Welford), min/max, and percentile
+// extraction from retained samples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace latticesched {
+
+/// Online accumulator: O(1) per observation, numerically stable variance.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains every sample; supports exact percentiles.  Intended for latency
+/// distributions where tail behaviour matters.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus
+/// under/overflow counters; used for latency distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Renders a compact ASCII bar chart (one line per bucket).
+  std::string to_string(std::size_t max_bar_width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Jain's fairness index of a vector of allocations: (Σx)² / (n·Σx²).
+/// Returns 1.0 for perfectly equal shares, 1/n for a single hog.
+double jain_fairness(const std::vector<double>& xs);
+
+}  // namespace latticesched

@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+  aligns_[0] = Align::kLeft;  // first column is usually a label
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::begin_row() {
+  if (row_open_ && !current_.empty()) {
+    throw std::logic_error("Table::begin_row: previous row unfinished");
+  }
+  row_open_ = true;
+}
+
+void Table::flush_row() {
+  add_row(std::move(current_));
+  current_ = {};
+  row_open_ = false;
+}
+
+void Table::push_cell(std::string s) {
+  if (!row_open_) throw std::logic_error("Table::cell: no open row");
+  current_.push_back(std::move(s));
+  if (current_.size() == headers_.size()) flush_row();
+}
+
+void Table::cell(const std::string& s) { push_cell(s); }
+void Table::cell(const char* s) { push_cell(s); }
+void Table::cell(std::int64_t v) { push_cell(std::to_string(v)); }
+void Table::cell(std::uint64_t v) { push_cell(std::to_string(v)); }
+void Table::cell(int v) { push_cell(std::to_string(v)); }
+void Table::cell(unsigned v) { push_cell(std::to_string(v)); }
+void Table::cell(double v, int precision) {
+  push_cell(format_double(v, precision));
+}
+void Table::cell_percent(double fraction, int precision) {
+  push_cell(format_double(fraction * 100.0, precision) + "%");
+}
+
+void Table::set_align(std::size_t col, Align a) { aligns_.at(col) = a; }
+
+std::string Table::to_string() const {
+  if (row_open_ && !current_.empty()) {
+    throw std::logic_error("Table::to_string: unfinished row");
+  }
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      if (c != 0) os << "  ";
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != row.size()) {
+        os << std::string(pad, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace latticesched

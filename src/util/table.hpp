@@ -1,0 +1,60 @@
+// Aligned console table printer.  The benchmark binaries use this to emit
+// the rows/series corresponding to each paper figure in a stable,
+// greppable layout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace latticesched {
+
+/// Column alignment within a table cell.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows of strings (helpers format
+/// numbers), print with aligned columns and a separator rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a fully formed row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row-building helpers: begin_row() then exactly cols() cell(...) calls;
+  /// the row auto-flushes once the last cell of the row is supplied.
+  void begin_row();
+  void cell(const std::string& s);
+  void cell(const char* s);
+  void cell(std::int64_t v);
+  void cell(std::uint64_t v);
+  void cell(int v);
+  void cell(unsigned v);
+  void cell(double v, int precision = 3);
+  /// Formats as a percentage with the given precision, e.g. "12.5%".
+  void cell_percent(double fraction, int precision = 1);
+
+  void set_align(std::size_t col, Align a);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Renders with single-space-padded columns and an underline rule.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+  std::vector<std::string> current_;
+  bool row_open_ = false;
+  void flush_row();
+  void push_cell(std::string s);
+};
+
+/// Formats a double with fixed precision (helper shared with Table).
+std::string format_double(double v, int precision);
+
+}  // namespace latticesched

@@ -1,0 +1,85 @@
+// TDMA and coloring baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/coloring_schedule.hpp"
+#include "baseline/tdma.hpp"
+#include "core/collision.hpp"
+#include "core/optimality.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Tdma, OneSlotPerSensor) {
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 3),
+                                        shapes::chebyshev_ball(2, 1));
+  const SensorSlots s = tdma_slots(d);
+  EXPECT_EQ(s.period, d.size());
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(s.slot[i], i);
+  }
+  EXPECT_TRUE(check_collision_free(d, s).collision_free);
+  EXPECT_THROW(tdma_slots(Deployment::uniform({}, shapes::l1_ball(2, 1))),
+               std::invalid_argument);
+}
+
+TEST(Tdma, PeriodGrowsWithNetworkWhileTilingStaysFixed) {
+  // The paper's scaling complaint, in miniature.
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule tiling_sched(*make_lattice_tiling(ball));
+  for (std::int64_t n : {4, 8, 12}) {
+    const Deployment d = Deployment::grid(Box::cube(2, 0, n - 1), ball);
+    EXPECT_EQ(tdma_slots(d).period, static_cast<std::uint32_t>(n * n));
+    EXPECT_EQ(tiling_sched.period(), 9u);  // independent of n
+  }
+}
+
+class ColoringBaselines
+    : public ::testing::TestWithParam<ColoringHeuristic> {};
+
+TEST_P(ColoringBaselines, ProducesCollisionFreeSchedules) {
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 5),
+                                        shapes::l1_ball(2, 1));
+  SaConfig sa;
+  sa.max_iters = 30'000;
+  const SensorSlots s = coloring_slots(d, GetParam(), sa);
+  EXPECT_GT(s.period, 0u);
+  EXPECT_TRUE(check_collision_free(d, s).collision_free)
+      << to_string(GetParam());
+  EXPECT_NE(s.source.find(to_string(GetParam())), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeuristics, ColoringBaselines,
+                         ::testing::Values(ColoringHeuristic::kGreedy,
+                                           ColoringHeuristic::kWelshPowell,
+                                           ColoringHeuristic::kDsatur,
+                                           ColoringHeuristic::kAnnealing));
+
+TEST(ColoringBaselines, NeverBeatTheTilingOptimum) {
+  // On windows where the optimum is |N| (threshold exceeded), heuristics
+  // can only match or exceed it.
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 6), ball);
+  for (ColoringHeuristic h :
+       {ColoringHeuristic::kGreedy, ColoringHeuristic::kWelshPowell,
+        ColoringHeuristic::kDsatur}) {
+    EXPECT_GE(coloring_slots(d, h).period, 9u) << to_string(h);
+  }
+}
+
+TEST(ColoringBaselines, DsaturMatchesOptimumOnLatticeWindows) {
+  // DSATUR tends to find the optimal 9 on Chebyshev windows — a sanity
+  // anchor for the benchmark narrative (heuristics do fine here; the
+  // tiling schedule just gets it constructively and provably).
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 8), ball);
+  const SensorSlots s = coloring_slots(d, ColoringHeuristic::kDsatur);
+  const DeploymentOptimum opt = optimal_slots_for_deployment(d);
+  EXPECT_EQ(opt.optimal_slots, 9u);
+  EXPECT_GE(s.period, opt.optimal_slots);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,150 @@
+// Beauquier–Nivat exactness criterion (Section 3).
+//
+// Hard expectations below were cross-validated against the independent
+// sublattice-tiling and torus-search deciders (see test_exactness.cpp for
+// the systematic agreement property).
+#include "tiling/bn_criterion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(BnCriterion, SingleCellIsExact) {
+  const BnResult r = bn_exactness(Prototile({Point{0, 0}}));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_TRUE(r.exact);
+  ASSERT_TRUE(r.factorization.has_value());
+}
+
+TEST(BnCriterion, RectanglesAreExact) {
+  for (std::int64_t w = 1; w <= 4; ++w) {
+    for (std::int64_t h = 1; h <= 4; ++h) {
+      const BnResult r = bn_exactness(shapes::rectangle(w, h));
+      ASSERT_TRUE(r.applicable);
+      EXPECT_TRUE(r.exact) << w << "x" << h;
+    }
+  }
+}
+
+TEST(BnCriterion, AllTetrominoesAreExact) {
+  // Classic fact: every tetromino tiles the plane by translations.
+  const std::vector<Prototile> tetrominoes = {
+      shapes::s_tetromino(),
+      shapes::z_tetromino(),
+      shapes::straight_polyomino(4),
+      shapes::rectangle(2, 2),
+      Prototile::from_ascii({"XXX", ".O."}, "T"),
+      Prototile::from_ascii({"X.", "X.", "OX"}, "L"),
+  };
+  for (const Prototile& t : tetrominoes) {
+    const BnResult r = bn_exactness(t);
+    ASSERT_TRUE(r.applicable) << t.name();
+    EXPECT_TRUE(r.exact) << t.name();
+  }
+}
+
+TEST(BnCriterion, FigureTwoShapesAreExact) {
+  // The paper: "it immediately follows that each prototile shown in
+  // Figure 2 is exact."
+  for (const Prototile& t :
+       {shapes::chebyshev_ball(2, 1),
+        shapes::euclidean_ball(Lattice::square(), 1.0),
+        shapes::directional_antenna()}) {
+    const BnResult r = bn_exactness(t);
+    ASSERT_TRUE(r.applicable) << t.name();
+    EXPECT_TRUE(r.exact) << t.name();
+  }
+}
+
+TEST(BnCriterion, LargerChebyshevBallsAreExact) {
+  for (std::int64_t radius = 1; radius <= 3; ++radius) {
+    EXPECT_TRUE(bn_exactness(shapes::chebyshev_ball(2, radius)).exact);
+  }
+}
+
+TEST(BnCriterion, L1BallsAreExact) {
+  // Lee spheres tile Z² for every radius (perfect Lee codes in 2-D).
+  for (std::int64_t radius = 1; radius <= 3; ++radius) {
+    EXPECT_TRUE(bn_exactness(shapes::l1_ball(2, radius)).exact);
+  }
+}
+
+TEST(BnCriterion, NotApplicableToNonPolyominoes) {
+  EXPECT_FALSE(bn_exactness(Prototile::from_ascii({"X.X"})).applicable);
+  EXPECT_FALSE(
+      bn_exactness(Prototile::from_ascii({"XXX", "X.X", "XXX"})).applicable);
+}
+
+TEST(BnCriterion, FactorizationIsGeometricallyValid) {
+  // Reconstruct the factors and verify W = X·Y·Z·X̂·Ŷ·Ẑ literally.
+  for (const Prototile& t :
+       {shapes::s_tetromino(), shapes::chebyshev_ball(2, 1),
+        shapes::directional_antenna(), shapes::l1_ball(2, 2)}) {
+    const BnResult r = bn_exactness(t);
+    ASSERT_TRUE(r.exact) << t.name();
+    ASSERT_TRUE(r.factorization.has_value());
+    const BnFactorization& f = *r.factorization;
+    const std::string& w = r.boundary.str();
+    const std::size_t n = w.size();
+    auto cyclic = [&](std::size_t from, std::size_t len) {
+      std::string out;
+      for (std::size_t i = 0; i < len; ++i) out += w[(from + i) % n];
+      return out;
+    };
+    const std::string x = cyclic(f.start, f.len_x);
+    const std::string y = cyclic(f.start + f.len_x, f.len_y);
+    const std::string z = cyclic(f.start + f.len_x + f.len_y, f.len_z);
+    const std::string second_half = cyclic(f.start + n / 2, n / 2);
+    const std::string expected = BoundaryWord(x).hat().str() +
+                                 BoundaryWord(y).hat().str() +
+                                 BoundaryWord(z).hat().str();
+    EXPECT_EQ(second_half, expected) << t.name();
+    EXPECT_EQ(f.len_x + f.len_y + f.len_z, n / 2);
+  }
+}
+
+TEST(BnCriterion, FindBnOnOddWordFails) {
+  EXPECT_FALSE(find_bn_factorization(BoundaryWord("rul")).has_value());
+}
+
+// Property sweep: for randomly grown polyominoes the criterion must never
+// crash and must produce a verifiable factorization whenever it reports
+// exactness.  (Agreement with the other deciders is covered in
+// test_exactness.cpp.)
+class BnRandomPolyomino : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BnRandomPolyomino, FactorizationVerifiesWhenExact) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Prototile t = test_helpers::random_polyomino(rng, GetParam());
+    const BnResult r = bn_exactness(t);
+    if (!r.applicable) continue;  // grew a tile with a hole
+    if (!r.exact) continue;
+    const BnFactorization& f = *r.factorization;
+    const std::string& w = r.boundary.str();
+    const std::size_t n = w.size();
+    auto cyclic = [&](std::size_t from, std::size_t len) {
+      std::string out;
+      for (std::size_t i = 0; i < len; ++i) out += w[(from + i) % n];
+      return out;
+    };
+    const std::string second_half = cyclic(f.start + n / 2, n / 2);
+    const std::string expected =
+        BoundaryWord(cyclic(f.start, f.len_x)).hat().str() +
+        BoundaryWord(cyclic(f.start + f.len_x, f.len_y)).hat().str() +
+        BoundaryWord(cyclic(f.start + f.len_x + f.len_y, f.len_z))
+            .hat()
+            .str();
+    EXPECT_EQ(second_half, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BnRandomPolyomino,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+}  // namespace
+}  // namespace latticesched

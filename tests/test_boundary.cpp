@@ -1,0 +1,120 @@
+// Boundary-word extraction (prerequisite of the BN criterion, Section 3).
+#include "tiling/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Steps, CharConversionRoundTrips) {
+  for (char c : {'r', 'u', 'l', 'd'}) {
+    EXPECT_EQ(step_to_char(char_to_step(c)), c);
+  }
+  EXPECT_THROW(char_to_step('x'), std::invalid_argument);
+}
+
+TEST(Steps, ComplementPairs) {
+  EXPECT_EQ(complement(Step::kRight), Step::kLeft);
+  EXPECT_EQ(complement(Step::kLeft), Step::kRight);
+  EXPECT_EQ(complement(Step::kUp), Step::kDown);
+  EXPECT_EQ(complement(Step::kDown), Step::kUp);
+}
+
+TEST(BoundaryWord, HatReversesAndComplements) {
+  const BoundaryWord w("rrud");
+  EXPECT_EQ(w.hat().str(), "udll");
+  // Hat is an involution.
+  EXPECT_EQ(w.hat().hat(), w);
+}
+
+TEST(BoundaryWord, DisplacementAndClosure) {
+  EXPECT_TRUE(BoundaryWord("ruld").is_closed());
+  EXPECT_FALSE(BoundaryWord("rrul").is_closed());
+  EXPECT_EQ(BoundaryWord("rru").displacement(), (Point{2, 1}));
+  EXPECT_THROW(BoundaryWord("abc"), std::invalid_argument);
+}
+
+TEST(TraceBoundary, SingleCell) {
+  const BoundaryAnalysis ba =
+      trace_boundary(Prototile({Point{0, 0}}));
+  EXPECT_TRUE(ba.is_polyomino);
+  EXPECT_EQ(ba.word.str(), "ruld");
+}
+
+TEST(TraceBoundary, HorizontalDomino) {
+  const BoundaryAnalysis ba = trace_boundary(shapes::straight_polyomino(2));
+  EXPECT_TRUE(ba.is_polyomino);
+  EXPECT_EQ(ba.word.length(), 6u);
+  EXPECT_EQ(ba.word.str(), "rrulld");
+  EXPECT_TRUE(ba.word.is_closed());
+}
+
+TEST(TraceBoundary, LTromino) {
+  const BoundaryAnalysis ba = trace_boundary(shapes::l_tromino());
+  EXPECT_TRUE(ba.is_polyomino);
+  EXPECT_EQ(ba.word.length(), 8u);
+  EXPECT_TRUE(ba.word.is_closed());
+}
+
+TEST(TraceBoundary, PerimeterOfRectangles) {
+  for (std::int64_t w = 1; w <= 4; ++w) {
+    for (std::int64_t h = 1; h <= 4; ++h) {
+      const BoundaryAnalysis ba = trace_boundary(shapes::rectangle(w, h));
+      EXPECT_TRUE(ba.is_polyomino);
+      EXPECT_EQ(ba.word.length(), static_cast<std::size_t>(2 * (w + h)))
+          << w << "x" << h;
+      EXPECT_TRUE(ba.word.is_closed());
+    }
+  }
+}
+
+TEST(TraceBoundary, STetrominoPerimeter) {
+  const BoundaryAnalysis ba = trace_boundary(shapes::s_tetromino());
+  EXPECT_TRUE(ba.is_polyomino);
+  EXPECT_EQ(ba.word.length(), 10u);  // S-tetromino perimeter
+}
+
+TEST(TraceBoundary, L1BallPerimeter) {
+  // The plus-pentomino has perimeter 12.
+  const BoundaryAnalysis ba = trace_boundary(shapes::l1_ball(2, 1));
+  EXPECT_TRUE(ba.is_polyomino);
+  EXPECT_EQ(ba.word.length(), 12u);
+}
+
+TEST(TraceBoundary, DisconnectedTileDetected) {
+  const BoundaryAnalysis ba =
+      trace_boundary(Prototile::from_ascii({"X.X"}));
+  EXPECT_FALSE(ba.connected);
+  EXPECT_FALSE(ba.is_polyomino);
+}
+
+TEST(TraceBoundary, HoleDetected) {
+  const BoundaryAnalysis ba = trace_boundary(
+      Prototile::from_ascii({"XXX", "X.X", "XXX"}));
+  EXPECT_TRUE(ba.connected);
+  EXPECT_FALSE(ba.simply_connected);
+  EXPECT_FALSE(ba.is_polyomino);
+}
+
+TEST(TraceBoundary, WordStepsBalanceOnPolyominoes) {
+  // On any traced polyomino the boundary word has equal numbers of r/l
+  // and u/d steps (closure), and length = perimeter (even).
+  for (const Prototile& t :
+       {shapes::z_tetromino(), shapes::chebyshev_ball(2, 1),
+        shapes::directional_antenna(), shapes::quadrant_sector(1)}) {
+    const BoundaryAnalysis ba = trace_boundary(t);
+    ASSERT_TRUE(ba.is_polyomino) << t.name();
+    EXPECT_TRUE(ba.word.is_closed()) << t.name();
+    EXPECT_EQ(ba.word.length() % 2, 0u) << t.name();
+  }
+}
+
+TEST(TraceBoundary, Non2DThrows) {
+  EXPECT_THROW(trace_boundary(Prototile({Point{0, 0, 0}})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latticesched

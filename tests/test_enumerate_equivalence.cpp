@@ -1,0 +1,153 @@
+// Fixed-polyomino enumeration, the exactness census, and tiling
+// equivalence up to translation.
+#include <gtest/gtest.h>
+
+#include "tiling/enumerate.hpp"
+#include "tiling/equivalence.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+#include "tiling/torus_search.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(EnumeratePolyominoes, KnownCounts) {
+  // OEIS A001168: fixed polyominoes.
+  EXPECT_EQ(enumerate_fixed_polyominoes(1).size(), 1u);
+  EXPECT_EQ(enumerate_fixed_polyominoes(2).size(), 2u);
+  EXPECT_EQ(enumerate_fixed_polyominoes(3).size(), 6u);
+  EXPECT_EQ(enumerate_fixed_polyominoes(4).size(), 19u);
+  EXPECT_EQ(enumerate_fixed_polyominoes(5).size(), 63u);
+  EXPECT_EQ(enumerate_fixed_polyominoes(6).size(), 216u);
+}
+
+TEST(EnumeratePolyominoes, AllConnectedCanonicalAndDistinct) {
+  const auto tiles = enumerate_fixed_polyominoes(5);
+  std::set<PointVec> seen;
+  for (const Prototile& t : tiles) {
+    EXPECT_EQ(t.size(), 5u);
+    EXPECT_TRUE(t.is_connected());
+    EXPECT_TRUE(t.contains(Point{0, 0}));
+    // Canonical anchor: origin is the lexicographically smallest cell.
+    EXPECT_EQ(t.points().front(), (Point{0, 0}));
+    EXPECT_TRUE(seen.insert(t.points()).second);
+  }
+}
+
+TEST(EnumeratePolyominoes, ContainsTheNamedTetrominoes) {
+  const auto tiles = enumerate_fixed_polyominoes(4);
+  auto canonical = [](const Prototile& t) {
+    return t.normalized_at(t.points().front()).points();
+  };
+  int found = 0;
+  for (const Prototile& t : tiles) {
+    if (t.points() == canonical(shapes::s_tetromino())) ++found;
+    if (t.points() == canonical(shapes::z_tetromino())) ++found;
+    if (t.points() == canonical(shapes::straight_polyomino(4))) ++found;
+    if (t.points() == canonical(shapes::rectangle(2, 2))) ++found;
+  }
+  EXPECT_EQ(found, 4);
+}
+
+TEST(ExactnessCensusTest, SmallSizesAllExact) {
+  // Every fixed polyomino with up to 4 cells tiles the plane by
+  // translations (all dominoes/trominoes/tetrominoes are exact).
+  for (std::size_t n : {1u, 2u, 3u, 4u}) {
+    const ExactnessCensus c = exactness_census(n);
+    EXPECT_EQ(c.polyominoes, enumerate_fixed_polyominoes(n).size());
+    EXPECT_EQ(c.exact, c.polyominoes) << "size " << n;
+  }
+}
+
+TEST(ExactnessCensusTest, NonExactTilesAppearAtFive) {
+  const ExactnessCensus c5 = exactness_census(5);
+  EXPECT_EQ(c5.polyominoes, 63u);
+  EXPECT_LT(c5.exact, c5.polyominoes);
+  EXPECT_GT(c5.exact, 0u);
+  // The census must agree with the independent sublattice decider.
+  std::size_t lattice_exact = 0;
+  for (const Prototile& t : enumerate_fixed_polyominoes(5)) {
+    if (find_lattice_tiling(t).has_value()) ++lattice_exact;
+  }
+  EXPECT_EQ(c5.exact, lattice_exact);
+}
+
+TEST(Equivalence, TranslatedTilingsAreEqual) {
+  const Sublattice period = Sublattice::diagonal({4, 4});
+  const auto tilings = all_tilings_on_torus({shapes::s_tetromino()}, period,
+                                            1000);
+  ASSERT_GE(tilings.size(), 2u);
+  // Every pure-S tiling of the 4x4 torus with translate structure is a
+  // translate class; build an explicit translate of the first and check.
+  const Tiling& base = tilings.front();
+  std::vector<std::pair<Point, std::uint32_t>> shifted;
+  for (const auto& [t, k] : base.placements()) {
+    shifted.emplace_back(t + Point{1, 2}, k);
+  }
+  const Tiling moved =
+      Tiling::periodic(base.prototiles(), period, shifted);
+  EXPECT_TRUE(tilings_equal_up_to_translation(base, moved));
+}
+
+TEST(Equivalence, DifferentTilingsAreNotEqual) {
+  TorusSearchConfig cfg;
+  cfg.require_all_prototiles = true;
+  const auto mixed = all_tilings_on_torus(
+      {shapes::s_tetromino(), shapes::z_tetromino()},
+      Sublattice::diagonal({4, 4}), 10, cfg);
+  const auto pure = all_tilings_on_torus(
+      {shapes::s_tetromino(), shapes::z_tetromino()},
+      Sublattice::diagonal({4, 4}), 10);
+  ASSERT_FALSE(mixed.empty());
+  // A mixed tiling can never be a translate of a pure-S one.
+  bool found_pure_s = false;
+  for (const Tiling& p : pure) {
+    bool uses_z = false;
+    for (const auto& [t, k] : p.placements()) uses_z |= (k == 1);
+    if (!uses_z) {
+      EXPECT_FALSE(tilings_equal_up_to_translation(mixed.front(), p));
+      found_pure_s = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_pure_s);
+}
+
+TEST(Equivalence, DedupReducesTranslateClasses) {
+  const auto tilings = all_tilings_on_torus({shapes::rectangle(2, 2)},
+                                            Sublattice::diagonal({4, 4}),
+                                            1000);
+  // The 2x2-block tilings of the 4x4 torus: 4 aligned (translate classes
+  // of the grid tiling) + shifted-row/column variants.
+  const auto classes = dedup_tilings_up_to_translation(tilings);
+  EXPECT_LT(classes.size(), tilings.size());
+  // Representatives are pairwise inequivalent.
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    for (std::size_t j = i + 1; j < classes.size(); ++j) {
+      EXPECT_FALSE(tilings_equal_up_to_translation(classes[i], classes[j]));
+    }
+  }
+  // Every original tiling is equivalent to some representative.
+  for (const Tiling& t : tilings) {
+    bool matched = false;
+    for (const Tiling& c : classes) {
+      if (tilings_equal_up_to_translation(t, c)) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST(Equivalence, DifferentPeriodsNeverEqual) {
+  const auto a = make_lattice_tiling(shapes::rectangle(2, 2));
+  const auto b = find_tiling_on_torus({shapes::rectangle(2, 2)},
+                                      Sublattice::diagonal({4, 4}));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(tilings_equal_up_to_translation(*a, *b));
+}
+
+}  // namespace
+}  // namespace latticesched

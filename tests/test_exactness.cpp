@@ -1,0 +1,105 @@
+// The unified exactness pipeline, and the key cross-validation property:
+// for polyominoes, the BN criterion and the lattice-tiling search must
+// agree (Beauquier–Nivat + Wijshoff–van Leeuwen: an exact polyomino always
+// admits a regular/lattice tiling).
+#include "tiling/exactness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Exactness, PolyominoUsesBnAndProducesTiling) {
+  const ExactnessResult r = decide_exactness(shapes::chebyshev_ball(2, 1));
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.method, ExactnessMethod::kBeauquierNivat);
+  ASSERT_TRUE(r.tiling.has_value());
+  std::string err;
+  EXPECT_TRUE(r.tiling->verify_window(Box::centered(2, 8), &err)) << err;
+  ASSERT_TRUE(r.bn.has_value());
+  EXPECT_TRUE(r.bn->exact);
+}
+
+TEST(Exactness, DisconnectedTileFallsThroughToTorus) {
+  const ExactnessResult r =
+      decide_exactness(Prototile::from_ascii({"X.X"}, "gap-duo"));
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.method, ExactnessMethod::kTorusSearch);
+  ASSERT_TRUE(r.tiling.has_value());
+}
+
+TEST(Exactness, NonExactDisconnectedTileUndecided) {
+  TorusSearchConfig cfg;
+  cfg.max_period_cells = 36;
+  cfg.node_limit = 200'000;
+  const ExactnessResult r =
+      decide_exactness(Prototile::from_ascii({"XX.X"}, "013"), cfg);
+  EXPECT_FALSE(r.decided);
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.method, ExactnessMethod::kUndecided);
+}
+
+TEST(Exactness, HoleyTileUndecidedByBudget) {
+  TorusSearchConfig cfg;
+  cfg.max_period_cells = 32;
+  cfg.node_limit = 100'000;
+  const ExactnessResult r = decide_exactness(
+      Prototile::from_ascii({"XXX", "X.X", "XXX"}, "ring"), cfg);
+  // BN is not applicable (not simply connected), searches find nothing.
+  EXPECT_FALSE(r.exact);
+}
+
+TEST(Exactness, MethodToString) {
+  EXPECT_STREQ(to_string(ExactnessMethod::kBeauquierNivat),
+               "beauquier-nivat");
+  EXPECT_STREQ(to_string(ExactnessMethod::kLatticeTiling), "lattice-tiling");
+  EXPECT_STREQ(to_string(ExactnessMethod::kTorusSearch), "torus-search");
+  EXPECT_STREQ(to_string(ExactnessMethod::kUndecided), "undecided");
+}
+
+TEST(Exactness, NonPolyomino3DUsesLatticeSearch) {
+  PointVec cells;
+  for (std::int64_t x = 0; x < 2; ++x) {
+    for (std::int64_t y = 0; y < 2; ++y) {
+      for (std::int64_t z = 0; z < 1; ++z) {
+        cells.push_back(Point{x, y, z});
+      }
+    }
+  }
+  const ExactnessResult r = decide_exactness(Prototile(cells, "slab"));
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.method, ExactnessMethod::kLatticeTiling);
+}
+
+// THE cross-validation property: BN exact <=> a lattice tiling exists,
+// for every randomly grown polyomino.  This pits two completely
+// independent implementations (boundary-word combinatorics vs HNF coset
+// arithmetic) against each other.
+class BnVsLatticeSearch : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BnVsLatticeSearch, DecidersAgreeOnRandomPolyominoes) {
+  Rng rng(9000 + GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const Prototile t = test_helpers::random_polyomino(rng, GetParam());
+    const BnResult bn = bn_exactness(t);
+    if (!bn.applicable) continue;  // holey: BN cannot speak
+    const bool lattice_tiles = find_lattice_tiling(t).has_value();
+    EXPECT_EQ(bn.exact, lattice_tiles)
+        << "deciders disagree on:\n"
+        << t.to_ascii() << "BN=" << bn.exact
+        << " lattice=" << lattice_tiles;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BnVsLatticeSearch,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,84 @@
+// Exhaustive sweeps over ALL fixed polyominoes of small sizes: every
+// exact tile must drive the complete paper pipeline (tiling, schedule,
+// collision-freedom, optimality); every non-exact tile must be rejected
+// consistently by both deciders.
+#include <gtest/gtest.h>
+
+#include "core/collision.hpp"
+#include "core/optimality.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "tiling/bn_criterion.hpp"
+#include "tiling/enumerate.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+
+namespace latticesched {
+namespace {
+
+class ExhaustiveSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExhaustiveSize, EveryExactTileSchedulesEveryNonExactTileRejects) {
+  const std::size_t cells = GetParam();
+  std::size_t exact_count = 0;
+  for (const Prototile& tile : enumerate_fixed_polyominoes(cells)) {
+    const BnResult bn = bn_exactness(tile);
+    ASSERT_TRUE(bn.applicable) << tile.to_ascii();
+    const auto lattice = find_lattice_tiling(tile);
+    ASSERT_EQ(bn.exact, lattice.has_value())
+        << "decider disagreement on\n"
+        << tile.to_ascii();
+    if (!bn.exact) continue;
+    ++exact_count;
+
+    const Tiling tiling = Tiling::lattice_tiling(tile, *lattice);
+    std::string err;
+    ASSERT_TRUE(tiling.verify_window(Box::centered(2, 2 * (std::int64_t)cells + 2), &err))
+        << tile.to_ascii() << err;
+
+    const TilingSchedule sched{Tiling(tiling)};
+    ASSERT_EQ(sched.period(), cells);
+    EXPECT_TRUE(sched.optimal());
+
+    // Collision-free on a window comfortably larger than the tile.
+    const Box window = Box::centered(2, static_cast<std::int64_t>(cells) + 3);
+    const Deployment d = Deployment::grid(window, tile);
+    EXPECT_TRUE(check_collision_free(d, sched).collision_free)
+        << tile.to_ascii();
+  }
+  EXPECT_GT(exact_count, 0u);
+}
+
+// Sizes 1..5 — 1 + 2 + 6 + 19 + 63 = 91 tiles swept end to end.
+INSTANTIATE_TEST_SUITE_P(Sizes, ExhaustiveSize,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ExhaustivePentominoes, KnownExactCountIsStable) {
+  // Pin the pentomino census: the count of exact fixed pentominoes is a
+  // mathematical constant; a change means an exactness-decider
+  // regression.  (Value established jointly by BOTH deciders, which this
+  // suite asserts to agree everywhere.)
+  const ExactnessCensus c = exactness_census(5);
+  std::size_t lattice_exact = 0;
+  for (const Prototile& t : enumerate_fixed_polyominoes(5)) {
+    if (find_lattice_tiling(t).has_value()) ++lattice_exact;
+  }
+  EXPECT_EQ(c.exact, lattice_exact);
+  EXPECT_EQ(c.polyominoes, 63u);
+  // Non-exact pentominoes exist (e.g. some orientations cannot tile by
+  // translation even though all 12 free pentominoes tile with rotations).
+  EXPECT_LT(c.exact, 63u);
+}
+
+TEST(ExhaustiveTetrominoes, RoleOptimaAllEqualFour) {
+  // Every exact fixed tetromino's tiling-constrained optimum is 4.
+  for (const Prototile& tile : enumerate_fixed_polyominoes(4)) {
+    const auto lattice = find_lattice_tiling(tile);
+    ASSERT_TRUE(lattice.has_value()) << tile.to_ascii();
+    const Tiling tiling = Tiling::lattice_tiling(tile, *lattice);
+    const TilingOptimum opt = optimal_slots_for_tiling(tiling);
+    EXPECT_TRUE(opt.proven) << tile.to_ascii();
+    EXPECT_EQ(opt.optimal_slots, 4u) << tile.to_ascii();
+  }
+}
+
+}  // namespace
+}  // namespace latticesched

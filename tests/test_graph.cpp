@@ -1,0 +1,81 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace latticesched {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(0);
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(g.greedy_clique().empty());
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, DuplicatesAndSelfLoopsIgnored) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto& nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Graph, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_FALSE(g.has_edge(0, 99));
+}
+
+TEST(Graph, GreedyCliqueFindsTriangle) {
+  Graph g(5);
+  // Triangle 0-1-2 plus pendant edges.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto clique = g.greedy_clique();
+  EXPECT_EQ(clique.size(), 3u);
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < clique.size(); ++j) {
+      EXPECT_TRUE(g.has_edge(clique[i], clique[j]));
+    }
+  }
+}
+
+TEST(Graph, GreedyCliqueOnCompleteGraph) {
+  Graph g(6);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    for (std::uint32_t j = i + 1; j < 6; ++j) {
+      g.add_edge(i, j);
+    }
+  }
+  EXPECT_EQ(g.greedy_clique().size(), 6u);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,177 @@
+// Guard-slot schedules (skew robustness) and the convergecast simulator.
+#include <gtest/gtest.h>
+
+#include "baseline/tdma.hpp"
+#include "core/collision.hpp"
+#include "core/guarded.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "sim/convergecast.hpp"
+#include "sim/simulator.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+#include "util/rng.hpp"
+
+namespace latticesched {
+namespace {
+
+struct World {
+  Prototile tile = shapes::chebyshev_ball(2, 1);
+  Deployment deployment = Deployment::grid(Box::cube(2, 0, 7), tile);
+  TilingSchedule schedule = TilingSchedule(*decide_exactness(tile).tiling);
+};
+
+TEST(Guarded, SlotStretching) {
+  SensorSlots base;
+  base.period = 3;
+  base.slot = {0, 1, 2};
+  base.source = "test";
+  const SensorSlots g = guarded_slots(base, 3);
+  EXPECT_EQ(g.period, 9u);
+  EXPECT_EQ(g.slot, (std::vector<std::uint32_t>{0, 3, 6}));
+  EXPECT_NE(g.source.find("guard3"), std::string::npos);
+  EXPECT_THROW(guarded_slots(base, 0), std::invalid_argument);
+}
+
+TEST(Guarded, ToleranceFormula) {
+  EXPECT_EQ(guard_tolerance(1), 0);
+  EXPECT_EQ(guard_tolerance(2), 0);
+  EXPECT_EQ(guard_tolerance(3), 1);
+  EXPECT_EQ(guard_tolerance(5), 2);
+}
+
+TEST(Guarded, StillCollisionFreeWithoutDrift) {
+  World w;
+  const SensorSlots g =
+      guarded_slots(assign_slots(w.schedule, w.deployment), 3);
+  EXPECT_TRUE(check_collision_free(w.deployment, g).collision_free);
+}
+
+TEST(Guarded, AbsorbsBoundedDriftThatBreaksThePlainSchedule) {
+  World w;
+  const SensorSlots plain = assign_slots(w.schedule, w.deployment);
+  // Random ±1 offsets on a quarter of the nodes.
+  Rng rng(5);
+  std::vector<std::int64_t> offsets(w.deployment.size(), 0);
+  for (auto& o : offsets) {
+    if (rng.next_bool(0.25)) o = rng.next_bool(0.5) ? 1 : -1;
+  }
+  SimConfig cfg;
+  cfg.slots = 2700;
+  cfg.saturated = true;
+  SlotSimulator sim(w.deployment, cfg);
+
+  SlotScheduleMac drifted_plain(plain, offsets);
+  const SimResult r_plain = sim.run(drifted_plain);
+  EXPECT_GT(r_plain.failed_tx, 0u) << "plain schedule must break";
+
+  // Guard factor 3 tolerates |offset| <= 1 by construction.
+  SlotScheduleMac drifted_guarded(guarded_slots(plain, 3), offsets);
+  const SimResult r_guarded = sim.run(drifted_guarded);
+  EXPECT_EQ(r_guarded.failed_tx, 0u) << "guarded schedule must absorb ±1";
+  // And it pays the 3x throughput price.
+  EXPECT_NEAR(r_guarded.per_sensor_throughput(),
+              r_plain.successful_tx > 0 ? 1.0 / 27.0 : 1.0 / 27.0, 0.004);
+}
+
+TEST(Guarded, GuardFactorTwoFailsOppositeDrift) {
+  // ±1 offsets exceed guard_tolerance(2) = 0: two opposite-drifted
+  // adjacent-slot nodes can still meet.  Construct the worst case
+  // explicitly: conflicting sensors with slots k and k+1, offsets +1/-1.
+  World w;
+  const SensorSlots plain = assign_slots(w.schedule, w.deployment);
+  std::vector<std::int64_t> offsets(w.deployment.size(), 0);
+  // Find two conflicting sensors with adjacent slots.
+  const Graph g = build_conflict_graph(w.deployment);
+  bool planted = false;
+  for (std::uint32_t u = 0; u < g.size() && !planted; ++u) {
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (plain.slot[v] == plain.slot[u] + 1) {
+        offsets[u] = -1;  // u drifts late into...
+        offsets[v] = 1;   // ...v drifting early: both land between slots
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted);
+  SimConfig cfg;
+  cfg.slots = 2000;
+  cfg.saturated = true;
+  SlotSimulator sim(w.deployment, cfg);
+  SlotScheduleMac mac(guarded_slots(plain, 2), offsets);
+  const SimResult r = sim.run(mac);
+  EXPECT_GT(r.failed_tx, 0u);
+}
+
+TEST(Convergecast, RoutesAreGreedyAndLoopFree) {
+  World w;
+  const Point sink{0, 0};
+  ConvergecastSimulator sim(w.deployment, sink);
+  EXPECT_EQ(w.deployment.position(sim.sink_id()), sink);
+  for (std::uint32_t i = 0; i < w.deployment.size(); ++i) {
+    const std::uint32_t hop = sim.next_hop()[i];
+    if (i == sim.sink_id()) {
+      EXPECT_EQ(hop, i);
+      continue;
+    }
+    // Strict progress toward the sink.
+    EXPECT_LT((w.deployment.position(hop) - sink).norm2_sq(),
+              (w.deployment.position(i) - sink).norm2_sq());
+    // Route length is finite and bounded by the grid diameter.
+    EXPECT_LE(sim.route_length(i), 16u);
+  }
+}
+
+TEST(Convergecast, SinkMustBeDeployed) {
+  World w;
+  EXPECT_THROW(ConvergecastSimulator(w.deployment, Point{100, 100}),
+               std::invalid_argument);
+}
+
+TEST(Convergecast, TilingScheduleDeliversWithoutCollisions) {
+  World w;
+  ConvergecastSimulator sim(w.deployment, Point{0, 0});
+  ConvergecastConfig cfg;
+  cfg.slots = 30'000;
+  cfg.arrival_rate = 0.001;
+  SlotScheduleMac mac(assign_slots(w.schedule, w.deployment));
+  const ConvergecastResult r = sim.run(mac, cfg);
+  EXPECT_EQ(r.failed_tx, 0u) << "slot schedule never collides";
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_GT(r.delivery_ratio(), 0.9);
+  // Hops of delivered frames are plausible (≥1, ≤ diameter).
+  EXPECT_GE(r.hops.min(), 1.0);
+  EXPECT_LE(r.hops.max(), 16.0);
+}
+
+TEST(Convergecast, CsmaCollidesAndDeliversLess) {
+  World w;
+  ConvergecastSimulator sim(w.deployment, Point{0, 0});
+  ConvergecastConfig cfg;
+  cfg.slots = 30'000;
+  cfg.arrival_rate = 0.001;
+  cfg.seed = 3;
+  SlotScheduleMac tiling_mac(assign_slots(w.schedule, w.deployment));
+  AlohaMac aloha(0.2);
+  const ConvergecastResult r_tiling = sim.run(tiling_mac, cfg);
+  const ConvergecastResult r_aloha = sim.run(aloha, cfg);
+  EXPECT_GT(r_aloha.failed_tx, 0u);
+  EXPECT_LT(r_aloha.delivery_ratio(), r_tiling.delivery_ratio());
+}
+
+TEST(Convergecast, AccountingConsistent) {
+  World w;
+  ConvergecastSimulator sim(w.deployment, Point{3, 3});
+  ConvergecastConfig cfg;
+  cfg.slots = 5000;
+  cfg.arrival_rate = 0.005;
+  SlotScheduleMac mac(assign_slots(w.schedule, w.deployment));
+  const ConvergecastResult r = sim.run(mac, cfg);
+  EXPECT_EQ(r.attempted_tx, r.successful_tx + r.failed_tx);
+  EXPECT_EQ(r.delivered, r.end_to_end_latency.count());
+  EXPECT_EQ(r.delivered, r.hops.count());
+  EXPECT_LE(r.delivered + r.source_drops + r.relay_drops, r.arrivals);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,36 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "lattice/point.hpp"
+#include "tiling/prototile.hpp"
+#include "util/rng.hpp"
+
+namespace latticesched {
+namespace test_helpers {
+
+/// Grows a random polyomino of `cells` cells by repeatedly attaching a
+/// uniformly random empty 4-neighbor; the result is connected and
+/// re-anchored to contain the origin.
+inline Prototile random_polyomino(Rng& rng, std::size_t cells) {
+  PointSet set;
+  PointVec frontier;
+  set.insert(Point{0, 0});
+  frontier.push_back(Point{0, 0});
+  const Point dirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  while (set.size() < cells) {
+    const Point& base =
+        frontier[static_cast<std::size_t>(rng.next_below(frontier.size()))];
+    const Point cand = base + dirs[rng.next_below(4)];
+    if (set.insert(cand).second) frontier.push_back(cand);
+  }
+  PointVec pts(set.begin(), set.end());
+  // Anchor at the lexicographically smallest cell so 0 is a member.
+  const Point origin = sorted_unique(pts).front();
+  for (Point& p : pts) p -= origin;
+  return Prototile(std::move(pts), "random");
+}
+
+}  // namespace test_helpers
+}  // namespace latticesched

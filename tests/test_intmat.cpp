@@ -1,0 +1,175 @@
+#include "lattice/intmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(FloorDiv, RoundsTowardMinusInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+  EXPECT_THROW(floor_div(1, 0), std::invalid_argument);
+}
+
+TEST(ExtGcd, BezoutIdentityHolds) {
+  for (std::int64_t a : {0LL, 1LL, -4LL, 12LL, 35LL, -35LL, 1071LL}) {
+    for (std::int64_t b : {0LL, 1LL, 3LL, -3LL, 462LL, 25LL}) {
+      if (a == 0 && b == 0) continue;
+      std::int64_t x, y;
+      const std::int64_t g = ext_gcd(a, b, x, y);
+      EXPECT_GT(g, 0);
+      EXPECT_EQ(a % g, 0);
+      EXPECT_EQ(b % g, 0);
+      EXPECT_EQ(a * x + b * y, g) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(IntMatrix, ConstructionAndAccess) {
+  IntMatrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(1, 0), 3);
+  m.at(1, 0) = 7;
+  EXPECT_EQ(m.at(1, 0), 7);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((IntMatrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(IntMatrix, IdentityAndDiagonal) {
+  const IntMatrix i3 = IntMatrix::identity(3);
+  EXPECT_EQ(i3.det(), 1);
+  const IntMatrix d = IntMatrix::diagonal({2, 3, 5});
+  EXPECT_EQ(d.det(), 30);
+}
+
+TEST(IntMatrix, MatrixVectorProduct) {
+  const IntMatrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.mul(Point{1, 1}), (Point{3, 7}));
+  EXPECT_THROW(m.mul(Point{1, 1, 1}), std::invalid_argument);
+}
+
+TEST(IntMatrix, MatrixProductAndTranspose) {
+  const IntMatrix a{{1, 2}, {3, 4}};
+  const IntMatrix b{{0, 1}, {1, 0}};
+  EXPECT_EQ(a.mul(b), (IntMatrix{{2, 1}, {4, 3}}));
+  EXPECT_EQ(a.transpose(), (IntMatrix{{1, 3}, {2, 4}}));
+}
+
+TEST(IntMatrix, FromColumns) {
+  const IntMatrix m = IntMatrix::from_columns({Point{1, 2}, Point{3, 4}});
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 0), 2);
+  EXPECT_EQ(m.at(0, 1), 3);
+  EXPECT_EQ(m.column(1), (Point{3, 4}));
+}
+
+TEST(IntMatrix, DeterminantKnownValues) {
+  EXPECT_EQ((IntMatrix{{2, 0}, {0, 3}}).det(), 6);
+  EXPECT_EQ((IntMatrix{{1, 2}, {3, 4}}).det(), -2);
+  EXPECT_EQ((IntMatrix{{0, 1}, {1, 0}}).det(), -1);
+  EXPECT_EQ((IntMatrix{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}).det(), 0);
+  EXPECT_EQ((IntMatrix{{2, -3, 1}, {2, 0, -1}, {1, 4, 5}}).det(), 49);
+  // Pivot-swap path: leading zero.
+  EXPECT_EQ((IntMatrix{{0, 2}, {3, 0}}).det(), -6);
+}
+
+// Cofactor expansion reference for random matrices (3x3).
+std::int64_t det3_reference(const IntMatrix& m) {
+  auto a = [&](std::size_t r, std::size_t c) { return m.at(r, c); };
+  return a(0, 0) * (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) -
+         a(0, 1) * (a(1, 0) * a(2, 2) - a(1, 2) * a(2, 0)) +
+         a(0, 2) * (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0));
+}
+
+TEST(IntMatrix, DeterminantMatchesCofactorOnRandom3x3) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntMatrix m(3, 3);
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        m.at(r, c) = rng.next_int(-9, 9);
+      }
+    }
+    EXPECT_EQ(m.det(), det3_reference(m));
+  }
+}
+
+TEST(IntMatrix, ColumnHnfCanonicalShape) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntMatrix m(2, 2);
+    do {
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+          m.at(r, c) = rng.next_int(-8, 8);
+        }
+      }
+    } while (m.det() == 0);
+    const IntMatrix h = m.column_hnf();
+    // Lower triangular, positive diagonal, reduced entries.
+    EXPECT_EQ(h.at(0, 1), 0);
+    EXPECT_GT(h.at(0, 0), 0);
+    EXPECT_GT(h.at(1, 1), 0);
+    EXPECT_GE(h.at(1, 0), 0);
+    EXPECT_LT(h.at(1, 0), h.at(1, 1));
+    // |det| preserved (column ops are unimodular).
+    EXPECT_EQ(h.at(0, 0) * h.at(1, 1), std::abs(m.det()));
+  }
+}
+
+TEST(IntMatrix, ColumnHnfSingularThrows) {
+  const IntMatrix m{{1, 2}, {2, 4}};
+  EXPECT_THROW(m.column_hnf(), std::domain_error);
+}
+
+TEST(IntMatrix, HnfIsIdempotentOnCanonicalForms) {
+  const IntMatrix h{{3, 0}, {2, 5}};
+  EXPECT_EQ(h.column_hnf(), h);
+}
+
+TEST(EnumerateHnf, CountsMatchDivisorSigmaIn2D) {
+  // The number of index-m sublattices of Z² is sigma(m) = sum of divisors.
+  auto sigma = [](std::int64_t m) {
+    std::int64_t s = 0;
+    for (std::int64_t d = 1; d <= m; ++d) {
+      if (m % d == 0) s += d;
+    }
+    return s;
+  };
+  for (std::int64_t m : {1, 2, 3, 4, 5, 6, 8, 9, 12}) {
+    const auto hnfs = enumerate_hnf_with_det(2, m);
+    EXPECT_EQ(static_cast<std::int64_t>(hnfs.size()), sigma(m)) << "m=" << m;
+    for (const auto& h : hnfs) {
+      EXPECT_EQ(h.det(), m);
+      EXPECT_EQ(h.column_hnf(), h) << "enumerated form must be canonical";
+    }
+  }
+}
+
+TEST(EnumerateHnf, AllDistinct) {
+  const auto hnfs = enumerate_hnf_with_det(2, 6);
+  for (std::size_t i = 0; i < hnfs.size(); ++i) {
+    for (std::size_t j = i + 1; j < hnfs.size(); ++j) {
+      EXPECT_NE(hnfs[i], hnfs[j]);
+    }
+  }
+}
+
+TEST(EnumerateHnf, ThreeDimensionalCount) {
+  // Sublattices of Z³ of index 2: sigma_2-like count is 7 (known value:
+  // number of subgroups of Z³ of index 2 equals number of index-2
+  // subgroups of (Z/2)³ = number of hyperplanes = 7).
+  EXPECT_EQ(enumerate_hnf_with_det(3, 2).size(), 7u);
+  EXPECT_THROW(enumerate_hnf_with_det(0, 2), std::invalid_argument);
+  EXPECT_THROW(enumerate_hnf_with_det(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latticesched

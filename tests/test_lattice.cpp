@@ -1,0 +1,128 @@
+#include "lattice/lattice.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace latticesched {
+namespace {
+
+TEST(Lattice, SquareBasics) {
+  const Lattice sq = Lattice::square();
+  EXPECT_EQ(sq.dim(), 2u);
+  EXPECT_EQ(sq.name(), "square");
+  const RealVec e = sq.embed(Point{3, -2});
+  EXPECT_DOUBLE_EQ(e[0], 3.0);
+  EXPECT_DOUBLE_EQ(e[1], -2.0);
+  EXPECT_EQ(sq.norm_sq_scaled(Point{3, 4}), 25);
+  EXPECT_EQ(sq.gram_scale(), 1);
+  EXPECT_DOUBLE_EQ(sq.covolume(), 1.0);
+  EXPECT_DOUBLE_EQ(sq.minimum_sq(), 1.0);
+}
+
+TEST(Lattice, HexagonalGeometry) {
+  const Lattice hex = Lattice::hexagonal();
+  // |u2| = 1: the hexagonal lattice is unimodular in edge length.
+  EXPECT_DOUBLE_EQ(hex.norm_sq(Point{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(hex.norm_sq(Point{1, 0}), 1.0);
+  // |u1 - u2|² = 1 as well (the six minimal vectors of the hex lattice).
+  EXPECT_DOUBLE_EQ(hex.norm_sq(Point{1, -1}), 1.0);
+  // |u1 + u2|² = 3.
+  EXPECT_DOUBLE_EQ(hex.norm_sq(Point{1, 1}), 3.0);
+  // Covolume = √3/2 ≈ 0.866.
+  EXPECT_NEAR(hex.covolume(), std::sqrt(3.0) / 2.0, 1e-12);
+  // Exact scaled norm: |a·u1 + b·u2|² = (2a² + 2ab + 2b²)/2.
+  EXPECT_EQ(hex.norm_sq_scaled(Point{2, 3}), 2 * 4 + 2 * 6 + 2 * 9);
+  EXPECT_EQ(hex.gram_scale(), 2);
+}
+
+TEST(Lattice, HexEmbedMatchesGram) {
+  const Lattice hex = Lattice::hexagonal();
+  for (std::int64_t a = -3; a <= 3; ++a) {
+    for (std::int64_t b = -3; b <= 3; ++b) {
+      const RealVec e = hex.embed(Point{a, b});
+      const double direct = e[0] * e[0] + e[1] * e[1];
+      EXPECT_NEAR(direct, hex.norm_sq(Point{a, b}), 1e-9);
+    }
+  }
+}
+
+TEST(Lattice, CubicThreeDimensional) {
+  const Lattice c = Lattice::cubic(3);
+  EXPECT_EQ(c.dim(), 3u);
+  EXPECT_DOUBLE_EQ(c.covolume(), 1.0);
+  EXPECT_EQ(c.norm_sq_scaled(Point{1, 2, 2}), 9);
+}
+
+TEST(Lattice, VectorsWithinSquare) {
+  const Lattice sq = Lattice::square();
+  // Radius 1: the four unit vectors.
+  EXPECT_EQ(sq.vectors_within(1.0, 2).size(), 4u);
+  // Radius √2: adds the four diagonals.
+  EXPECT_EQ(sq.vectors_within(std::sqrt(2.0), 2).size(), 8u);
+  // Radius 2: adds (±2,0),(0,±2).
+  EXPECT_EQ(sq.vectors_within(2.0, 3).size(), 12u);
+}
+
+TEST(Lattice, VectorsWithinHex) {
+  const Lattice hex = Lattice::hexagonal();
+  // Kissing number of the hexagonal lattice is 6.
+  EXPECT_EQ(hex.vectors_within(1.0, 2).size(), 6u);
+}
+
+TEST(Lattice, MinimumSqHex) {
+  EXPECT_NEAR(Lattice::hexagonal().minimum_sq(), 1.0, 1e-12);
+}
+
+TEST(Lattice, NearestPointSquare) {
+  const Lattice sq = Lattice::square();
+  EXPECT_EQ(sq.nearest_point({0.2, 0.8}), (Point{0, 1}));
+  EXPECT_EQ(sq.nearest_point({-1.4, 2.6}), (Point{-1, 3}));
+  EXPECT_EQ(sq.nearest_point({3.0, -2.0}), (Point{3, -2}));
+}
+
+TEST(Lattice, NearestPointHexIsActuallyNearest) {
+  const Lattice hex = Lattice::hexagonal();
+  // Brute force comparison over a small window of candidates.
+  auto brute = [&](double x, double y) {
+    Point best{0, 0};
+    double best_d = 1e18;
+    for (std::int64_t a = -6; a <= 6; ++a) {
+      for (std::int64_t b = -6; b <= 6; ++b) {
+        const RealVec e = hex.embed(Point{a, b});
+        const double d =
+            (e[0] - x) * (e[0] - x) + (e[1] - y) * (e[1] - y);
+        if (d < best_d - 1e-12) {
+          best_d = d;
+          best = Point{a, b};
+        }
+      }
+    }
+    return best_d;
+  };
+  for (double x = -2.0; x <= 2.0; x += 0.37) {
+    for (double y = -2.0; y <= 2.0; y += 0.41) {
+      const Point p = hex.nearest_point({x, y});
+      const RealVec e = hex.embed(p);
+      const double d = (e[0] - x) * (e[0] - x) + (e[1] - y) * (e[1] - y);
+      EXPECT_NEAR(d, brute(x, y), 1e-9) << "at (" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(Lattice, CustomLatticeValidation) {
+  EXPECT_THROW(Lattice::custom("bad", {{1.0, 0.0}, {2.0, 0.0}},
+                               IntMatrix::identity(2), 1),
+               std::domain_error);  // singular basis
+  EXPECT_THROW(Lattice::custom("bad", {{1.0, 0.0}, {0.0, 1.0}},
+                               IntMatrix::identity(2), 0),
+               std::invalid_argument);  // zero scale
+}
+
+TEST(Lattice, EmbedDimensionMismatch) {
+  EXPECT_THROW(Lattice::square().embed(Point{1, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latticesched

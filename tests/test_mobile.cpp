@@ -1,0 +1,132 @@
+// Mobile location-based scheduling (Conclusions) and its simulator.
+#include "core/mobile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/mobile_sim.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+MobileScheduler make_scheduler() {
+  auto tiling = make_lattice_tiling(shapes::chebyshev_ball(2, 1));
+  return MobileScheduler(Lattice::square(), TilingSchedule(std::move(*tiling)));
+}
+
+TEST(MobileScheduler, HomePointIsNearestLatticePoint) {
+  const MobileScheduler m = make_scheduler();
+  EXPECT_EQ(m.home_point({0.1, -0.2}), (Point{0, 0}));
+  EXPECT_EQ(m.home_point({2.7, 3.2}), (Point{3, 3}));
+}
+
+TEST(MobileScheduler, SlotMatchesUnderlyingScheduleAtLatticePoints) {
+  const MobileScheduler m = make_scheduler();
+  for (std::int64_t x = -3; x <= 3; ++x) {
+    for (std::int64_t y = -3; y <= 3; ++y) {
+      const double fx = static_cast<double>(x);
+      const double fy = static_cast<double>(y);
+      EXPECT_EQ(m.slot_of_location({fx, fy}),
+                m.schedule().slot_of(Point{x, y}));
+    }
+  }
+}
+
+TEST(MobileScheduler, RangeFitGate) {
+  const MobileScheduler m = make_scheduler();
+  // The tile of the origin is a 3x3 block of cells; from the home cell's
+  // center a small disc fits, a huge one cannot.
+  EXPECT_TRUE(m.range_fits({0.0, 0.0}, 0.2));
+  EXPECT_FALSE(m.range_fits({0.0, 0.0}, 10.0));
+}
+
+TEST(MobileScheduler, FitDependsOnPositionInsideTile) {
+  const MobileScheduler m = make_scheduler();
+  // Find the tile containing the origin; radius just under one cell
+  // half-width fits at the tile's central cell but not from a corner
+  // cell of the tile (the disc would poke into the neighboring tile).
+  const Covering cov = m.schedule().tiling().covering(Point{0, 0});
+  // Central element of the 3x3 Chebyshev ball is its anchor 0, so the
+  // tile center (in the plane) is at `cov.translate`... the translate is
+  // the element-0 position; compute the geometric center:
+  double cx = 0.0, cy = 0.0;
+  const Prototile& tile = m.schedule().tiling().prototile(cov.prototile);
+  for (const Point& n : tile.points()) {
+    cx += static_cast<double>(cov.translate[0] + n[0]);
+    cy += static_cast<double>(cov.translate[1] + n[1]);
+  }
+  cx /= static_cast<double>(tile.size());
+  cy /= static_cast<double>(tile.size());
+  EXPECT_TRUE(m.range_fits({cx, cy}, 1.2));
+  // From the center of a corner cell of the 3x3 tile, radius 1.2 reaches
+  // into the neighbor tile.
+  EXPECT_FALSE(m.range_fits({cx + 1.0, cy + 1.0}, 1.2));
+}
+
+TEST(MobileScheduler, MaySendCombinesSlotAndFit) {
+  const MobileScheduler m = make_scheduler();
+  const RealVec x = {0.05, 0.05};
+  const std::uint32_t slot = m.slot_of_location(x);
+  bool sent = false;
+  for (std::uint64_t t = 0; t < m.period(); ++t) {
+    const bool ok = m.may_send(x, 0.2, t);
+    EXPECT_EQ(ok, t % m.period() == slot);
+    sent |= ok;
+  }
+  EXPECT_TRUE(sent);
+  // A disc too large never sends.
+  for (std::uint64_t t = 0; t < m.period(); ++t) {
+    EXPECT_FALSE(m.may_send(x, 50.0, t));
+  }
+}
+
+TEST(MobileScheduler, RejectsNon2D) {
+  auto tiling3 = make_lattice_tiling(shapes::chebyshev_ball(3, 1));
+  ASSERT_TRUE(tiling3.has_value());
+  EXPECT_THROW(
+      MobileScheduler(Lattice::cubic(3), TilingSchedule(std::move(*tiling3))),
+      std::invalid_argument);
+}
+
+TEST(MobileSim, LocationRuleIsCollisionFree) {
+  MobileConfig cfg;
+  cfg.sensors = 24;
+  cfg.arena = 12.0;
+  cfg.slots = 1500;
+  cfg.range = 0.35;
+  cfg.speed = 0.08;
+  MobileSimulator sim(make_scheduler(), cfg);
+  const MobileResult r = sim.run_location_schedule();
+  EXPECT_EQ(r.collisions, 0u)
+      << "the paper's location-based rule must be collision-free";
+  EXPECT_GT(r.successes, 0u) << "the gate must not block everything";
+}
+
+TEST(MobileSim, AlohaCollides) {
+  MobileConfig cfg;
+  cfg.sensors = 24;
+  cfg.arena = 12.0;
+  cfg.slots = 1500;
+  cfg.range = 0.35;
+  cfg.aloha_p = 0.3;
+  MobileSimulator sim(make_scheduler(), cfg);
+  const MobileResult r = sim.run_aloha();
+  EXPECT_GT(r.collisions, 0u);
+  EXPECT_GT(r.collision_rate(), 0.0);
+}
+
+TEST(MobileSim, ResultAccountingConsistent) {
+  MobileConfig cfg;
+  cfg.sensors = 10;
+  cfg.slots = 300;
+  MobileSimulator sim(make_scheduler(), cfg);
+  const MobileResult r = sim.run_location_schedule();
+  EXPECT_EQ(r.successes + r.collisions, r.attempts);
+  EXPECT_EQ(r.slots, cfg.slots);
+  EXPECT_EQ(r.attempts + r.gate_blocked,
+            static_cast<std::uint64_t>(cfg.sensors) * cfg.slots);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,113 @@
+// Optimality machinery: role conflict graphs (Section 4 / Figure 5) and
+// deployment-level chromatic optimality (Theorems 1 and 2).
+#include "core/optimality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+#include "tiling/torus_search.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(RoleConflictGraph, SingleTileRolesFormClique) {
+  const auto tiling = make_lattice_tiling(shapes::rectangle(2, 2));
+  ASSERT_TRUE(tiling.has_value());
+  const RoleConflictGraph rcg = build_role_conflict_graph(*tiling);
+  ASSERT_EQ(rcg.roles.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = i + 1; j < 4; ++j) {
+      EXPECT_TRUE(rcg.graph.has_edge(i, j));
+    }
+  }
+}
+
+TEST(TilingOptimum, SinglePrototileEqualsTileSize) {
+  // Theorem 1: the tiling-constrained optimum is |N| (and the Theorem-2
+  // algorithm meets it).
+  for (const Prototile& tile :
+       {shapes::chebyshev_ball(2, 1), shapes::s_tetromino(),
+        shapes::directional_antenna(),
+        shapes::euclidean_ball(Lattice::square(), 1.0)}) {
+    const auto tiling = make_lattice_tiling(tile);
+    ASSERT_TRUE(tiling.has_value()) << tile.name();
+    const TilingOptimum opt = optimal_slots_for_tiling(*tiling);
+    EXPECT_TRUE(opt.proven) << tile.name();
+    EXPECT_EQ(opt.optimal_slots, tile.size()) << tile.name();
+    EXPECT_EQ(opt.theorem2_slots, tile.size()) << tile.name();
+  }
+}
+
+TEST(TilingOptimum, Figure5MixedTilingsSpreadFourToSix) {
+  // The paper's Section 4 message, machine-checked: among tilings that
+  // mix S and Z tetrominoes, the per-tiling optimum varies — the paper's
+  // example needs m = 6 while symmetric tilings achieve m = 4.
+  TorusSearchConfig cfg;
+  cfg.require_all_prototiles = true;
+  const auto tilings = all_tilings_on_torus(
+      {shapes::s_tetromino(), shapes::z_tetromino()},
+      Sublattice::diagonal({4, 4}), 1000, cfg);
+  ASSERT_FALSE(tilings.empty());
+  std::uint32_t best = 99, worst = 0;
+  for (const Tiling& t : tilings) {
+    const TilingOptimum opt = optimal_slots_for_tiling(t);
+    ASSERT_TRUE(opt.proven);
+    // Theorem 2's algorithm always yields |S ∪ Z| = 6 slots; the true
+    // optimum never exceeds it and never beats the clique bound 4.
+    EXPECT_EQ(opt.theorem2_slots, 6u);
+    EXPECT_GE(opt.optimal_slots, 4u);
+    EXPECT_LE(opt.optimal_slots, 6u);
+    best = std::min(best, opt.optimal_slots);
+    worst = std::max(worst, opt.optimal_slots);
+  }
+  EXPECT_EQ(best, 4u);   // the symmetric-style tilings
+  EXPECT_EQ(worst, 6u);  // the paper's phenomenon: 6 needed
+}
+
+TEST(TilingOptimum, PureSTilingIsFour) {
+  const auto tiling = make_lattice_tiling(shapes::s_tetromino());
+  ASSERT_TRUE(tiling.has_value());
+  const TilingOptimum opt = optimal_slots_for_tiling(*tiling);
+  EXPECT_EQ(opt.optimal_slots, 4u);
+  EXPECT_TRUE(opt.proven);
+}
+
+TEST(TilingOptimum, RoleSlotsAreProperColoring) {
+  const auto tiling = make_lattice_tiling(shapes::l1_ball(2, 1));
+  ASSERT_TRUE(tiling.has_value());
+  const RoleConflictGraph rcg = build_role_conflict_graph(*tiling);
+  const TilingOptimum opt = optimal_slots_for_tiling(*tiling);
+  EXPECT_TRUE(is_proper_coloring(rcg.graph, opt.role_slots));
+}
+
+TEST(DeploymentOptimum, WindowOptimumEqualsTileSize) {
+  // Theorem 1 + finite restriction: a window containing N+N keeps the
+  // optimum at |N| (here: 9 for the Chebyshev ball on a 7x7 window).
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 6), ball);
+  const DeploymentOptimum opt = optimal_slots_for_deployment(d);
+  EXPECT_TRUE(opt.proven);
+  EXPECT_EQ(opt.optimal_slots, 9u);
+  EXPECT_EQ(opt.clique_lower_bound, 9u);
+}
+
+TEST(DeploymentOptimum, TinyWindowNeedsFewerSlots) {
+  // A 2x2 window of Chebyshev-ball sensors: all four conflict pairwise,
+  // so the optimum is 4 < 9 — optimality of the restriction fails below
+  // the N+N threshold, exactly as the Conclusions caution.
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 1), ball);
+  const DeploymentOptimum opt = optimal_slots_for_deployment(d);
+  EXPECT_TRUE(opt.proven);
+  EXPECT_EQ(opt.optimal_slots, 4u);
+}
+
+TEST(DeploymentOptimum, SingleSensor) {
+  const Deployment d = Deployment::uniform({Point{0, 0}},
+                                           shapes::chebyshev_ball(2, 1));
+  EXPECT_EQ(optimal_slots_for_deployment(d).optimal_slots, 1u);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,113 @@
+#include "lattice/point.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace latticesched {
+namespace {
+
+TEST(Point, DefaultIsZeroDimensional) {
+  Point p;
+  EXPECT_EQ(p.dim(), 0u);
+  EXPECT_TRUE(p.is_zero());
+}
+
+TEST(Point, InitializerListConstruction) {
+  Point p{3, -4};
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_EQ(p[0], 3);
+  EXPECT_EQ(p[1], -4);
+}
+
+TEST(Point, VectorConstruction) {
+  Point p(std::vector<std::int64_t>{1, 2, 3});
+  EXPECT_EQ(p.dim(), 3u);
+  EXPECT_EQ(p[2], 3);
+}
+
+TEST(Point, UnitVectors) {
+  const Point e1 = Point::unit(3, 1);
+  EXPECT_EQ(e1, (Point{0, 1, 0}));
+  EXPECT_THROW(Point::unit(2, 2), std::invalid_argument);
+}
+
+TEST(Point, DimensionLimitEnforced) {
+  EXPECT_THROW((void)Point(kMaxDim + 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)Point(kMaxDim));
+}
+
+TEST(Point, Arithmetic) {
+  const Point a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(a - b, (Point{-2, 3}));
+  EXPECT_EQ(a * 3, (Point{3, 6}));
+  EXPECT_EQ(-a, (Point{-1, -2}));
+  EXPECT_EQ(2 * b, (Point{6, -2}));
+}
+
+TEST(Point, MixedDimensionArithmeticThrows) {
+  Point a{1, 2};
+  const Point b{1, 2, 3};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.dot(b), std::invalid_argument);
+}
+
+TEST(Point, Norms) {
+  const Point p{3, -4};
+  EXPECT_EQ(p.norm1(), 7);
+  EXPECT_EQ(p.norm_inf(), 4);
+  EXPECT_EQ(p.norm2_sq(), 25);
+  EXPECT_EQ(p.dot(Point{2, 1}), 2);
+}
+
+TEST(Point, LexicographicOrder) {
+  EXPECT_LT((Point{0, 5}), (Point{1, 0}));
+  EXPECT_LT((Point{1, 0}), (Point{1, 1}));
+  EXPECT_FALSE((Point{1, 1}) < (Point{1, 1}));
+  // Different dimensions order by dimension first.
+  EXPECT_LT((Point{9}), (Point{0, 0}));
+}
+
+TEST(Point, EqualityRespectsDimension) {
+  EXPECT_NE((Point{0}), (Point{0, 0}));
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+}
+
+TEST(Point, AtThrowsOutOfRange) {
+  const Point p{1, 2};
+  EXPECT_EQ(p.at(1), 2);
+  EXPECT_THROW(p.at(2), std::out_of_range);
+}
+
+TEST(Point, HashSpreadsAndMatchesEquality) {
+  PointSet set;
+  for (std::int64_t x = -10; x <= 10; ++x) {
+    for (std::int64_t y = -10; y <= 10; ++y) {
+      set.insert(Point{x, y});
+    }
+  }
+  EXPECT_EQ(set.size(), 21u * 21u);
+  EXPECT_EQ(set.count(Point{0, 0}), 1u);
+  EXPECT_EQ(set.count(Point{11, 0}), 0u);
+}
+
+TEST(Point, StreamFormat) {
+  std::ostringstream os;
+  os << Point{1, -2};
+  EXPECT_EQ(os.str(), "(1, -2)");
+  EXPECT_EQ((Point{3}).to_string(), "(3)");
+}
+
+TEST(SortedUnique, SortsAndDeduplicates) {
+  PointVec v = {{1, 0}, {0, 0}, {1, 0}, {0, 1}};
+  const PointVec u = sorted_unique(v);
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u[0], (Point{0, 0}));
+  EXPECT_EQ(u[1], (Point{0, 1}));
+  EXPECT_EQ(u[2], (Point{1, 0}));
+}
+
+}  // namespace
+}  // namespace latticesched

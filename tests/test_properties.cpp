@@ -1,0 +1,270 @@
+// Cross-cutting property tests: randomized end-to-end invariants that tie
+// the whole pipeline together.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/collision.hpp"
+#include "core/guarded.hpp"
+#include "core/optimality.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "lattice/snf.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "tiling/exactness.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property 1: for every exact random polyomino, the full paper pipeline
+// holds — schedule period |N|, collision-freedom, per-slot re-tiling,
+// and role-graph optimality.
+class PipelineProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineProperty, ExactRandomPolyominoesScheduleOptimally) {
+  Rng rng(31 * GetParam());
+  int exercised = 0;
+  for (int trial = 0; trial < 12 && exercised < 5; ++trial) {
+    const Prototile tile = test_helpers::random_polyomino(rng, GetParam());
+    const ExactnessResult ex = decide_exactness(tile);
+    if (!ex.exact) continue;
+    ++exercised;
+    const TilingSchedule sched(*ex.tiling);
+    // Theorem 1: period equals tile size and is optimal.
+    ASSERT_EQ(sched.period(), tile.size()) << tile.to_ascii();
+    EXPECT_TRUE(sched.optimal());
+    // Collision-free on a window.
+    const Box bb = tile.bounding_box();
+    const std::int64_t reach =
+        std::max({std::llabs(bb.lo()[0]), std::llabs(bb.lo()[1]),
+                  std::llabs(bb.hi()[0]), std::llabs(bb.hi()[1])});
+    const Box window = Box::centered(2, 2 * reach + 4);
+    const Deployment d = Deployment::grid(window, tile);
+    EXPECT_TRUE(check_collision_free(d, sched).collision_free)
+        << tile.to_ascii();
+    // Role conflict graph chromatic number equals |N|.
+    const TilingOptimum opt = optimal_slots_for_tiling(*ex.tiling);
+    EXPECT_TRUE(opt.proven);
+    EXPECT_EQ(opt.optimal_slots, tile.size()) << tile.to_ascii();
+  }
+  // Small tiles are exact often enough that the sweep must fire.
+  if (GetParam() <= 6) {
+    EXPECT_GT(exercised, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PipelineProperty,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------
+// Property 2: per-slot sender classes of a Theorem-1 schedule re-tile
+// the lattice (Figure 3, randomized over tiles and slots).
+class SlotClassProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SlotClassProperty, EverySlotClassRetiles) {
+  Rng rng(97 * GetParam() + 5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Prototile tile = test_helpers::random_polyomino(rng, GetParam());
+    const auto ex = decide_exactness(tile);
+    if (!ex.exact) continue;
+    const TilingSchedule sched(*ex.tiling);
+    const Box inner = Box::centered(2, 4);
+    const Box outer = inner.expanded(
+        4 * static_cast<std::int64_t>(GetParam()) + 4);
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(rng.next_below(sched.period()));
+    PointMap<int> coverage;
+    for (const Point& s : sched.senders_in_slot(slot, outer)) {
+      for (const Point& p : tile.translated(s)) ++coverage[p];
+    }
+    inner.for_each([&](const Point& p) {
+      const auto it = coverage.find(p);
+      ASSERT_TRUE(it != coverage.end() && it->second == 1)
+          << tile.to_ascii() << "slot " << slot << " at " << p;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SlotClassProperty,
+                         ::testing::Values(3, 4, 5, 6));
+
+// ---------------------------------------------------------------------
+// Property 3: simulator accounting identities hold for every protocol
+// under both load regimes.
+enum class ProtoKind { kTiling, kTdma, kAloha, kCsma };
+
+class SimInvariants
+    : public ::testing::TestWithParam<std::tuple<ProtoKind, bool>> {};
+
+TEST_P(SimInvariants, AccountingAlwaysConsistent) {
+  const auto [kind, saturated] = GetParam();
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 5), ball);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+
+  std::unique_ptr<MacProtocol> mac;
+  switch (kind) {
+    case ProtoKind::kTiling:
+      mac = std::make_unique<SlotScheduleMac>(assign_slots(sched, d));
+      break;
+    case ProtoKind::kTdma: {
+      SensorSlots slots;
+      slots.period = static_cast<std::uint32_t>(d.size());
+      slots.slot.resize(d.size());
+      for (std::uint32_t i = 0; i < d.size(); ++i) slots.slot[i] = i;
+      slots.source = "tdma";
+      mac = std::make_unique<SlotScheduleMac>(slots);
+      break;
+    }
+    case ProtoKind::kAloha:
+      mac = std::make_unique<AlohaMac>(0.2);
+      break;
+    case ProtoKind::kCsma:
+      mac = std::make_unique<CsmaMac>();
+      break;
+  }
+  SimConfig cfg;
+  cfg.slots = 1500;
+  cfg.saturated = saturated;
+  cfg.arrival_rate = 0.08;
+  SlotSimulator sim(d, cfg);
+  const SimResult r = sim.run(*mac);
+  EXPECT_EQ(r.attempted_tx, r.successful_tx + r.failed_tx);
+  EXPECT_EQ(r.failed_tx, r.collision_failures + r.loss_failures);
+  EXPECT_EQ(r.loss_failures, 0u);  // no loss injected here
+  double success_sum = 0.0;
+  for (double s : r.per_sensor_success) success_sum += s;
+  EXPECT_DOUBLE_EQ(success_sum, static_cast<double>(r.successful_tx));
+  if (!saturated) {
+    EXPECT_LE(r.latency.count(), r.successful_tx);
+    EXPECT_LE(r.drops, r.arrivals);
+  }
+  // Deterministic schedules never collide.
+  if (kind == ProtoKind::kTiling || kind == ProtoKind::kTdma) {
+    EXPECT_EQ(r.failed_tx, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SimInvariants,
+    ::testing::Combine(::testing::Values(ProtoKind::kTiling,
+                                         ProtoKind::kTdma,
+                                         ProtoKind::kAloha,
+                                         ProtoKind::kCsma),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------
+// Property 4: packet-loss injection — failures appear, are classified as
+// loss (not collision) under a collision-free schedule, and vanish again
+// at loss_rate 0.
+TEST(LossInjection, CollisionFreeScheduleOnlySuffersLoss) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 5), ball);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  SimConfig cfg;
+  cfg.slots = 2000;
+  cfg.saturated = true;
+  cfg.loss_rate = 0.05;
+  SlotSimulator sim(d, cfg);
+  SlotScheduleMac mac(assign_slots(sched, d));
+  const SimResult r = sim.run(mac);
+  EXPECT_GT(r.loss_failures, 0u);
+  EXPECT_EQ(r.collision_failures, 0u)
+      << "the schedule must never cause interference";
+  EXPECT_EQ(r.failed_tx, r.loss_failures);
+  // Rough magnitude: a broadcast has up to 8 listeners; per-broadcast
+  // success probability ~ 0.95^listeners ≈ 0.66..0.8.
+  EXPECT_GT(r.collision_rate(), 0.1);
+  EXPECT_LT(r.collision_rate(), 0.5);
+}
+
+TEST(LossInjection, ZeroLossMeansZeroFailures) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 4), ball);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  SimConfig cfg;
+  cfg.slots = 900;
+  cfg.saturated = true;
+  SlotSimulator sim(d, cfg);
+  SlotScheduleMac mac(assign_slots(sched, d));
+  EXPECT_EQ(sim.run(mac).failed_tx, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Property 5: guarded schedules tolerate any offsets within their stated
+// tolerance (randomized offsets, two guard factors).
+class GuardProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GuardProperty, ToleranceIsHonored) {
+  const std::uint32_t g = GetParam();
+  const std::int64_t tol = guard_tolerance(g);
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 6), ball);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  const SensorSlots guarded = guarded_slots(assign_slots(sched, d), g);
+  Rng rng(g * 101);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::int64_t> offsets(d.size());
+    for (auto& o : offsets) o = rng.next_int(-tol, tol);
+    SimConfig cfg;
+    cfg.slots = 9 * g * 20;
+    cfg.saturated = true;
+    SlotSimulator sim(d, cfg);
+    SlotScheduleMac mac(guarded, offsets);
+    EXPECT_EQ(sim.run(mac).failed_tx, 0u) << "guard factor " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, GuardProperty, ::testing::Values(3, 5, 7));
+
+// ---------------------------------------------------------------------
+// Property 6: slot histograms of tiling schedules are perfectly balanced
+// on whole-period windows.
+TEST(Analysis, TilingScheduleBalancedOnWholePeriods) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const TilingSchedule sched(*decide_exactness(ball).tiling);
+  // Period lattice index 9: a 9x9 window is three periods of the
+  // (1,3),(0,9)-style HNF basis along each axis... any 9k x 9k box is a
+  // union of full period cells.
+  const auto hist = slot_histogram(sched, Box::cube(2, 0, 8));
+  ASSERT_EQ(hist.size(), 9u);
+  for (std::uint64_t c : hist) {
+    EXPECT_EQ(c, 9u);  // 81 points / 9 slots
+  }
+  EXPECT_DOUBLE_EQ(slot_balance(hist), 1.0);
+  EXPECT_DOUBLE_EQ(duty_cycle(sched), 1.0 / 9.0);
+}
+
+TEST(Analysis, BalanceDetectsSkew) {
+  EXPECT_DOUBLE_EQ(slot_balance({4, 4, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(slot_balance({2, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(slot_balance({}), 1.0);
+  EXPECT_DOUBLE_EQ(slot_balance({0, 0}), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Property 7: coset reduction is a homomorphism-compatible normal form.
+TEST(SublatticeProperty, ReduceIsCompatibleWithAddition) {
+  Rng rng(555);
+  for (int trial = 0; trial < 40; ++trial) {
+    IntMatrix m(2, 2);
+    do {
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+          m.at(r, c) = rng.next_int(-6, 6);
+        }
+      }
+    } while (m.det() == 0);
+    const Sublattice sub(m);
+    for (int k = 0; k < 20; ++k) {
+      const Point p{rng.next_int(-30, 30), rng.next_int(-30, 30)};
+      const Point q{rng.next_int(-30, 30), rng.next_int(-30, 30)};
+      EXPECT_EQ(sub.reduce(p + q), sub.reduce(sub.reduce(p) + sub.reduce(q)));
+      EXPECT_EQ(sub.reduce(p - q), sub.reduce(sub.reduce(p) - sub.reduce(q)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace latticesched

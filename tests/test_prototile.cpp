@@ -1,0 +1,179 @@
+#include "tiling/prototile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Prototile, MustContainOrigin) {
+  EXPECT_THROW(Prototile({Point{1, 0}}), std::invalid_argument);
+  EXPECT_NO_THROW(Prototile({Point{0, 0}, Point{1, 0}}));
+  EXPECT_THROW(Prototile({}), std::invalid_argument);
+}
+
+TEST(Prototile, PointsAreSortedAndDeduplicated) {
+  const Prototile t({Point{1, 0}, Point{0, 0}, Point{1, 0}, Point{0, 1}});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.element(0), (Point{0, 0}));
+  EXPECT_EQ(t.element(1), (Point{0, 1}));
+  EXPECT_EQ(t.element(2), (Point{1, 0}));
+}
+
+TEST(Prototile, MixedDimensionsThrow) {
+  EXPECT_THROW(Prototile({Point{0, 0}, Point{0, 0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Prototile, FromAsciiDefaultAnchor) {
+  // Default anchor: lexicographically smallest cell.
+  const Prototile t = Prototile::from_ascii({"XX"});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.contains(Point{0, 0}));
+  EXPECT_TRUE(t.contains(Point{1, 0}));
+}
+
+TEST(Prototile, FromAsciiExplicitAnchor) {
+  const Prototile t = Prototile::from_ascii({"X.", "OX"});
+  EXPECT_TRUE(t.contains(Point{0, 0}));   // the O
+  EXPECT_TRUE(t.contains(Point{1, 0}));   // right of O
+  EXPECT_TRUE(t.contains(Point{0, 1}));   // above O
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Prototile, FromAsciiYAxisPointsUp) {
+  const Prototile t = Prototile::from_ascii({"X", "O"});
+  EXPECT_TRUE(t.contains(Point{0, 1}));  // the X is ABOVE the anchor
+}
+
+TEST(Prototile, FromAsciiRejectsBadInput) {
+  EXPECT_THROW(Prototile::from_ascii({"..."}), std::invalid_argument);
+  EXPECT_THROW(Prototile::from_ascii({"XQ"}), std::invalid_argument);
+  EXPECT_THROW(Prototile::from_ascii({"OO"}), std::invalid_argument);
+}
+
+TEST(Prototile, IndexOfMatchesCanonicalOrder) {
+  const Prototile t = shapes::l1_ball(2, 1);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.index_of(t.element(i)), i);
+  }
+  EXPECT_FALSE(t.index_of(Point{5, 5}).has_value());
+}
+
+TEST(Prototile, TranslatedShiftsAllPoints) {
+  const Prototile t = shapes::rectangle(2, 2);
+  const PointVec moved = t.translated(Point{10, -5});
+  for (const Point& p : moved) {
+    EXPECT_TRUE(t.contains(p - Point{10, -5}));
+  }
+  EXPECT_EQ(moved.size(), t.size());
+}
+
+TEST(Prototile, NormalizedAtReanchors) {
+  const Prototile t = shapes::rectangle(3, 1);  // {(0,0),(1,0),(2,0)}
+  const Prototile shifted = t.normalized_at(Point{2, 0});
+  EXPECT_TRUE(shifted.contains(Point{0, 0}));
+  EXPECT_TRUE(shifted.contains(Point{-2, 0}));
+  EXPECT_THROW(t.normalized_at(Point{5, 5}), std::invalid_argument);
+}
+
+TEST(Prototile, ContainsTileIsRespectability) {
+  const Prototile big = shapes::chebyshev_ball(2, 2);
+  const Prototile small = shapes::chebyshev_ball(2, 1);
+  EXPECT_TRUE(big.contains_tile(small));
+  EXPECT_FALSE(small.contains_tile(big));
+  EXPECT_TRUE(big.contains_tile(big));
+}
+
+TEST(Prototile, MinkowskiSumOfBalls) {
+  const Prototile r1 = shapes::chebyshev_ball(2, 1);
+  // N + N for the radius-1 Chebyshev ball is the radius-2 ball.
+  const PointVec sum = r1.minkowski_sum(r1);
+  const Prototile r2 = shapes::chebyshev_ball(2, 2);
+  EXPECT_EQ(sum, r2.points());
+}
+
+TEST(Prototile, DifferenceSetSymmetric) {
+  const Prototile t = shapes::s_tetromino();
+  const PointVec diff = t.difference_set();
+  for (const Point& p : diff) {
+    EXPECT_NE(std::find(diff.begin(), diff.end(), -p), diff.end());
+  }
+  EXPECT_NE(std::find(diff.begin(), diff.end(), Point{0, 0}), diff.end());
+}
+
+TEST(Prototile, BoundingBox) {
+  const Prototile t = shapes::z_tetromino();
+  const Box bb = t.bounding_box();
+  EXPECT_EQ(bb.lo(), (Point{-1, 0}));
+  EXPECT_EQ(bb.hi(), (Point{1, 1}));
+}
+
+TEST(Prototile, Rotations) {
+  const Prototile i2 = shapes::straight_polyomino(2);
+  const auto rots = i2.rotations();
+  // Horizontal domino: 4 rotations, but 0 and 180° give different anchor
+  // sets ({(0,0),(1,0)} vs {(0,0),(-1,0)}), figure out distinctness:
+  EXPECT_GE(rots.size(), 2u);
+  for (const auto& r : rots) {
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_TRUE(r.contains(Point{0, 0}));
+  }
+  // A Chebyshev ball is rotation invariant.
+  EXPECT_EQ(shapes::chebyshev_ball(2, 1).rotations().size(), 1u);
+}
+
+TEST(Prototile, ReflectionOfSTetrominoIsZ) {
+  const Prototile s = shapes::s_tetromino();
+  const Prototile z = shapes::z_tetromino();
+  // The reflection of S, re-anchored, equals Z up to translation: compare
+  // canonical forms anchored at their lexicographic minimum.
+  Prototile refl = s.reflected_x();
+  // Re-anchor both at lexicographically smallest element.
+  const Prototile refl_canon = refl.normalized_at(refl.points().front());
+  const Prototile z_canon = z.normalized_at(z.points().front());
+  EXPECT_EQ(refl_canon, z_canon);
+}
+
+TEST(Prototile, Connectivity) {
+  EXPECT_TRUE(shapes::s_tetromino().is_connected());
+  EXPECT_TRUE(shapes::chebyshev_ball(2, 2).is_connected());
+  EXPECT_FALSE(Prototile::from_ascii({"X.X"}).is_connected());
+  // The l1 ball is connected (diagonal neighbors not needed).
+  EXPECT_TRUE(shapes::l1_ball(2, 1).is_connected());
+}
+
+TEST(Prototile, ToAsciiShowsOriginAndCells) {
+  const std::string art = shapes::l_tromino().to_ascii();
+  EXPECT_NE(art.find('O'), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Prototile, AsciiRoundTrip) {
+  const Prototile t = shapes::z_tetromino();
+  const Prototile back = Prototile::from_ascii([&] {
+    std::vector<std::string> rows;
+    std::string cur;
+    for (char c : t.to_ascii()) {
+      if (c == '\n') {
+        rows.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    return rows;
+  }());
+  EXPECT_EQ(back, t);
+}
+
+TEST(Prototile, NonTwoDimensionalGuards) {
+  const Prototile t3({Point{0, 0, 0}, Point{1, 0, 0}});
+  EXPECT_THROW(t3.rotated90(), std::logic_error);
+  EXPECT_THROW(t3.is_connected(), std::logic_error);
+  EXPECT_THROW(t3.to_ascii(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,115 @@
+// Finite-restriction analysis (Conclusions) and schedule CSV round-trips.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/restriction.hpp"
+#include "core/serialization.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Restriction, ChebyshevThresholdAtFiveByFive) {
+  // N1 = Chebyshev r=1 ⇒ N1+N1 = Chebyshev r=2, a 5x5 block: the
+  // optimality guarantee kicks in exactly at window size 5.
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const RestrictionAnalysis small =
+      analyze_restriction(Box::cube(2, 0, 3), ball);  // 4x4
+  EXPECT_FALSE(small.optimality_guaranteed);
+  const RestrictionAnalysis exact_fit =
+      analyze_restriction(Box::cube(2, 0, 4), ball);  // 5x5
+  EXPECT_TRUE(exact_fit.optimality_guaranteed);
+  ASSERT_TRUE(exact_fit.witness.has_value());
+  EXPECT_EQ(exact_fit.required_size, 25u);
+  // The witness translate places N1+N1 inside D.
+  for (const Point& p : ball.minkowski_sum(ball)) {
+    EXPECT_TRUE(Box::cube(2, 0, 4).contains(*exact_fit.witness + p));
+  }
+}
+
+TEST(Restriction, RectangularWindows) {
+  const Prototile ant = shapes::directional_antenna();
+  // N1+N1 for the 2x4 block spans 3x7 cells; a 3x7 window fits exactly.
+  const PointVec sum = ant.minkowski_sum(ant);
+  Point lo = sum.front(), hi = sum.front();
+  for (const Point& p : sum) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+  const Box tight(lo, hi);
+  EXPECT_TRUE(analyze_restriction(tight, ant).optimality_guaranteed);
+  // One row shorter fails.
+  const Box short_box(lo, Point{hi[0], hi[1] - 1});
+  EXPECT_FALSE(analyze_restriction(short_box, ant).optimality_guaranteed);
+}
+
+TEST(Restriction, OffsetWindowsWork) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const Box far = Box::cube(2, 100, 110);
+  const RestrictionAnalysis r = analyze_restriction(far, ball);
+  EXPECT_TRUE(r.optimality_guaranteed);
+  for (const Point& p : ball.minkowski_sum(ball)) {
+    EXPECT_TRUE(far.contains(*r.witness + p));
+  }
+}
+
+TEST(Serialization, RoundTripPreservesEverything) {
+  const Prototile ball = shapes::chebyshev_ball(2, 1);
+  const auto tiling = make_lattice_tiling(ball);
+  ASSERT_TRUE(tiling.has_value());
+  const TilingSchedule sched(*tiling);
+  const Deployment d = Deployment::grid(Box::cube(2, -2, 2), ball);
+  const SensorSlots slots = assign_slots(sched, d);
+
+  const std::string csv = schedule_to_csv(d, slots);
+  const ParsedSchedule parsed = parse_schedule_csv(csv);
+  ASSERT_EQ(parsed.positions.size(), d.size());
+  EXPECT_EQ(parsed.slots.period, slots.period);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(parsed.positions[i], d.position(i));
+    EXPECT_EQ(parsed.types[i], d.type_of(i));
+    EXPECT_EQ(parsed.slots.slot[i], slots.slot[i]);
+  }
+}
+
+TEST(Serialization, HeaderAndShape) {
+  const Deployment d = Deployment::uniform({Point{1, -2}},
+                                           shapes::l1_ball(2, 1));
+  SensorSlots slots;
+  slots.period = 5;
+  slots.slot = {3};
+  const std::string csv = schedule_to_csv(d, slots);
+  EXPECT_EQ(csv.rfind("x0,x1,type,slot,period\n", 0), 0u);
+  EXPECT_NE(csv.find("1,-2,0,3,5"), std::string::npos);
+}
+
+TEST(Serialization, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_schedule_csv(std::string("")), std::invalid_argument);
+  EXPECT_THROW(parse_schedule_csv("bad,header,here\n1,2,3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_schedule_csv("x0,x1,type,slot,period\n1,2,0,1\n"),
+      std::invalid_argument);  // row arity
+  EXPECT_THROW(
+      parse_schedule_csv("x0,x1,type,slot,period\n1,2,0,1,5\n1,3,0,2,6\n"),
+      std::invalid_argument);  // inconsistent period
+  EXPECT_THROW(
+      parse_schedule_csv("x0,x1,type,slot,period\n1,zz,0,1,5\n"),
+      std::invalid_argument);  // bad number
+}
+
+TEST(Serialization, SizeMismatchThrows) {
+  const Deployment d = Deployment::uniform({Point{0, 0}},
+                                           shapes::l1_ball(2, 1));
+  SensorSlots slots;
+  slots.period = 1;
+  EXPECT_THROW(schedule_to_csv(d, slots), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,107 @@
+// The neighborhood factories, including the three Figure-2 shapes.
+#include "tiling/shapes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace latticesched {
+namespace {
+
+TEST(Shapes, ChebyshevBallSizes) {
+  // (2r+1)^d points.
+  EXPECT_EQ(shapes::chebyshev_ball(2, 0).size(), 1u);
+  EXPECT_EQ(shapes::chebyshev_ball(2, 1).size(), 9u);   // Figure 2 left
+  EXPECT_EQ(shapes::chebyshev_ball(2, 2).size(), 25u);
+  EXPECT_EQ(shapes::chebyshev_ball(3, 1).size(), 27u);
+  EXPECT_EQ(shapes::chebyshev_ball(1, 3).size(), 7u);
+}
+
+TEST(Shapes, L1BallSizes) {
+  // 2-D l1 ball: 2r² + 2r + 1 points.
+  EXPECT_EQ(shapes::l1_ball(2, 1).size(), 5u);
+  EXPECT_EQ(shapes::l1_ball(2, 2).size(), 13u);
+  EXPECT_EQ(shapes::l1_ball(3, 1).size(), 7u);
+}
+
+TEST(Shapes, EuclideanBallOnSquareLattice) {
+  // Figure 2 middle: radius 1 on the square lattice = the plus shape.
+  const Prototile b1 = shapes::euclidean_ball(Lattice::square(), 1.0);
+  EXPECT_EQ(b1.size(), 5u);
+  EXPECT_TRUE(b1.contains(Point{0, 0}));
+  EXPECT_TRUE(b1.contains(Point{1, 0}));
+  EXPECT_FALSE(b1.contains(Point{1, 1}));
+  // Radius √2 picks up the diagonals: 9 points.
+  EXPECT_EQ(shapes::euclidean_ball(Lattice::square(), 1.4143).size(), 9u);
+  // Radius 2: 13 points (adds (±2,0),(0,±2)).
+  EXPECT_EQ(shapes::euclidean_ball(Lattice::square(), 2.0).size(), 13u);
+}
+
+TEST(Shapes, EuclideanBallOnHexLattice) {
+  // Radius 1 on the hexagonal lattice: center + 6 kissing vectors.
+  const Prototile b = shapes::euclidean_ball(Lattice::hexagonal(), 1.0);
+  EXPECT_EQ(b.size(), 7u);
+  EXPECT_TRUE(b.contains(Point{1, -1}));
+  EXPECT_FALSE(b.contains(Point{1, 1}));  // length √3
+}
+
+TEST(Shapes, RectangleAndOrigin) {
+  const Prototile r = shapes::rectangle(3, 2);
+  EXPECT_EQ(r.size(), 6u);
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{2, 1}));
+  const Prototile centered = shapes::rectangle(3, 3, 1, 1);
+  EXPECT_TRUE(centered.contains(Point{-1, -1}));
+  EXPECT_TRUE(centered.contains(Point{1, 1}));
+  EXPECT_THROW(shapes::rectangle(0, 2), std::invalid_argument);
+  EXPECT_THROW(shapes::rectangle(2, 2, 5, 0), std::invalid_argument);
+}
+
+TEST(Shapes, DirectionalAntennaMatchesFigure) {
+  // Figure 2 right / Figure 3: 8 cells, 2 wide, 4 tall, origin top-left;
+  // the antenna radiates "south".
+  const Prototile d = shapes::directional_antenna();
+  EXPECT_EQ(d.size(), 8u);
+  EXPECT_TRUE(d.contains(Point{0, 0}));
+  EXPECT_TRUE(d.contains(Point{1, 0}));
+  EXPECT_TRUE(d.contains(Point{0, -3}));
+  EXPECT_TRUE(d.contains(Point{1, -3}));
+  EXPECT_FALSE(d.contains(Point{0, 1}));
+  EXPECT_FALSE(d.contains(Point{-1, 0}));
+}
+
+TEST(Shapes, TetrominoesAndTromino) {
+  EXPECT_EQ(shapes::s_tetromino().size(), 4u);
+  EXPECT_EQ(shapes::z_tetromino().size(), 4u);
+  EXPECT_EQ(shapes::l_tromino().size(), 3u);
+  // S and Z are genuinely different point sets.
+  EXPECT_NE(shapes::s_tetromino(), shapes::z_tetromino());
+  // Union of S and Z (the Theorem-2 slot set for Figure 5) has 6 points.
+  PointVec u = shapes::s_tetromino().points();
+  const Prototile z = shapes::z_tetromino();
+  for (const Point& p : z.points()) u.push_back(p);
+  EXPECT_EQ(sorted_unique(u).size(), 6u);
+}
+
+TEST(Shapes, StraightPolyomino) {
+  const Prototile i5 = shapes::straight_polyomino(5);
+  EXPECT_EQ(i5.size(), 5u);
+  EXPECT_TRUE(i5.contains(Point{4, 0}));
+  EXPECT_THROW(shapes::straight_polyomino(0), std::invalid_argument);
+}
+
+TEST(Shapes, QuadrantSector) {
+  const Prototile q = shapes::quadrant_sector(2);
+  EXPECT_EQ(q.size(), 9u);
+  EXPECT_TRUE(q.contains(Point{2, 2}));
+  EXPECT_FALSE(q.contains(Point{-1, 0}));
+}
+
+TEST(Shapes, NegativeRadiiThrow) {
+  EXPECT_THROW(shapes::chebyshev_ball(2, -1), std::invalid_argument);
+  EXPECT_THROW(shapes::l1_ball(2, -1), std::invalid_argument);
+  EXPECT_THROW(shapes::euclidean_ball(Lattice::square(), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(shapes::quadrant_sector(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,122 @@
+// Smith Normal Form and quotient group structure.
+#include "lattice/snf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace latticesched {
+namespace {
+
+void expect_valid_snf(const IntMatrix& a) {
+  const SmithDecomposition d = smith_normal_form(a);
+  // U·A·V == S.
+  EXPECT_EQ(d.u.mul(a).mul(d.v), d.s);
+  // U and V unimodular.
+  EXPECT_EQ(std::abs(d.u.det()), 1);
+  EXPECT_EQ(std::abs(d.v.det()), 1);
+  // S diagonal with positive, successively divisible entries.
+  for (std::size_t i = 0; i < d.s.rows(); ++i) {
+    for (std::size_t j = 0; j < d.s.cols(); ++j) {
+      if (i != j) {
+        EXPECT_EQ(d.s.at(i, j), 0);
+      }
+    }
+    EXPECT_GT(d.s.at(i, i), 0);
+    if (i > 0) {
+      EXPECT_EQ(d.s.at(i, i) % d.s.at(i - 1, i - 1), 0)
+          << "invariant factors must divide successively";
+    }
+  }
+  // |det| preserved.
+  std::int64_t prod = 1;
+  for (std::int64_t s : d.invariants) prod *= s;
+  EXPECT_EQ(prod, std::abs(a.det()));
+}
+
+TEST(Snf, IdentityAndDiagonal) {
+  expect_valid_snf(IntMatrix::identity(3));
+  expect_valid_snf(IntMatrix::diagonal({4, 6}));
+  // diag(4,6) has invariants (2, 12), not (4, 6).
+  const SmithDecomposition d =
+      smith_normal_form(IntMatrix::diagonal({4, 6}));
+  EXPECT_EQ(d.invariants, (std::vector<std::int64_t>{2, 12}));
+}
+
+TEST(Snf, KnownSmallCases) {
+  // [[2,0],[1,1]] generates an index-2 sublattice: invariants (1, 2).
+  const SmithDecomposition d = smith_normal_form(IntMatrix{{2, 0}, {1, 1}});
+  EXPECT_EQ(d.invariants, (std::vector<std::int64_t>{1, 2}));
+  // [[2,1],[1,2]]: det 3, invariants (1, 3).
+  const SmithDecomposition e = smith_normal_form(IntMatrix{{2, 1}, {1, 2}});
+  EXPECT_EQ(e.invariants, (std::vector<std::int64_t>{1, 3}));
+}
+
+TEST(Snf, RandomMatricesSatisfyInvariants) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.next_below(2);  // 2 or 3
+    IntMatrix m(n, n);
+    do {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          m.at(r, c) = rng.next_int(-6, 6);
+        }
+      }
+    } while (m.det() == 0);
+    expect_valid_snf(m);
+  }
+}
+
+TEST(Snf, NegativeEntriesAndPivotSwaps) {
+  expect_valid_snf(IntMatrix{{0, -3}, {2, 5}});
+  expect_valid_snf(IntMatrix{{0, 0, 1}, {0, 2, 0}, {3, 0, 0}});
+}
+
+TEST(Snf, SingularThrows) {
+  EXPECT_THROW(smith_normal_form(IntMatrix{{1, 2}, {2, 4}}),
+               std::domain_error);
+  EXPECT_THROW(smith_normal_form(IntMatrix(2, 3)), std::invalid_argument);
+}
+
+TEST(QuotientInvariants, MatchKnownGroups) {
+  // Z²/2Z² ≅ Z/2 x Z/2.
+  EXPECT_EQ(quotient_invariants(Sublattice::scaled(2, 2)),
+            (std::vector<std::int64_t>{2, 2}));
+  // Z²/diag(1,5) ≅ Z/5 (one trivial factor dropped).
+  EXPECT_EQ(quotient_invariants(Sublattice::diagonal({1, 5})),
+            (std::vector<std::int64_t>{5}));
+  // The index-5 perfect-code lattice gives the CYCLIC group Z/5.
+  EXPECT_EQ(quotient_invariants(
+                Sublattice::from_vectors({Point{1, 2}, Point{2, -1}})),
+            (std::vector<std::int64_t>{5}));
+  // M = Z^d: trivial quotient.
+  EXPECT_TRUE(quotient_invariants(Sublattice::scaled(2, 1)).empty());
+}
+
+TEST(QuotientInvariants, OrderEqualsIndex) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntMatrix m(2, 2);
+    do {
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+          m.at(r, c) = rng.next_int(-5, 5);
+        }
+      }
+    } while (m.det() == 0);
+    const Sublattice sub(m);
+    std::int64_t order = 1;
+    for (std::int64_t s : quotient_invariants(sub)) order *= s;
+    EXPECT_EQ(order, sub.index());
+  }
+}
+
+TEST(QuotientGroupName, Formatting) {
+  EXPECT_EQ(quotient_group_name(Sublattice::scaled(2, 1)), "trivial");
+  EXPECT_EQ(quotient_group_name(Sublattice::diagonal({1, 7})), "Z/7");
+  EXPECT_EQ(quotient_group_name(Sublattice::scaled(2, 3)), "Z/3 x Z/3");
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,124 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_gaussian() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(SampleSet, PercentilesOnKnownData) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-12);
+}
+
+TEST(SampleSet, PercentileArgumentValidation) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(SampleSet, EmptyReturnsZeros) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {-1.0, 0.0, 1.9, 2.0, 5.5, 9.99, 10.0, 42.0}) h.add(x);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0.0, 1.9
+  EXPECT_EQ(h.bin_count(1), 1u);  // 2.0
+  EXPECT_EQ(h.bin_count(2), 1u);  // 5.5
+  EXPECT_EQ(h.bin_count(4), 1u);  // 9.99
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, RendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,159 @@
+// The Tiling class: construction validation (T1/T2, GT1/GT2), covering
+// lookups and window verification.
+#include "tiling/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+Tiling square_block_tiling() {
+  // 2x2 blocks tiled by 2Z x 2Z.
+  return Tiling::lattice_tiling(shapes::rectangle(2, 2),
+                                Sublattice::diagonal({2, 2}));
+}
+
+TEST(Tiling, LatticeTilingBasics) {
+  const Tiling t = square_block_tiling();
+  EXPECT_EQ(t.dim(), 2u);
+  EXPECT_EQ(t.prototile_count(), 1u);
+  EXPECT_EQ(t.period().index(), 4);
+  EXPECT_TRUE(t.is_respectable());
+}
+
+TEST(Tiling, LatticeTilingSizeMismatchThrows) {
+  EXPECT_THROW(Tiling::lattice_tiling(shapes::rectangle(2, 2),
+                                      Sublattice::diagonal({2, 3})),
+               std::invalid_argument);
+}
+
+TEST(Tiling, LatticeTilingIncompleteResiduesThrows) {
+  // The domino does not tile with 1Z x 2Z... wait, |N|=2, index=2: the
+  // horizontal domino {(0,0),(1,0)} is NOT a residue system mod
+  // diag(1,2) (both elements reduce to (0,0)).
+  EXPECT_THROW(Tiling::lattice_tiling(shapes::straight_polyomino(2),
+                                      Sublattice::diagonal({1, 2})),
+               std::invalid_argument);
+  // It IS one mod diag(2,1).
+  EXPECT_NO_THROW(Tiling::lattice_tiling(shapes::straight_polyomino(2),
+                                         Sublattice::diagonal({2, 1})));
+}
+
+TEST(Tiling, CoveringIsConsistent) {
+  const Tiling t = square_block_tiling();
+  Box::centered(2, 6).for_each([&](const Point& p) {
+    const Covering c = t.covering(p);
+    EXPECT_EQ(c.prototile, 0u);
+    // p = translate + element.
+    const Point elem = t.prototile(c.prototile).element(c.element_index);
+    EXPECT_EQ(c.translate + elem, p);
+    // The translate must be a placement (congruent to a canonical one).
+    EXPECT_TRUE(t.period().congruent(c.translate,
+                                     t.placements().front().first));
+  });
+}
+
+TEST(Tiling, PlacementsInBox) {
+  const Tiling t = square_block_tiling();
+  const auto placements = t.placements_in(Box::cube(2, 0, 3));
+  // Translates at (0,0), (0,2), (2,0), (2,2).
+  EXPECT_EQ(placements.size(), 4u);
+  for (const auto& [translate, proto] : placements) {
+    EXPECT_EQ(proto, 0u);
+    EXPECT_EQ(translate[0] % 2, 0);
+    EXPECT_EQ(translate[1] % 2, 0);
+  }
+}
+
+TEST(Tiling, VerifyWindowAcceptsValidTiling) {
+  const Tiling t = square_block_tiling();
+  std::string err;
+  EXPECT_TRUE(t.verify_window(Box::centered(2, 10), &err)) << err;
+}
+
+TEST(Tiling, PeriodicConstructionRejectsOverlap) {
+  // Two dominoes placed to overlap on a 2x2 torus.
+  std::vector<Prototile> protos = {shapes::straight_polyomino(2)};
+  EXPECT_THROW(
+      Tiling::periodic(protos, Sublattice::diagonal({2, 2}),
+                       {{Point{0, 0}, 0}, {Point{1, 0}, 0}}),
+      std::invalid_argument);
+}
+
+TEST(Tiling, PeriodicConstructionRejectsIncompleteCover) {
+  std::vector<Prototile> protos = {shapes::straight_polyomino(2)};
+  EXPECT_THROW(Tiling::periodic(protos, Sublattice::diagonal({2, 2}),
+                                {{Point{0, 0}, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Tiling, PeriodicConstructionRejectsDuplicateTranslates) {
+  std::vector<Prototile> protos = {shapes::straight_polyomino(2)};
+  // Same translate class twice (second one shifted by a full period).
+  EXPECT_THROW(
+      Tiling::periodic(protos, Sublattice::diagonal({2, 2}),
+                       {{Point{0, 0}, 0}, {Point{2, 0}, 0}}),
+      std::invalid_argument);
+}
+
+TEST(Tiling, PeriodicConstructionRejectsBadPrototileIndex) {
+  std::vector<Prototile> protos = {shapes::straight_polyomino(2)};
+  EXPECT_THROW(Tiling::periodic(protos, Sublattice::diagonal({2, 1}),
+                                {{Point{0, 0}, 7}}),
+               std::invalid_argument);
+}
+
+TEST(Tiling, TwoPrototilePeriodicTiling) {
+  // Stripe tiling: dominoes in even rows starting at even x, singletons
+  // elsewhere... simplest: vertical domino + two single cells on a 2x2
+  // torus.
+  std::vector<Prototile> protos = {
+      Prototile::from_ascii({"X", "O"}, "v-domino"),
+      Prototile({Point{0, 0}}, "dot")};
+  const Tiling t =
+      Tiling::periodic(protos, Sublattice::diagonal({2, 2}),
+                       {{Point{0, 0}, 0}, {Point{1, 0}, 1}, {Point{1, 1}, 1}});
+  EXPECT_EQ(t.prototile_count(), 2u);
+  std::string err;
+  EXPECT_TRUE(t.verify_window(Box::centered(2, 6), &err)) << err;
+  // Respectable: the domino contains the dot's single point.
+  ASSERT_TRUE(t.respectable_prototile().has_value());
+  EXPECT_EQ(*t.respectable_prototile(), 0u);
+  // Covering of (1,0) is the dot; covering of (0,1) is the domino's top.
+  EXPECT_EQ(t.covering(Point{1, 0}).prototile, 1u);
+  EXPECT_EQ(t.covering(Point{0, 1}).prototile, 0u);
+  EXPECT_EQ(t.covering(Point{0, 1}).translate, (Point{0, 0}));
+}
+
+TEST(Tiling, NonRespectableDetected) {
+  // S and Z tetrominoes: neither contains the other.
+  std::vector<Prototile> protos = {shapes::s_tetromino(),
+                                   shapes::z_tetromino()};
+  // Build any mixed tiling on a 4x4 torus via explicit placements is
+  // fiddly; instead verify respectability logic directly on a fake
+  // single-coverage arrangement: use the respectable_prototile helper
+  // through a real search in test_torus_search.  Here check the pure
+  // containment logic:
+  EXPECT_FALSE(protos[0].contains_tile(protos[1]));
+  EXPECT_FALSE(protos[1].contains_tile(protos[0]));
+}
+
+TEST(Tiling, SkewedPeriodLattice) {
+  // The plus-pentomino tiles with the index-5 "perfect code" lattice.
+  const Sublattice code = Sublattice::from_vectors({Point{1, 2},
+                                                    Point{2, -1}});
+  const Tiling t = Tiling::lattice_tiling(shapes::l1_ball(2, 1), code);
+  std::string err;
+  EXPECT_TRUE(t.verify_window(Box::centered(2, 8), &err)) << err;
+  // Every point's covering translate differs from the point by a ball
+  // element.
+  Box::centered(2, 4).for_each([&](const Point& p) {
+    const Covering c = t.covering(p);
+    EXPECT_LE((p - c.translate).norm1(), 1);
+  });
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,149 @@
+// Theorem 1 / Theorem 2 schedules: construction, collision-freedom, slot
+// counts, optimality flags, and the Figure-3 property that each slot's
+// senders' neighborhoods re-tile the lattice.
+#include "core/tiling_scheduler.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/collision.hpp"
+#include "tiling/lattice_tiling_search.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+TilingSchedule schedule_for(const Prototile& tile) {
+  auto tiling = make_lattice_tiling(tile);
+  if (!tiling.has_value()) throw std::runtime_error("no tiling found");
+  return TilingSchedule(std::move(*tiling));
+}
+
+TEST(TilingSchedule, Theorem1SlotCounts) {
+  // m = |N| for each of the paper's Figure-2 neighborhoods.
+  EXPECT_EQ(schedule_for(shapes::chebyshev_ball(2, 1)).period(), 9u);
+  EXPECT_EQ(
+      schedule_for(shapes::euclidean_ball(Lattice::square(), 1.0)).period(),
+      5u);
+  EXPECT_EQ(schedule_for(shapes::directional_antenna()).period(), 8u);
+}
+
+TEST(TilingSchedule, SlotsAreWithinPeriod) {
+  const TilingSchedule s = schedule_for(shapes::chebyshev_ball(2, 1));
+  Box::centered(2, 8).for_each([&](const Point& p) {
+    EXPECT_LT(s.slot_of(p), s.period());
+  });
+}
+
+TEST(TilingSchedule, SameTileGetsAllSlots) {
+  const TilingSchedule s = schedule_for(shapes::directional_antenna());
+  // Within one tile (translate t), the 8 sensors get 8 distinct slots.
+  const Covering c = s.tiling().covering(Point{0, 0});
+  std::set<std::uint32_t> slots;
+  for (const Point& n : s.tiling().prototile(0).points()) {
+    slots.insert(s.slot_of(c.translate + n));
+  }
+  EXPECT_EQ(slots.size(), 8u);
+}
+
+TEST(TilingSchedule, MaySendMatchesSlots) {
+  const TilingSchedule s = schedule_for(shapes::rectangle(2, 2));
+  const Point p{1, 1};
+  const std::uint32_t k = s.slot_of(p);
+  for (std::uint64_t t = 0; t < 12; ++t) {
+    EXPECT_EQ(s.may_send(p, t), t % s.period() == k);
+  }
+}
+
+TEST(TilingSchedule, CollisionFreeOnWindows) {
+  for (const Prototile& tile :
+       {shapes::chebyshev_ball(2, 1),
+        shapes::euclidean_ball(Lattice::square(), 1.0),
+        shapes::directional_antenna(), shapes::s_tetromino(),
+        shapes::l1_ball(2, 2), shapes::chebyshev_ball(2, 2)}) {
+    const TilingSchedule s = schedule_for(tile);
+    const Deployment d = Deployment::grid(Box::centered(2, 7), tile);
+    const CollisionReport r = check_collision_free(d, s);
+    EXPECT_TRUE(r.collision_free) << tile.name() << ": " << r.to_string();
+  }
+}
+
+TEST(TilingSchedule, OptimalityFlagsForRespectableTilings) {
+  const TilingSchedule s = schedule_for(shapes::chebyshev_ball(2, 1));
+  EXPECT_EQ(s.lower_bound_slots(), 9u);
+  EXPECT_TRUE(s.optimal());
+}
+
+TEST(TilingSchedule, Figure3SlotClassesRetileTheLattice) {
+  // "Considering the neighborhoods of all sensors broadcasting during
+  // time slot 2 one obtains once again a tiling."
+  const TilingSchedule s = schedule_for(shapes::directional_antenna());
+  const Box inner = Box::centered(2, 6);
+  const Box outer = inner.expanded(6);
+  for (std::uint32_t slot = 0; slot < s.period(); ++slot) {
+    const PointVec senders = s.senders_in_slot(slot, outer);
+    PointMap<int> coverage;
+    for (const Point& t : senders) {
+      for (const Point& p : s.tiling().prototile(0).translated(t)) {
+        ++coverage[p];
+      }
+    }
+    inner.for_each([&](const Point& p) {
+      const auto it = coverage.find(p);
+      EXPECT_TRUE(it != coverage.end() && it->second == 1)
+          << "slot " << slot << " does not tile at " << p;
+    });
+  }
+}
+
+TEST(TilingSchedule, Theorem2TwoPrototileSchedule) {
+  // Respectable pair: vertical domino ⊃ single cell.
+  std::vector<Prototile> protos = {
+      Prototile::from_ascii({"X", "O"}, "v-domino"),
+      Prototile({Point{0, 0}}, "dot")};
+  const Tiling tiling =
+      Tiling::periodic(protos, Sublattice::diagonal({2, 2}),
+                       {{Point{0, 0}, 0}, {Point{1, 0}, 1}, {Point{1, 1}, 1}});
+  const TilingSchedule s((Tiling(tiling)));
+  // Union N = {(0,0),(0,1)}: two slots.
+  EXPECT_EQ(s.period(), 2u);
+  EXPECT_TRUE(s.optimal());
+  // Collision-free under deployment rule D1.
+  const Deployment d = Deployment::from_tiling(tiling, Box::centered(2, 6));
+  const CollisionReport r = check_collision_free(d, s);
+  EXPECT_TRUE(r.collision_free) << r.to_string();
+}
+
+TEST(TilingSchedule, DescriptionMentionsStructure) {
+  const TilingSchedule s = schedule_for(shapes::rectangle(2, 2));
+  EXPECT_NE(s.description().find("m=4"), std::string::npos);
+  EXPECT_NE(s.description().find("respectable"), std::string::npos);
+}
+
+TEST(TilingSchedule, UnionPointsSortedAndComplete) {
+  const TilingSchedule s = schedule_for(shapes::s_tetromino());
+  const PointVec& u = s.union_points();
+  EXPECT_EQ(u.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(u.begin(), u.end()));
+}
+
+// Parameterized sweep: Theorem 1 for growing Chebyshev radii.
+class Theorem1Sweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Theorem1Sweep, ChebyshevBallScheduleIsOptimalAndCollisionFree) {
+  const std::int64_t r = GetParam();
+  const Prototile ball = shapes::chebyshev_ball(2, r);
+  const TilingSchedule s = schedule_for(ball);
+  const auto expected =
+      static_cast<std::uint32_t>((2 * r + 1) * (2 * r + 1));
+  EXPECT_EQ(s.period(), expected);
+  EXPECT_TRUE(s.optimal());
+  const Deployment d = Deployment::grid(Box::centered(2, 2 * r + 3), ball);
+  EXPECT_TRUE(check_collision_free(d, s).collision_free);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, Theorem1Sweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,128 @@
+// Tests for the table printer, ASCII canvas and CLI parser.
+#include <gtest/gtest.h>
+
+#include "util/ascii_canvas.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Table, AlignsAndRules) {
+  Table t({"name", "value"});
+  t.begin_row();
+  t.cell("alpha");
+  t.cell(static_cast<std::int64_t>(42));
+  t.begin_row();
+  t.cell("b");
+  t.cell(7.125, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("7.12"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Right-aligned numeric column: "42" ends where "7.12" ends.
+  const auto line1_end = s.find("42\n");
+  const auto line2_end = s.find("7.12\n");
+  ASSERT_NE(line1_end, std::string::npos);
+  ASSERT_NE(line2_end, std::string::npos);
+}
+
+TEST(Table, PercentFormatting) {
+  Table t({"x", "pct"});
+  t.begin_row();
+  t.cell("a");
+  t.cell_percent(0.256, 1);
+  EXPECT_NE(t.to_string().find("25.6%"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(AsciiCanvas, OriginAtBottomLeft) {
+  AsciiCanvas c(3, 2, '.');
+  c.put(0, 0, 'a');
+  c.put(2, 1, 'b');
+  EXPECT_EQ(c.to_string(), "..b\na..\n");
+}
+
+TEST(AsciiCanvas, ClipsOutOfBounds) {
+  AsciiCanvas c(2, 2, '.');
+  c.put(-1, 0, 'x');
+  c.put(0, 5, 'x');
+  c.put_text(1, 0, "long-text");
+  EXPECT_EQ(c.at(1, 0), 'l');
+  EXPECT_EQ(c.at(0, 1), '.');
+}
+
+TEST(AsciiCanvas, Lines) {
+  AsciiCanvas c(4, 4, ' ');
+  c.hline(0, 0, 4, '-');
+  c.vline(0, 0, 4, '|');
+  EXPECT_EQ(c.at(3, 0), '-');
+  EXPECT_EQ(c.at(0, 3), '|');
+}
+
+TEST(AsciiCanvas, RejectsZeroSize) {
+  EXPECT_THROW(AsciiCanvas(0, 5), std::invalid_argument);
+}
+
+TEST(Cli, ParsesAllForms) {
+  CliParser p("test");
+  p.add_flag("n", "10", "count");
+  p.add_flag("rate", "0.5", "rate");
+  p.add_flag("verbose", "false", "verbosity");
+  p.add_flag("name", "x", "label");
+  const char* argv[] = {"prog", "--n=20", "--rate=0.25", "--verbose",
+                        "pos1"};
+  p.parse(5, argv);
+  EXPECT_EQ(p.get_int("n"), 20);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.25);
+  EXPECT_TRUE(p.get_bool("verbose"));
+  EXPECT_EQ(p.get_string("name"), "x");  // default preserved
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser p("test");
+  const char* argv[] = {"prog", "--mystery=1"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  CliParser p("test");
+  p.add_flag("n", "1", "count");
+  const char* argv[] = {"prog", "--n=12abc"};
+  p.parse(2, argv);
+  EXPECT_THROW(p.get_int("n"), std::invalid_argument);
+}
+
+TEST(Cli, HelpRequested) {
+  CliParser p("test");
+  p.add_flag("n", "1", "count");
+  const char* argv[] = {"prog", "--help"};
+  p.parse(2, argv);
+  EXPECT_TRUE(p.help_requested());
+  EXPECT_NE(p.help_text().find("--n"), std::string::npos);
+}
+
+TEST(Cli, DuplicateFlagRegistrationThrows) {
+  CliParser p("test");
+  p.add_flag("n", "1", "count");
+  EXPECT_THROW(p.add_flag("n", "2", "again"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -1,0 +1,125 @@
+// Voronoi cells (paper Figure 4) and box windows.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lattice/region.hpp"
+#include "lattice/voronoi.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Voronoi, SquareCellIsUnitSquare) {
+  const ConvexPolygon cell = voronoi_cell(Lattice::square());
+  EXPECT_EQ(cell.vertex_count(), 4u);
+  EXPECT_NEAR(cell.area(), 1.0, 1e-9);
+  EXPECT_TRUE(cell.contains({0.49, 0.49}));
+  EXPECT_FALSE(cell.contains({0.51, 0.0}));
+}
+
+TEST(Voronoi, HexCellIsRegularHexagon) {
+  const ConvexPolygon cell = voronoi_cell(Lattice::hexagonal());
+  EXPECT_EQ(cell.vertex_count(), 6u);
+  // Area equals the covolume √3/2.
+  EXPECT_NEAR(cell.area(), std::sqrt(3.0) / 2.0, 1e-9);
+  // All vertices equidistant from the center (regularity).
+  double r0 = -1.0;
+  for (const Vec2& v : cell.vertices()) {
+    const double r = std::sqrt(v.x * v.x + v.y * v.y);
+    if (r0 < 0) {
+      r0 = r;
+    } else {
+      EXPECT_NEAR(r, r0, 1e-9);
+    }
+  }
+  // Circumradius of the hexagonal Voronoi cell is 1/√3.
+  EXPECT_NEAR(r0, 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(Voronoi, QuasiPolyformArea) {
+  EXPECT_NEAR(quasi_polyform_area(Lattice::square(), 9), 9.0, 1e-12);
+  EXPECT_NEAR(quasi_polyform_area(Lattice::hexagonal(), 4),
+              4.0 * std::sqrt(3.0) / 2.0, 1e-9);
+}
+
+TEST(ConvexPolygon, ClipHalfPlane) {
+  ConvexPolygon square = ConvexPolygon::centered_square(1.0);
+  EXPECT_NEAR(square.area(), 4.0, 1e-12);
+  const ConvexPolygon half = square.clip_half_plane({1.0, 0.0}, 0.0);
+  EXPECT_NEAR(half.area(), 2.0, 1e-9);
+  const ConvexPolygon none = square.clip_half_plane({1.0, 0.0}, -2.0);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ConvexPolygon, DistanceTo) {
+  const ConvexPolygon square = ConvexPolygon::centered_square(1.0);
+  EXPECT_DOUBLE_EQ(square.distance_to({0.0, 0.0}), 0.0);
+  EXPECT_NEAR(square.distance_to({2.0, 0.0}), 1.0, 1e-9);
+  EXPECT_NEAR(square.distance_to({2.0, 2.0}), std::sqrt(2.0), 1e-9);
+}
+
+TEST(ConvexPolygon, TranslatedPreservesShape) {
+  const ConvexPolygon square = ConvexPolygon::centered_square(1.0);
+  const ConvexPolygon moved = square.translated({5.0, -3.0});
+  EXPECT_NEAR(moved.area(), square.area(), 1e-12);
+  EXPECT_TRUE(moved.contains({5.0, -3.0}));
+  EXPECT_FALSE(moved.contains({0.0, 0.0}));
+}
+
+TEST(Voronoi, RejectsNon2D) {
+  EXPECT_THROW(voronoi_cell(Lattice::cubic(3)), std::invalid_argument);
+}
+
+TEST(Box, SizeAndContains) {
+  const Box b = Box::cube(2, -1, 2);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_EQ(b.extent(0), 4);
+  EXPECT_TRUE(b.contains(Point{0, 0}));
+  EXPECT_TRUE(b.contains(Point{-1, 2}));
+  EXPECT_FALSE(b.contains(Point{3, 0}));
+  EXPECT_FALSE(b.contains(Point{0, 0, 0}));
+}
+
+TEST(Box, PointsLexicographicAndComplete) {
+  const Box b = Box(Point{0, 0}, Point{1, 2});
+  const PointVec pts = b.points();
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts.front(), (Point{0, 0}));
+  EXPECT_EQ(pts.back(), (Point{1, 2}));
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1], pts[i]) << "must be lexicographically sorted";
+  }
+}
+
+TEST(Box, SinglePoint) {
+  const Box b = Box(Point{3, 3}, Point{3, 3});
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.points().size(), 1u);
+}
+
+TEST(Box, ExpandAndTranslate) {
+  const Box b = Box::centered(2, 1);
+  const Box e = b.expanded(2);
+  EXPECT_EQ(e.lo(), (Point{-3, -3}));
+  EXPECT_EQ(e.hi(), (Point{3, 3}));
+  const Box t = b.translated(Point{10, 0});
+  EXPECT_TRUE(t.contains(Point{10, 0}));
+  EXPECT_FALSE(t.contains(Point{0, 0}));
+}
+
+TEST(Box, InvalidCornersThrow) {
+  EXPECT_THROW(Box(Point{1, 0}, Point{0, 0}), std::invalid_argument);
+  EXPECT_THROW(Box(Point{0}, Point{0, 0}), std::invalid_argument);
+}
+
+TEST(Box, ForEachVisitsAllOnce) {
+  const Box b = Box::cube(3, 0, 2);
+  PointSet seen;
+  b.for_each([&](const Point& p) {
+    EXPECT_TRUE(seen.insert(p).second);
+  });
+  EXPECT_EQ(seen.size(), 27u);
+}
+
+}  // namespace
+}  // namespace latticesched
