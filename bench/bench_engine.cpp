@@ -1,0 +1,357 @@
+// Dense-index engine before/after microbenchmarks.
+//
+// The seed implementations of the four hot paths (torus search, slot
+// lookup, collision check, conflict-graph build) are retained behind
+// flags/reference entry points precisely so this binary can measure the
+// speedup of the dense engine against them on identical workloads.  The
+// report section prints the headline ratios (the acceptance targets are
+// >= 5x on torus-search nodes/sec and >= 10x on slot_of throughput); the
+// registered google-benchmark cases record the same comparisons in the
+// bench trajectory (run with --benchmark_format=json > BENCH_engine.json).
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/collision.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "graph/interference.hpp"
+#include "sim/simulator.hpp"
+#include "tiling/shapes.hpp"
+#include "tiling/torus_search.hpp"
+
+namespace latticesched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Shared workloads (identical for both engines)
+// ---------------------------------------------------------------------------
+
+std::vector<Prototile> mixed_tetrominoes() {
+  return {shapes::s_tetromino(), shapes::z_tetromino()};
+}
+
+/// Pure-search workload: 13x13 has no S/Z tiling (169 is not a multiple
+/// of 4), so the whole tree is explored with zero result emission — the
+/// measured time is backtracking alone, and both engines expand the
+/// identical node sequence.
+std::uint64_t run_torus_search(bool dense, const Sublattice& period) {
+  TorusSearchConfig cfg;
+  cfg.use_dense_engine = dense;
+  TorusSearchStats stats;
+  cfg.stats = &stats;
+  const auto found = all_tilings_on_torus(mixed_tetrominoes(), period,
+                                          100'000, cfg);
+  if (!found.empty()) std::abort();  // workload must stay search-only
+  return stats.nodes;
+}
+
+TilingSchedule make_schedule() {
+  const auto tiling = search_periodic_tiling({shapes::directional_antenna()});
+  return TilingSchedule(*tiling);
+}
+
+/// The seed's slot_of, reproduced byte for byte in spirit: covering() as
+/// a PointMap lookup materializing the Covering (translate included),
+/// then a second hash lookup from element to slot.  The library paths
+/// have all gone dense, so the seed baseline lives here in the bench.
+struct SeedSlotOracle {
+  explicit SeedSlotOracle(const TilingSchedule& sched)
+      : tiling(&sched.tiling()) {
+    for (const Point& rep : tiling->period().coset_representatives()) {
+      const Covering c = tiling->covering(rep);
+      cell_by_residue.emplace(rep,
+                              SeedCell{c.prototile, c.element_index});
+    }
+    for (std::uint32_t k = 0; k < sched.union_points().size(); ++k) {
+      slot_by_element.emplace(sched.union_points()[k], k);
+    }
+  }
+
+  std::uint32_t slot_of(const Point& p) const {
+    const Point rep = tiling->period().reduce(p);
+    const SeedCell& cell = cell_by_residue.at(rep);
+    const Point& element =
+        tiling->prototile(cell.prototile).element(cell.element_index);
+    Point translate = p - element;  // seed's Covering materialization
+    benchmark::DoNotOptimize(translate);
+    return slot_by_element.at(element);
+  }
+
+  struct SeedCell {
+    std::uint32_t prototile = 0;
+    std::uint32_t element_index = 0;
+  };
+  const Tiling* tiling;
+  PointMap<SeedCell> cell_by_residue;
+  PointMap<std::uint32_t> slot_by_element;
+};
+
+template <typename SlotFn>
+std::uint64_t sweep_slots(const PointVec& pts, const SlotFn& slot_fn) {
+  std::uint64_t sum = 0;
+  for (const Point& p : pts) sum += slot_fn(p);
+  return sum;
+}
+
+struct CollisionWorkload {
+  Deployment deployment;
+  SensorSlots slots;
+};
+
+CollisionWorkload make_collision_workload() {
+  TorusSearchConfig cfg;
+  cfg.require_all_prototiles = true;
+  const auto tiling = find_tiling_on_torus(
+      mixed_tetrominoes(), Sublattice::diagonal({4, 4}), cfg);
+  const TilingSchedule sched(*tiling);
+  Deployment d = Deployment::from_tiling(*tiling, Box::centered(2, 15));
+  SensorSlots slots = assign_slots(sched, d);
+  return CollisionWorkload{std::move(d), std::move(slots)};
+}
+
+Deployment make_graph_deployment() {
+  return Deployment::grid(Box::centered(2, 14), shapes::chebyshev_ball(2, 1));
+}
+
+// Hashed conflict-graph builder for comparison: same structure the seed
+// used, reproduced here via the public hash fallback (a deployment whose
+// hull defeats the grid would take it; we time it directly instead by
+// calling the reference collision path on a synthetic check).  To keep
+// the comparison honest we rebuild with the exact seed algorithm.
+Graph build_conflict_graph_seed(const Deployment& d) {
+  Graph g(d.size());
+  PointMap<std::vector<std::uint32_t>> covered_by;
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    for (const Point& p : d.coverage_of(i)) {
+      covered_by[p].push_back(i);
+    }
+  }
+  for (const auto& [p, ids] : covered_by) {
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < ids.size(); ++b) {
+        g.add_edge(ids[a], ids[b]);
+      }
+    }
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Reproduction report: headline speedups
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+double time_best_of(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+void report() {
+  bench::section("Dense-index engine vs seed implementations");
+
+  // Torus search: both engines expand the identical node sequence, so the
+  // wall-time ratio equals the nodes/sec ratio.
+  {
+    const Sublattice period = Sublattice::diagonal({13, 13});
+    std::uint64_t nodes_dense = 0, nodes_legacy = 0;
+    const double t_dense = time_best_of(
+        5, [&] { nodes_dense = run_torus_search(true, period); });
+    const double t_legacy = time_best_of(
+        3, [&] { nodes_legacy = run_torus_search(false, period); });
+    std::printf(
+        "torus search (S+Z on 13x13, %llu nodes): legacy %.1f Mnodes/s,"
+        " dense %.1f Mnodes/s -> %.1fx (target >= 5x)\n",
+        static_cast<unsigned long long>(nodes_dense),
+        static_cast<double>(nodes_legacy) / t_legacy / 1e6,
+        static_cast<double>(nodes_dense) / t_dense / 1e6,
+        t_legacy / t_dense);
+    if (nodes_dense != nodes_legacy) {
+      std::printf("  WARNING: engines disagree (%llu vs %llu nodes)\n",
+                  static_cast<unsigned long long>(nodes_dense),
+                  static_cast<unsigned long long>(nodes_legacy));
+    }
+  }
+
+  // slot_of: table load vs the seed's covering() + double hash lookup.
+  {
+    const TilingSchedule sched = make_schedule();
+    const SeedSlotOracle seed(sched);
+    const PointVec pts = Box::centered(2, 160).points();
+    std::uint64_t sum_dense = 0, sum_seed = 0;
+    const double t_dense = time_best_of(5, [&] {
+      sum_dense = sweep_slots(pts, [&](const Point& p) {
+        return sched.slot_of(p);
+      });
+    });
+    const double t_seed = time_best_of(3, [&] {
+      sum_seed = sweep_slots(pts, [&](const Point& p) {
+        return seed.slot_of(p);
+      });
+    });
+    const double n = static_cast<double>(pts.size());
+    std::printf(
+        "slot_of (%u-slot schedule, %.0f points): seed %.1f M/s, table"
+        " %.1f M/s -> %.1fx throughput (target >= 10x)\n",
+        sched.period(), n, n / t_seed / 1e6, n / t_dense / 1e6,
+        t_seed / t_dense);
+    if (sum_dense != sum_seed) {
+      std::printf("  WARNING: slot sums disagree (%llu vs %llu)\n",
+                  static_cast<unsigned long long>(sum_dense),
+                  static_cast<unsigned long long>(sum_seed));
+    }
+  }
+
+  // Collision check: stamped flat counters vs per-slot hash maps.
+  {
+    const CollisionWorkload w = make_collision_workload();
+    bool free_dense = false, free_ref = false;
+    const double t_dense = time_best_of(3, [&] {
+      free_dense = check_collision_free(w.deployment, w.slots).collision_free;
+    });
+    const double t_ref = time_best_of(3, [&] {
+      free_ref =
+          check_collision_free_reference(w.deployment, w.slots)
+              .collision_free;
+    });
+    std::printf(
+        "collision check (%zu sensors, verdict %s/%s): reference %.2fms,"
+        " dense %.2fms -> %.1fx\n",
+        w.deployment.size(), free_dense ? "free" : "collision",
+        free_ref ? "free" : "collision", t_ref * 1e3, t_dense * 1e3,
+        t_ref / t_dense);
+  }
+
+  // Conflict-graph build: CSR inversion on the grid vs hash buckets.
+  {
+    const Deployment d = make_graph_deployment();
+    std::size_t edges_dense = 0, edges_seed = 0;
+    const double t_dense = time_best_of(
+        3, [&] { edges_dense = build_conflict_graph(d).edge_count(); });
+    const double t_seed = time_best_of(
+        3, [&] { edges_seed = build_conflict_graph_seed(d).edge_count(); });
+    std::printf(
+        "conflict graph (%zu sensors, %zu/%zu edges): seed %.2fms, dense"
+        " %.2fms -> %.1fx\n",
+        d.size(), edges_dense, edges_seed, t_seed * 1e3, t_dense * 1e3,
+        t_seed / t_dense);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registered microbenchmarks (recorded via --benchmark_format=json)
+// ---------------------------------------------------------------------------
+
+void BM_TorusSearchDense(benchmark::State& state) {
+  // Odd x odd tori are unsatisfiable for S+Z: pure backtracking, and the
+  // per-iteration node count is fixed, so time/op tracks nodes/sec.
+  const Sublattice period =
+      Sublattice::diagonal({state.range(0), state.range(0)});
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    nodes = run_torus_search(true, period);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_TorusSearchDense)->Arg(9)->Arg(11)->Arg(13);
+
+void BM_TorusSearchLegacy(benchmark::State& state) {
+  const Sublattice period =
+      Sublattice::diagonal({state.range(0), state.range(0)});
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    nodes = run_torus_search(false, period);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_TorusSearchLegacy)->Arg(9)->Arg(11)->Arg(13);
+
+void BM_SlotOfTable(benchmark::State& state) {
+  const TilingSchedule sched = make_schedule();
+  const PointVec pts = Box::centered(2, 40).points();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_slots(pts, [&](const Point& p) {
+      return sched.slot_of(p);
+    }));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pts.size()));
+}
+BENCHMARK(BM_SlotOfTable);
+
+void BM_SlotOfSeed(benchmark::State& state) {
+  const TilingSchedule sched = make_schedule();
+  const SeedSlotOracle seed(sched);
+  const PointVec pts = Box::centered(2, 40).points();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_slots(pts, [&](const Point& p) {
+      return seed.slot_of(p);
+    }));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pts.size()));
+}
+BENCHMARK(BM_SlotOfSeed);
+
+void BM_CollisionCheckDense(benchmark::State& state) {
+  const CollisionWorkload w = make_collision_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_collision_free(w.deployment, w.slots).collision_free);
+  }
+}
+BENCHMARK(BM_CollisionCheckDense);
+
+void BM_CollisionCheckReference(benchmark::State& state) {
+  const CollisionWorkload w = make_collision_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_collision_free_reference(w.deployment, w.slots)
+            .collision_free);
+  }
+}
+BENCHMARK(BM_CollisionCheckReference);
+
+void BM_ConflictGraphDense(benchmark::State& state) {
+  const Deployment d = make_graph_deployment();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_conflict_graph(d).edge_count());
+  }
+}
+BENCHMARK(BM_ConflictGraphDense);
+
+void BM_ConflictGraphSeed(benchmark::State& state) {
+  const Deployment d = make_graph_deployment();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_conflict_graph_seed(d).edge_count());
+  }
+}
+BENCHMARK(BM_ConflictGraphSeed);
+
+void BM_SimulatorConstruction(benchmark::State& state) {
+  const Deployment d = make_graph_deployment();
+  SimConfig cfg;
+  for (auto _ : state) {
+    SlotSimulator sim(d, cfg);
+    benchmark::DoNotOptimize(sim.listeners().values.size());
+  }
+}
+BENCHMARK(BM_SimulatorConstruction);
+
+}  // namespace
+}  // namespace latticesched
+
+REPRODUCTION_MAIN(latticesched::report)

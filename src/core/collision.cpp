@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lattice/point_index.hpp"
+#include "util/csr.hpp"
+
 namespace latticesched {
 
 std::string CollisionReport::to_string() const {
@@ -14,21 +17,78 @@ std::string CollisionReport::to_string() const {
   return os.str();
 }
 
-CollisionReport check_collision_free(const Deployment& d,
-                                     const SensorSlots& slots) {
+namespace {
+
+void validate(const Deployment& d, const SensorSlots& slots) {
   if (slots.slot.size() != d.size()) {
     throw std::invalid_argument("check_collision_free: size mismatch");
   }
   if (slots.period == 0) {
     throw std::invalid_argument("check_collision_free: zero period");
   }
-  CollisionReport report;
-  // Bucket sensors by slot, then count coverage per lattice point.
-  std::vector<std::vector<std::uint32_t>> by_slot(slots.period);
   for (std::uint32_t i = 0; i < d.size(); ++i) {
     if (slots.slot[i] >= slots.period) {
       throw std::invalid_argument("check_collision_free: slot >= period");
     }
+  }
+}
+
+/// Sensors grouped by slot as a CSR (row = slot, values = sensor ids in
+/// ascending order, matching the seed's bucket fill order).
+CsrU32 sensors_by_slot(const Deployment& d, const SensorSlots& slots) {
+  CsrU32 by_slot;
+  by_slot.begin_counting(slots.period);
+  for (std::uint32_t i = 0; i < d.size(); ++i) by_slot.count(slots.slot[i]);
+  by_slot.finish_counting();
+  for (std::uint32_t i = 0; i < d.size(); ++i) by_slot.push(slots.slot[i], i);
+  return by_slot;
+}
+
+}  // namespace
+
+CollisionReport check_collision_free(const Deployment& d,
+                                     const SensorSlots& slots) {
+  validate(d, slots);
+  const auto grid = d.coverage_grid();
+  if (!grid.has_value()) return check_collision_free_reference(d, slots);
+  CollisionReport report;
+  const CsrU32 cov = coverage_ids(d, *grid);
+  const CsrU32 by_slot = sensors_by_slot(d, slots);
+  // stamp[id] == s + 1 marks grid cell `id` as covered in slot s by
+  // owner[id]; stamps from earlier slots are simply stale, so the two
+  // arrays are allocated once and never cleared.
+  std::vector<std::uint32_t> stamp(grid->size(), 0);
+  std::vector<std::uint32_t> owner(grid->size(), 0);
+  for (std::uint32_t s = 0; s < slots.period; ++s) {
+    const std::uint32_t mark = s + 1;
+    for (std::uint32_t i : by_slot.row(s)) {
+      for (std::uint32_t id : cov.row(i)) {
+        if (stamp[id] == mark) {
+          ++report.pairs_checked;
+          if (report.collision_free) {
+            report.collision_free = false;
+            report.witness =
+                CollisionWitness{s, static_cast<std::size_t>(owner[id]),
+                                 static_cast<std::size_t>(i),
+                                 grid->point_of(id)};
+          }
+        } else {
+          stamp[id] = mark;
+          owner[id] = i;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+CollisionReport check_collision_free_reference(const Deployment& d,
+                                               const SensorSlots& slots) {
+  validate(d, slots);
+  CollisionReport report;
+  // Bucket sensors by slot, then count coverage per lattice point.
+  std::vector<std::vector<std::uint32_t>> by_slot(slots.period);
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
     by_slot[slots.slot[i]].push_back(i);
   }
   for (std::uint32_t s = 0; s < slots.period; ++s) {

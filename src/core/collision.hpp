@@ -7,6 +7,13 @@
 // senders cover each lattice point; any point covered twice witnesses a
 // collision.  This is the ground truth every schedule in the library is
 // validated against.
+//
+// Engine note: the checker runs on the deployment's dense coverage grid —
+// coverage lists become flat id arrays (CSR) and the per-slot "covered
+// twice?" test is a stamped array write, no hashing.  The seed's hash-map
+// implementation survives as check_collision_free_reference; it is also
+// the automatic fallback when the deployment hull defeats the grid.
+// Both produce identical reports (same witness, same pair counts).
 #pragma once
 
 #include <cstdint>
@@ -40,5 +47,10 @@ CollisionReport check_collision_free(const Deployment& d,
 /// Convenience overload evaluating a point-schedule on the deployment.
 CollisionReport check_collision_free(const Deployment& d,
                                      const Schedule& schedule);
+
+/// Seed implementation (per-slot hash maps); kept as the comparison
+/// baseline for benches and the cross-validation oracle for tests.
+CollisionReport check_collision_free_reference(const Deployment& d,
+                                               const SensorSlots& slots);
 
 }  // namespace latticesched

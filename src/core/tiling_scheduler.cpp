@@ -14,9 +14,40 @@ TilingSchedule::TilingSchedule(Tiling tiling) : tiling_(std::move(tiling)) {
   for (std::uint32_t k = 0; k < union_points_.size(); ++k) {
     slot_by_element_.emplace(union_points_[k], k);
   }
+  // Slot table over the period's coset ids: the slot of a point depends
+  // only on its coset (the tiling and the schedule are both P-periodic),
+  // so one covering() per coset at construction buys an O(1) array load
+  // per query forever after.
+  coset_index_ = PointIndexer::for_sublattice(tiling_.period());
+  slot_table_.resize(coset_index_->size());
+  for (std::uint32_t id = 0; id < coset_index_->size(); ++id) {
+    slot_table_[id] = slot_of_reference(coset_index_->point_of(id));
+  }
+  // Division-free coset encoding for diagonal periods: p[i] mod d_i via
+  // fastmod magic, strides matching PointIndexer::for_sublattice (axis 0
+  // fastest).  Non-diagonal HNFs cascade between axes and keep the
+  // general reduce path.
+  const IntMatrix& hnf = tiling_.period().basis();
+  dim_ = tiling_.dim();
+  fast_path_ = true;
+  std::uint64_t stride = 1;
+  for (std::size_t i = 0; i < dim_ && fast_path_; ++i) {
+    for (std::size_t r = 0; r < dim_; ++r) {
+      if (r != i && hnf.at(r, i) != 0) fast_path_ = false;
+    }
+    const std::int64_t d = hnf.at(i, i);
+    if (d > kFastRange) fast_path_ = false;
+    if (!fast_path_) break;
+    AxisCode& ax = axis_[i];
+    ax.divisor = static_cast<std::uint64_t>(d);
+    ax.magic = ~std::uint64_t{0} / ax.divisor + 1;  // 0 when d == 1
+    ax.offset = d * (kFastRange * 2 / d);           // ≡ 0 (mod d), ≥ 2^31 - d
+    ax.stride = stride;
+    stride *= ax.divisor;
+  }
 }
 
-std::uint32_t TilingSchedule::slot_of(const Point& p) const {
+std::uint32_t TilingSchedule::slot_of_reference(const Point& p) const {
   const Covering c = tiling_.covering(p);
   const Point& element =
       tiling_.prototile(c.prototile).element(c.element_index);

@@ -7,12 +7,26 @@
 // The covering map of the tiling makes this well-defined for every
 // lattice point, and m = |N| slots suffice; for respectable tilings m is
 // optimal.
+//
+// Engine note: slot_of is on the hot path of every verification, bench
+// and simulation, so the constructor precomputes the slot of every coset
+// of the tiling's period once; a query is then one coset id plus an
+// array load (no hashing, no Covering materialization).  For diagonal
+// periods the coset id itself is computed division-free via fastmod
+// magic multipliers (the HNF reduce costs one int64 division per axis,
+// which dominates the lookup otherwise); non-diagonal periods and
+// far-away points fall back to the general reduce.  The seed's
+// covering()-based evaluation survives as slot_of_reference for
+// cross-validation and before/after benchmarks.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/schedule.hpp"
+#include "lattice/point_index.hpp"
 #include "tiling/tiling.hpp"
 
 namespace latticesched {
@@ -25,8 +39,31 @@ class TilingSchedule final : public Schedule {
   std::uint32_t period() const override {
     return static_cast<std::uint32_t>(union_points_.size());
   }
-  std::uint32_t slot_of(const Point& p) const override;
+  std::uint32_t slot_of(const Point& p) const override {
+    // Dimension mismatches must keep throwing (via the general reduce),
+    // not read zero-padded coordinates into a plausible-looking slot.
+    if (fast_path_ && p.dim() == dim_) {
+      std::uint64_t id = 0;
+      for (std::size_t i = 0; i < dim_; ++i) {
+        const std::int64_t v = p[i];
+        if (v < -kFastRange || v > kFastRange) return slot_of_general(p);
+        const AxisCode& ax = axis_[i];
+        // Lemire fastmod: u ≡ p[i] (mod d) with u unsigned 32-bit.
+        const std::uint32_t u = static_cast<std::uint32_t>(v + ax.offset);
+        const std::uint64_t lowbits = ax.magic * u;
+        const std::uint64_t mod = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(lowbits) * ax.divisor) >> 64);
+        id += mod * ax.stride;
+      }
+      return slot_table_[id];
+    }
+    return slot_of_general(p);
+  }
   std::string description() const override;
+
+  /// Seed implementation (covering() + hash lookups); same answers as
+  /// slot_of on every point, kept as the reference for tests and benches.
+  std::uint32_t slot_of_reference(const Point& p) const;
 
   const Tiling& tiling() const { return tiling_; }
 
@@ -36,7 +73,8 @@ class TilingSchedule final : public Schedule {
 
   /// All lattice points scheduled in `slot` within `box` — by the
   /// argument illustrated in Figure 3, for single-prototile tilings the
-  /// neighborhoods of these senders again tile the lattice.
+  /// neighborhoods of these senders again tile the lattice.  Batched:
+  /// walks the precomputed coset slot table, never calling covering().
   PointVec senders_in_slot(std::uint32_t slot, const Box& box) const;
 
   /// Paper's optimality bound: no collision-free periodic schedule for
@@ -46,9 +84,32 @@ class TilingSchedule final : public Schedule {
   bool optimal() const { return lower_bound_slots() == period(); }
 
  private:
+  /// General path: one HNF reduce + dense coset id + array load.
+  std::uint32_t slot_of_general(const Point& p) const {
+    return slot_table_[coset_index_->id_of(tiling_.period().reduce(p))];
+  }
+
+  /// Coordinate range served by the division-free path; beyond it the
+  /// offset trick would overflow the 32-bit fastmod operand.
+  static constexpr std::int64_t kFastRange = std::int64_t{1} << 30;
+
+  struct AxisCode {
+    std::int64_t offset = 0;   // multiple of divisor making p[i] >= 0
+    std::uint64_t magic = 0;   // UINT64_MAX / divisor + 1
+    std::uint64_t divisor = 1;
+    std::uint64_t stride = 0;  // coset-id stride of this axis
+  };
+
   Tiling tiling_;
   PointVec union_points_;
   PointMap<std::uint32_t> slot_by_element_;
+  /// Dense coset id space of the tiling's period sublattice.
+  std::optional<PointIndexer> coset_index_;
+  /// slot_table_[coset id] = slot of every point in that coset.
+  std::vector<std::uint32_t> slot_table_;
+  std::array<AxisCode, kMaxDim> axis_{};
+  std::size_t dim_ = 0;
+  bool fast_path_ = false;
 };
 
 }  // namespace latticesched

@@ -25,6 +25,20 @@ Deployment::Deployment(PointVec positions, std::vector<std::uint32_t> types,
       throw std::invalid_argument("Deployment: duplicate sensor position");
     }
   }
+  if (!positions_.empty()) {
+    // Same density demand as coverage_grid: the sentinel id table is
+    // O(hull volume), so scattered deployments keep the hash map.
+    const std::uint64_t cap = std::min<std::uint64_t>(
+        kDenseGridCellCap,
+        std::max<std::uint64_t>(std::uint64_t{1} << 16,
+                                64 * positions_.size()));
+    position_index_ = PointIndexer::try_for_points(positions_, cap);
+    if (position_index_.has_value()) {
+      // The hash map was only duplicate-detection scratch once the dense
+      // index answers sensor_at; release it instead of carrying both.
+      index_of_position_ = {};
+    }
+  }
 }
 
 Deployment Deployment::uniform(PointVec positions, Prototile n) {
@@ -54,15 +68,109 @@ PointVec Deployment::coverage_of(std::size_t i) const {
 }
 
 std::optional<std::size_t> Deployment::sensor_at(const Point& p) const {
+  if (position_index_.has_value()) {
+    const std::uint32_t id = position_index_->id_of(p);
+    if (id == PointIndexer::kInvalid) return std::nullopt;
+    return static_cast<std::size_t>(id);
+  }
   const auto it = index_of_position_.find(p);
   if (it == index_of_position_.end()) return std::nullopt;
   return static_cast<std::size_t>(it->second);
 }
 
-Graph build_conflict_graph(const Deployment& d) {
+std::optional<PointIndexer> Deployment::coverage_grid(
+    std::uint64_t max_cells) const {
+  if (positions_.empty()) return std::nullopt;
+  const std::size_t d = positions_.front().dim();
+  // Densifying costs O(hull volume) per consumer, so demand the hull be
+  // comparably sized to the actual coverage: sparse-but-wide deployments
+  // stay on the hash paths even under the absolute cap.
+  std::uint64_t total_coverage = 0;
+  for (std::uint32_t t : types_) total_coverage += prototiles_[t].size();
+  max_cells = std::min<std::uint64_t>(
+      max_cells,
+      std::max<std::uint64_t>(std::uint64_t{1} << 16, 32 * total_coverage));
+  // Hull of positions, dilated by the hull of every prototile's bounding
+  // box: conservative (may include never-covered cells) but exact enough —
+  // grid mode answers id_of for every covered point in O(d).
+  Point lo = positions_.front(), hi = positions_.front();
+  for (const Point& p : positions_) {
+    for (std::size_t a = 0; a < d; ++a) {
+      lo[a] = std::min(lo[a], p[a]);
+      hi[a] = std::max(hi[a], p[a]);
+    }
+  }
+  Point off_lo = Point::zero(d), off_hi = Point::zero(d);
+  for (const Prototile& t : prototiles_) {
+    const Box bb = t.bounding_box();
+    for (std::size_t a = 0; a < d; ++a) {
+      off_lo[a] = std::min(off_lo[a], bb.lo()[a]);
+      off_hi[a] = std::max(off_hi[a], bb.hi()[a]);
+    }
+  }
+  std::uint64_t volume = 1;
+  for (std::size_t a = 0; a < d; ++a) {
+    lo[a] += off_lo[a];
+    hi[a] += off_hi[a];
+    const std::uint64_t extent = static_cast<std::uint64_t>(hi[a] - lo[a] + 1);
+    if (extent > max_cells || volume > max_cells / extent) {
+      return std::nullopt;
+    }
+    volume *= extent;
+  }
+  return PointIndexer::for_box(Box(lo, hi));
+}
+
+CsrU32 coverage_ids(const Deployment& d, const PointIndexer& grid) {
+  CsrU32 cov;
+  cov.begin_counting(d.size());
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    cov.offsets[i + 1] =
+        static_cast<std::uint32_t>(d.neighborhood_of(i).size());
+  }
+  cov.finish_counting();
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    const Point& pos = d.position(i);
+    for (const Point& n : d.neighborhood_of(i).points()) {
+      const std::uint32_t id = grid.id_of(pos + n);
+      if (id == PointIndexer::kInvalid) {
+        throw std::invalid_argument(
+            "coverage_ids: grid does not cover the deployment");
+      }
+      cov.push(i, id);
+    }
+  }
+  return cov;
+}
+
+CsrU32 build_listeners(const Deployment& d) {
+  CsrU32 listeners;
+  listeners.begin_counting(d.size());
+  for (std::uint32_t u = 0; u < d.size(); ++u) {
+    const Point& pos = d.position(u);
+    for (const Point& e : d.neighborhood_of(u).points()) {
+      const auto r = d.sensor_at(pos + e);
+      if (r.has_value() && *r != u) listeners.count(u);
+    }
+  }
+  listeners.finish_counting();
+  for (std::uint32_t u = 0; u < d.size(); ++u) {
+    const Point& pos = d.position(u);
+    for (const Point& e : d.neighborhood_of(u).points()) {
+      const auto r = d.sensor_at(pos + e);
+      if (r.has_value() && *r != u) {
+        listeners.push(u, static_cast<std::uint32_t>(*r));
+      }
+    }
+  }
+  return listeners;
+}
+
+namespace {
+
+// Seed path, kept for deployments whose coverage hull defeats the grid.
+Graph build_conflict_graph_hashed(const Deployment& d) {
   Graph g(d.size());
-  // Invert coverage: for every lattice point, the sensors whose broadcast
-  // reaches it; any two of them conflict (their coverages share it).
   PointMap<std::vector<std::uint32_t>> covered_by;
   for (std::uint32_t i = 0; i < d.size(); ++i) {
     for (const Point& p : d.coverage_of(i)) {
@@ -79,12 +187,40 @@ Graph build_conflict_graph(const Deployment& d) {
   return g;
 }
 
+}  // namespace
+
+Graph build_conflict_graph(const Deployment& d) {
+  const auto grid = d.coverage_grid();
+  if (!grid.has_value()) return build_conflict_graph_hashed(d);
+  // Invert coverage on the dense grid: CSR row per grid cell listing the
+  // sensors that cover it; any two of them conflict.
+  const CsrU32 cov = coverage_ids(d, *grid);
+  CsrU32 covered_by;
+  covered_by.begin_counting(grid->size());
+  for (std::uint32_t id : cov.values) covered_by.count(id);
+  covered_by.finish_counting();
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    for (std::uint32_t id : cov.row(i)) covered_by.push(id, i);
+  }
+  Graph g(d.size());
+  for (std::size_t cell = 0; cell < covered_by.rows(); ++cell) {
+    const auto ids = covered_by.row(cell);
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < ids.size(); ++b) {
+        g.add_edge(ids[a], ids[b]);
+      }
+    }
+  }
+  return g;
+}
+
 std::vector<std::vector<std::uint32_t>> build_affects_digraph(
     const Deployment& d) {
   std::vector<std::vector<std::uint32_t>> affects(d.size());
   for (std::uint32_t i = 0; i < d.size(); ++i) {
-    for (const Point& p : d.coverage_of(i)) {
-      const auto j = d.sensor_at(p);
+    const Point& pos = d.position(i);
+    for (const Point& n : d.neighborhood_of(i).points()) {
+      const auto j = d.sensor_at(pos + n);
       if (j.has_value() && *j != i) {
         affects[i].push_back(static_cast<std::uint32_t>(*j));
       }
@@ -96,10 +232,23 @@ std::vector<std::vector<std::uint32_t>> build_affects_digraph(
 
 bool sensors_conflict(const Deployment& d, std::size_t i, std::size_t j) {
   if (i == j) return false;
-  const PointVec ci = d.coverage_of(i);
-  const PointSet si(ci.begin(), ci.end());
-  for (const Point& p : d.coverage_of(j)) {
-    if (si.count(p) != 0) return true;
+  // Coverage lists are translates of sorted prototiles, and translation
+  // preserves the canonical order, so a two-pointer merge finds any
+  // common point without building a set (or allocating at all).
+  const PointVec& a = d.neighborhood_of(i).points();
+  const PointVec& b = d.neighborhood_of(j).points();
+  const Point& pi = d.position(i);
+  const Point& pj = d.position(j);
+  std::size_t x = 0, y = 0;
+  while (x < a.size() && y < b.size()) {
+    const Point pa = a[x] + pi;
+    const Point pb = b[y] + pj;
+    if (pa == pb) return true;
+    if (pa < pb) {
+      ++x;
+    } else {
+      ++y;
+    }
   }
   return false;
 }

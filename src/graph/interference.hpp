@@ -8,6 +8,12 @@
 // affected by v's radio) is the formulation used in the related work; for
 // completeness we provide both and the tests check that conflict equals
 // "distance ≤ 2 via a common out-neighbor" in the affects digraph.
+//
+// Engine note: deployment queries back every verification, graph build
+// and simulation step, so positions are indexed by a dense PointIndexer
+// grid when the deployment's bounding box permits (always, for the grid
+// deployments the experiments use); the seed's hash map remains as the
+// fallback for pathologically scattered deployments.
 #pragma once
 
 #include <cstdint>
@@ -15,11 +21,17 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "lattice/point_index.hpp"
 #include "lattice/region.hpp"
 #include "tiling/prototile.hpp"
 #include "tiling/tiling.hpp"
+#include "util/csr.hpp"
 
 namespace latticesched {
+
+/// Grid-volume ceiling under which the engine densifies point sets; above
+/// it (scattered deployments spanning a huge hull) hash fallbacks engage.
+inline constexpr std::uint64_t kDenseGridCellCap = std::uint64_t{1} << 23;
 
 class Deployment {
  public:
@@ -45,8 +57,15 @@ class Deployment {
   /// Points affected when sensor i broadcasts (its position + prototile).
   PointVec coverage_of(std::size_t i) const;
 
-  /// Index of the sensor at position p, if any.
+  /// Index of the sensor at position p, if any.  O(d) grid arithmetic on
+  /// the dense position index; hash lookup only on the fallback path.
   std::optional<std::size_t> sensor_at(const Point& p) const;
+
+  /// Dense grid over the hull of every sensor's coverage, or nullopt when
+  /// it would exceed `max_cells`.  The id space shared by the collision
+  /// checker and the conflict-graph builder.
+  std::optional<PointIndexer> coverage_grid(
+      std::uint64_t max_cells = kDenseGridCellCap) const;
 
  private:
   Deployment(PointVec positions, std::vector<std::uint32_t> types,
@@ -55,7 +74,20 @@ class Deployment {
   std::vector<std::uint32_t> types_;
   std::vector<Prototile> prototiles_;
   PointMap<std::uint32_t> index_of_position_;
+  /// Dense position -> sensor id grid (absent for scattered deployments).
+  std::optional<PointIndexer> position_index_;
 };
+
+/// Coverage lists of every sensor as grid ids in one CSR buffer: row i
+/// holds grid.id_of(p) for p in coverage_of(i), in canonical element
+/// order.  `grid` must cover the deployment (see Deployment::coverage_grid).
+CsrU32 coverage_ids(const Deployment& d, const PointIndexer& grid);
+
+/// The simulators' listener relation as CSR: row u lists the sensors
+/// located inside coverage_of(u), excluding u itself (the radio model's
+/// receivers of u's broadcast).  One definition shared by SlotSimulator,
+/// convergecast and bootstrap.
+CsrU32 build_listeners(const Deployment& d);
 
 /// Undirected conflict graph: edge (i, j) iff coverage_of(i) and
 /// coverage_of(j) intersect.  Proper colorings = collision-free schedules.
@@ -67,7 +99,7 @@ std::vector<std::vector<std::uint32_t>> build_affects_digraph(
     const Deployment& d);
 
 /// Whether sensors i and j conflict per the paper's intersection predicate
-/// (direct set test; used to cross-check the graph builders).
+/// (allocation-free sorted-order merge; used to cross-check the builders).
 bool sensors_conflict(const Deployment& d, std::size_t i, std::size_t j);
 
 }  // namespace latticesched

@@ -17,15 +17,7 @@ BootstrapResult run_bootstrap(const Deployment& d, const Point& root,
   const std::size_t n = d.size();
 
   // Interference structure (same model as SlotSimulator).
-  std::vector<std::vector<std::uint32_t>> listeners(n);
-  for (std::uint32_t u = 0; u < n; ++u) {
-    for (const Point& p : d.coverage_of(u)) {
-      const auto r = d.sensor_at(p);
-      if (r.has_value() && *r != u) {
-        listeners[u].push_back(static_cast<std::uint32_t>(*r));
-      }
-    }
-  }
+  const CsrU32 listeners = build_listeners(d);
 
   BootstrapResult res;
   res.sync_time.assign(n, 0);
@@ -52,13 +44,13 @@ BootstrapResult run_bootstrap(const Deployment& d, const Point& root,
     }
     for (std::uint32_t u : tx) {
       transmitting[u] = 1;
-      for (std::uint32_t r : listeners[u]) ++cover[r];
+      for (std::uint32_t r : listeners.row(u)) ++cover[r];
     }
     for (std::uint32_t u : tx) {
       ++res.beacon_tx;
       bool reached_someone_new = false;
       bool collided_somewhere = false;
-      for (std::uint32_t r : listeners[u]) {
+      for (std::uint32_t r : listeners.row(u)) {
         if (transmitting[r] != 0 || cover[r] != 1) {
           collided_somewhere = true;
           continue;
@@ -76,7 +68,7 @@ BootstrapResult run_bootstrap(const Deployment& d, const Point& root,
     }
     for (std::uint32_t u : tx) {
       transmitting[u] = 0;
-      for (std::uint32_t r : listeners[u]) cover[r] = 0;
+      for (std::uint32_t r : listeners.row(u)) cover[r] = 0;
     }
   }
   res.converged = synced_count == n;
@@ -91,10 +83,10 @@ BootstrapResult run_bootstrap(const Deployment& d, const Point& root,
     }
     for (std::uint32_t u : tx) {
       transmitting[u] = 1;
-      for (std::uint32_t r : listeners[u]) ++cover[r];
+      for (std::uint32_t r : listeners.row(u)) ++cover[r];
     }
     for (std::uint32_t u : tx) {
-      for (std::uint32_t r : listeners[u]) {
+      for (std::uint32_t r : listeners.row(u)) {
         if (transmitting[r] != 0 || cover[r] != 1) {
           ++res.post_sync_collisions;
           break;
@@ -103,7 +95,7 @@ BootstrapResult run_bootstrap(const Deployment& d, const Point& root,
     }
     for (std::uint32_t u : tx) {
       transmitting[u] = 0;
-      for (std::uint32_t r : listeners[u]) cover[r] = 0;
+      for (std::uint32_t r : listeners.row(u)) cover[r] = 0;
     }
   }
   return res;

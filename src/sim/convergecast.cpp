@@ -23,15 +23,7 @@ ConvergecastSimulator::ConvergecastSimulator(const Deployment& deployment,
   sink_ = static_cast<std::uint32_t>(*sink_id);
 
   const std::size_t n = deployment_.size();
-  listeners_.resize(n);
-  for (std::uint32_t u = 0; u < n; ++u) {
-    for (const Point& p : deployment_.coverage_of(u)) {
-      const auto r = deployment_.sensor_at(p);
-      if (r.has_value() && *r != u) {
-        listeners_[u].push_back(static_cast<std::uint32_t>(*r));
-      }
-    }
-  }
+  listeners_ = build_listeners(deployment_);
 
   // Greedy geographic routing: forward to the in-range neighbor strictly
   // closest to the sink.
@@ -44,7 +36,7 @@ ConvergecastSimulator::ConvergecastSimulator(const Deployment& deployment,
     const std::int64_t own = dist_sq_to(deployment_.position(u), sink);
     std::optional<std::uint32_t> best;
     std::int64_t best_d = own;
-    for (std::uint32_t r : listeners_[u]) {
+    for (std::uint32_t r : listeners_.row(u)) {
       const std::int64_t d = dist_sq_to(deployment_.position(r), sink);
       if (d < best_d) {
         best_d = d;
@@ -116,7 +108,7 @@ ConvergecastResult ConvergecastSimulator::run(
 
     for (std::uint32_t u : tx_list) {
       transmitting[u] = 1;
-      for (std::uint32_t r : listeners_[u]) ++cover_count[r];
+      for (std::uint32_t r : listeners_.row(u)) ++cover_count[r];
     }
 
     for (std::uint32_t u : tx_list) {
@@ -152,7 +144,7 @@ ConvergecastResult ConvergecastSimulator::run(
     }
     for (std::uint32_t u : tx_list) {
       transmitting[u] = 0;
-      for (std::uint32_t r : listeners_[u]) cover_count[r] = 0;
+      for (std::uint32_t r : listeners_.row(u)) cover_count[r] = 0;
     }
     res.energy += config.idle_cost * static_cast<double>(n);
   }

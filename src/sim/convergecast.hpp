@@ -16,6 +16,7 @@
 #include "graph/interference.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocols.hpp"
+#include "util/csr.hpp"
 #include "util/rng.hpp"
 
 namespace latticesched {
@@ -79,7 +80,7 @@ class ConvergecastSimulator {
  private:
   const Deployment& deployment_;
   std::uint32_t sink_ = 0;
-  std::vector<std::vector<std::uint32_t>> listeners_;
+  CsrU32 listeners_;
   std::vector<std::uint32_t> next_hop_;
 };
 

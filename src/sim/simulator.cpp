@@ -5,20 +5,8 @@
 namespace latticesched {
 
 SlotSimulator::SlotSimulator(const Deployment& deployment, SimConfig config)
-    : deployment_(deployment), config_(config) {
-  const std::size_t n = deployment_.size();
-  listeners_.resize(n);
-  hears_.resize(n);
-  for (std::uint32_t u = 0; u < n; ++u) {
-    for (const Point& p : deployment_.coverage_of(u)) {
-      const auto r = deployment_.sensor_at(p);
-      if (r.has_value() && *r != u) {
-        listeners_[u].push_back(static_cast<std::uint32_t>(*r));
-        hears_[*r].push_back(u);
-      }
-    }
-  }
-}
+    : deployment_(deployment), config_(config),
+      listeners_(build_listeners(deployment)) {}
 
 SimResult SlotSimulator::run(MacProtocol& mac) {
   const std::size_t n = deployment_.size();
@@ -67,7 +55,7 @@ SimResult SlotSimulator::run(MacProtocol& mac) {
     // Radio propagation: count transmitter coverage per sensor position.
     for (std::uint32_t u : tx_list) {
       transmitting[u] = 1;
-      for (std::uint32_t r : listeners_[u]) ++cover_count[r];
+      for (std::uint32_t r : listeners_.row(u)) ++cover_count[r];
     }
 
     // Outcomes.
@@ -76,7 +64,7 @@ SimResult SlotSimulator::run(MacProtocol& mac) {
       res.energy += config_.tx_cost;
       bool success = true;
       bool interfered = false;
-      for (std::uint32_t r : listeners_[u]) {
+      for (std::uint32_t r : listeners_.row(u)) {
         if (transmitting[r] != 0 || cover_count[r] != 1) {
           success = false;
           interfered = true;
@@ -91,7 +79,7 @@ SimResult SlotSimulator::run(MacProtocol& mac) {
         ++res.successful_tx;
         res.per_sensor_success[u] += 1.0;
         res.energy +=
-            config_.rx_cost * static_cast<double>(listeners_[u].size());
+            config_.rx_cost * static_cast<double>(listeners_.row_size(u));
         if (!config_.saturated) {
           res.latency.add(static_cast<double>(slot - queue[u].front()));
           queue[u].pop_front();
@@ -114,7 +102,7 @@ SimResult SlotSimulator::run(MacProtocol& mac) {
     }
     for (std::uint32_t u : tx_list) {
       transmitting[u] = 0;
-      for (std::uint32_t r : listeners_[u]) cover_count[r] = 0;
+      for (std::uint32_t r : listeners_.row(u)) cover_count[r] = 0;
     }
     res.energy += config_.idle_cost * static_cast<double>(n);
   }

@@ -8,13 +8,21 @@
 // collision events ("B within interference range of A", "C within range
 // of both A and B") are exactly the failure cases, and failed broadcasts
 // are retransmitted, spending energy.
+//
+// Engine note: the listener relation is built through the deployment's
+// dense position index and stored as a CSR buffer (one flat allocation)
+// — the per-slot propagation loops walk contiguous memory instead of a
+// vector-of-vectors.  (The seed also carried the inverse "hears"
+// relation; nothing ever read it, so it is gone.)
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "graph/interference.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocols.hpp"
+#include "util/csr.hpp"
 #include "util/rng.hpp"
 
 namespace latticesched {
@@ -47,19 +55,19 @@ class SlotSimulator {
   /// Runs the protocol for config.slots slots and returns the metrics.
   SimResult run(MacProtocol& mac);
 
-  /// Listeners of each sensor (sensor ids inside its coverage).
-  const std::vector<std::vector<std::uint32_t>>& listeners() const {
-    return listeners_;
+  /// Listeners of sensor u (sensor ids inside its coverage, excluding u).
+  std::span<const std::uint32_t> listeners_of(std::uint32_t u) const {
+    return listeners_.row(u);
   }
+
+  /// The full listener relation as CSR (row u = listeners_of(u)).
+  const CsrU32& listeners() const { return listeners_; }
 
  private:
   const Deployment& deployment_;
   SimConfig config_;
-  /// listeners_[u]: sensors covered by u's broadcast (excluding u).
-  std::vector<std::vector<std::uint32_t>> listeners_;
-  /// hears_[r]: sensors whose broadcast covers r (excluding r) — carrier
-  /// sensing and interference both look through this map.
-  std::vector<std::vector<std::uint32_t>> hears_;
+  /// Row u: sensors covered by u's broadcast (excluding u).
+  CsrU32 listeners_;
 };
 
 }  // namespace latticesched

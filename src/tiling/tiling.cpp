@@ -32,49 +32,57 @@ Tiling Tiling::periodic(
     }
   }
   Tiling out(std::move(prototiles), period);
+  // Dense quotient tables: every coset of P gets exactly one Cell; the
+  // exact-cover validation (GT1 + GT2) is a fill count on flat arrays.
+  out.coset_index_ = PointIndexer::for_sublattice(period);
+  const std::size_t cosets = out.coset_index_->size();
+  out.cell_by_id_.assign(cosets, Cell{});
+  out.placement_by_id_.assign(cosets, kNoPlacement);
+  std::vector<std::uint8_t> cell_used(cosets, 0);
+  std::size_t cells_covered = 0;
   for (const auto& [translate, k] : placements) {
     if (k >= out.prototiles_.size()) {
       throw std::invalid_argument("Tiling::periodic: bad prototile index");
     }
     const Point rep = period.reduce(translate);
-    if (!out.placement_by_residue_.emplace(rep, k).second) {
+    const std::uint32_t rep_id = out.coset_index_->id_of(rep);
+    if (out.placement_by_id_[rep_id] != kNoPlacement) {
       throw std::invalid_argument(
           "Tiling::periodic: duplicate placement translate class");
     }
+    out.placement_by_id_[rep_id] =
+        static_cast<std::uint32_t>(out.placements_.size());
     out.placements_.emplace_back(rep, k);
     const Prototile& tile = out.prototiles_[k];
     for (std::size_t i = 0; i < tile.size(); ++i) {
-      const Point cell = period.reduce(rep + tile.element(i));
-      Cell info;
+      const std::uint32_t cell_id =
+          out.coset_index_->id_of(period.reduce(rep + tile.element(i)));
+      if (cell_used[cell_id] != 0) {
+        std::ostringstream os;
+        os << "Tiling::periodic: overlap at coset "
+           << out.coset_index_->point_of(cell_id) << " (violates T2/GT2)";
+        throw std::invalid_argument(os.str());
+      }
+      cell_used[cell_id] = 1;
+      ++cells_covered;
+      Cell& info = out.cell_by_id_[cell_id];
       info.prototile = k;
       info.element_index = static_cast<std::uint32_t>(i);
       info.translate_class = rep;
-      if (!out.cell_by_residue_.emplace(cell, info).second) {
-        std::ostringstream os;
-        os << "Tiling::periodic: overlap at coset " << cell
-           << " (violates T2/GT2)";
-        throw std::invalid_argument(os.str());
-      }
     }
   }
-  if (out.cell_by_residue_.size() !=
-      static_cast<std::size_t>(period.index())) {
+  if (cells_covered != cosets) {
     std::ostringstream os;
     os << "Tiling::periodic: cover incomplete (violates T1/GT1): "
-       << out.cell_by_residue_.size() << " of " << period.index()
-       << " cosets covered";
+       << cells_covered << " of " << period.index() << " cosets covered";
     throw std::invalid_argument(os.str());
   }
   return out;
 }
 
 Covering Tiling::covering(const Point& p) const {
-  const Point rep = period_.reduce(p);
-  const auto it = cell_by_residue_.find(rep);
-  if (it == cell_by_residue_.end()) {
-    throw std::logic_error("Tiling::covering: residue missing (corrupt)");
-  }
-  const Cell& cell = it->second;
+  const Cell& cell =
+      cell_by_id_[coset_index_->id_of(period_.reduce(p))];
   Covering c;
   c.prototile = cell.prototile;
   c.element_index = cell.element_index;
@@ -87,9 +95,10 @@ std::vector<std::pair<Point, std::uint32_t>> Tiling::placements_in(
     const Box& box) const {
   std::vector<std::pair<Point, std::uint32_t>> out;
   box.for_each([&](const Point& t) {
-    const auto it = placement_by_residue_.find(period_.reduce(t));
-    if (it != placement_by_residue_.end()) {
-      out.emplace_back(t, it->second);
+    const std::uint32_t pl =
+        placement_by_id_[coset_index_->id_of(period_.reduce(t))];
+    if (pl != kNoPlacement) {
+      out.emplace_back(t, placements_[pl].second);
     }
   });
   return out;

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "lattice/point_index.hpp"
 #include "lattice/region.hpp"
 #include "lattice/sublattice.hpp"
 #include "tiling/prototile.hpp"
@@ -92,8 +93,14 @@ class Tiling {
     std::uint32_t element_index = 0;
     Point translate_class;  // canonical representative of the translate
   };
-  PointMap<Cell> cell_by_residue_;
-  PointMap<std::uint32_t> placement_by_residue_;
+  /// Dense coset-id tables over the period (engine id space): the
+  /// quotient data is total on Z^d / P, so a flat array per coset beats
+  /// the seed's hash maps in both construction and covering() queries.
+  std::optional<PointIndexer> coset_index_;
+  std::vector<Cell> cell_by_id_;
+  /// Placement index per coset id, or kNoPlacement.
+  std::vector<std::uint32_t> placement_by_id_;
+  static constexpr std::uint32_t kNoPlacement = 0xFFFFFFFFu;
 };
 
 }  // namespace latticesched

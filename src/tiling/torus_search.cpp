@@ -1,13 +1,22 @@
 #include "tiling/torus_search.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+
+#include "lattice/point_index.hpp"
 
 namespace latticesched {
 
 namespace {
 
-struct SearchState {
+// ---------------------------------------------------------------------------
+// Legacy engine (seed implementation): per-node reduce() + hash lookups +
+// a heap-allocated id scratch per placement.  Kept verbatim as the
+// reference the dense engine is benchmarked and cross-validated against.
+// ---------------------------------------------------------------------------
+
+struct LegacyState {
   const std::vector<Prototile>* prototiles = nullptr;
   const Sublattice* period = nullptr;
   // Torus cells in a fixed order with an index lookup.
@@ -22,28 +31,23 @@ struct SearchState {
   bool require_all = false;
   std::size_t result_limit = 1;
   std::vector<Tiling>* results = nullptr;
-
-  // Precomputed: for prototile k and element e, the list of cell-index
-  // deltas is not constant on a general torus, so placements are computed
-  // on demand via reduce(); the reduce cost dominates but stays tiny for
-  // the torus sizes used here.
 };
 
 // Records the current placement list as a Tiling (validation re-runs in
 // Tiling::periodic, which acts as an internal consistency check).
-void emit(SearchState& st) {
+void emit_legacy(LegacyState& st) {
   st.results->push_back(
       Tiling::periodic(*st.prototiles, *st.period, st.placements));
 }
 
-bool search(SearchState& st) {
+bool search_legacy(LegacyState& st) {
   if (st.covered_count == st.cells.size()) {
     if (st.require_all) {
       for (std::size_t k = 0; k < st.uses.size(); ++k) {
         if (st.uses[k] == 0) return false;
       }
     }
-    emit(st);
+    emit_legacy(st);
     return st.results->size() >= st.result_limit;
   }
   // First uncovered cell; every placement covering it is tried once.
@@ -75,7 +79,7 @@ bool search(SearchState& st) {
       st.covered_count += ids.size();
       st.placements.emplace_back(translate, k);
       ++st.uses[k];
-      const bool done = search(st);
+      const bool done = search_legacy(st);
       --st.uses[k];
       st.placements.pop_back();
       st.covered_count -= ids.size();
@@ -84,6 +88,226 @@ bool search(SearchState& st) {
     }
   }
   return false;
+}
+
+std::vector<Tiling> run_search_legacy(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    const TorusSearchConfig& config, std::size_t limit) {
+  std::vector<Tiling> results;
+  LegacyState st;
+  st.prototiles = &prototiles;
+  st.period = &period;
+  st.cells = period.coset_representatives();
+  for (std::uint32_t i = 0; i < st.cells.size(); ++i) {
+    st.cell_index.emplace(st.cells[i], i);
+  }
+  st.covered.assign(st.cells.size(), false);
+  st.uses.assign(prototiles.size(), 0);
+  st.node_limit = config.node_limit;
+  st.require_all = config.require_all_prototiles;
+  st.result_limit = limit;
+  st.results = &results;
+  search_legacy(st);
+  if (config.stats != nullptr) config.stats->nodes = st.nodes;
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Dense engine.  All per-node work runs on precomputed integer tables:
+//
+//  * cells are coset ids (PointIndexer::for_sublattice order, identical to
+//    the legacy cell order);
+//  * for every (prototile k, translate class t) the placement footprint
+//    {id(t + n) : n in N_k} is precomputed once as a sorted 64-bit word
+//    mask plus a flat id list, with a self-overlap flag for tiles that
+//    wrap onto themselves on a small torus;
+//  * every cell c owns a fixed candidate list — one entry per (k, element)
+//    in the legacy enumeration order — pointing at the footprint of the
+//    placement that covers c with that element;
+//  * the search keeps coverage as a bitset, tests feasibility with W word
+//    ANDs, applies/undoes placements with W word XORs, and finds the next
+//    uncovered cell with a ctz scan starting from the parent's cursor.
+//
+// No reduce(), hashing, or allocation happens inside the recursion.
+// ---------------------------------------------------------------------------
+
+struct Footprint {
+  std::uint32_t mask_begin = 0;  // offset into DenseTables::mask_words
+  std::uint32_t id_begin = 0;    // offset into DenseTables::footprint_ids
+  std::uint16_t size = 0;
+  bool self_ok = false;  // false: placement overlaps itself (always reject)
+};
+
+struct Candidate {
+  std::uint32_t footprint = 0;      // index into DenseTables::footprints
+  std::uint32_t translate_class = 0;  // canonical translate cell id
+  std::uint32_t prototile = 0;
+};
+
+struct DenseTables {
+  std::uint32_t cells = 0;
+  std::uint32_t words = 0;  // 64-bit words per coverage mask
+  std::vector<Footprint> footprints;      // [k * cells + translate_class]
+  std::vector<std::uint64_t> mask_words;  // footprint masks, flat
+  std::vector<std::uint32_t> footprint_ids;  // footprint cell ids, flat
+  std::vector<Candidate> candidates;  // [cell * cand_stride + slot]
+  std::uint32_t cand_stride = 0;      // sum of prototile sizes
+  PointVec cell_points;               // id -> canonical representative
+};
+
+DenseTables build_tables(const std::vector<Prototile>& prototiles,
+                         const Sublattice& period) {
+  DenseTables t;
+  const PointIndexer index = PointIndexer::for_sublattice(period);
+  t.cells = static_cast<std::uint32_t>(index.size());
+  t.words = (t.cells + 63) / 64;
+  t.cell_points = index.points();
+
+  std::size_t total_elems = 0;
+  for (const Prototile& tile : prototiles) total_elems += tile.size();
+  t.cand_stride = static_cast<std::uint32_t>(total_elems);
+
+  // Footprints: one per (prototile, translate class).
+  t.footprints.resize(prototiles.size() * t.cells);
+  t.mask_words.assign(t.footprints.size() * t.words, 0);
+  t.footprint_ids.reserve(total_elems * t.cells);
+  for (std::uint32_t k = 0; k < prototiles.size(); ++k) {
+    const Prototile& tile = prototiles[k];
+    for (std::uint32_t c = 0; c < t.cells; ++c) {
+      Footprint& fp = t.footprints[k * t.cells + c];
+      fp.id_begin = static_cast<std::uint32_t>(t.footprint_ids.size());
+      fp.mask_begin = static_cast<std::uint32_t>((k * t.cells + c) * t.words);
+      fp.size = static_cast<std::uint16_t>(tile.size());
+      fp.self_ok = true;
+      const Point& translate = t.cell_points[c];
+      for (const Point& n : tile.points()) {
+        const std::uint32_t id = index.id_of(period.reduce(translate + n));
+        std::uint64_t& word = t.mask_words[fp.mask_begin + id / 64];
+        const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+        if ((word & bit) != 0) fp.self_ok = false;  // wraps onto itself
+        word |= bit;
+        t.footprint_ids.push_back(id);
+      }
+    }
+  }
+
+  // Candidates: for cell c, the legacy loop order is (prototile k, element
+  // e); the placement translate is the class of c - element(e).
+  t.candidates.resize(static_cast<std::size_t>(t.cells) * t.cand_stride);
+  for (std::uint32_t c = 0; c < t.cells; ++c) {
+    std::size_t slot = static_cast<std::size_t>(c) * t.cand_stride;
+    for (std::uint32_t k = 0; k < prototiles.size(); ++k) {
+      const Prototile& tile = prototiles[k];
+      for (std::size_t e = 0; e < tile.size(); ++e, ++slot) {
+        const std::uint32_t tc = index.id_of(
+            period.reduce(t.cell_points[c] - tile.element(e)));
+        t.candidates[slot] = Candidate{k * t.cells + tc, tc, k};
+      }
+    }
+  }
+  return t;
+}
+
+struct DenseState {
+  const std::vector<Prototile>* prototiles = nullptr;
+  const Sublattice* period = nullptr;
+  const DenseTables* tables = nullptr;
+  std::vector<std::uint64_t> covered;  // bitset over cell ids
+  std::uint32_t covered_count = 0;
+  std::vector<std::pair<Point, std::uint32_t>> placements;
+  std::vector<std::size_t> uses;
+  std::uint64_t nodes = 0;
+  std::uint64_t node_limit = 0;
+  bool require_all = false;
+  std::size_t result_limit = 1;
+  std::vector<Tiling>* results = nullptr;
+};
+
+void emit_dense(DenseState& st) {
+  st.results->push_back(
+      Tiling::periodic(*st.prototiles, *st.period, st.placements));
+}
+
+// `cursor` is a lower bound on the first uncovered cell id: every cell
+// below it was covered when the parent recursed, and placements only add
+// coverage, so the scan never revisits the prefix.
+bool search_dense(DenseState& st, std::uint32_t cursor) {
+  const DenseTables& t = *st.tables;
+  if (st.covered_count == t.cells) {
+    if (st.require_all) {
+      for (std::size_t k = 0; k < st.uses.size(); ++k) {
+        if (st.uses[k] == 0) return false;
+      }
+    }
+    emit_dense(st);
+    return st.results->size() >= st.result_limit;
+  }
+  // First uncovered cell: ctz scan from the cursor's word.  The tail bits
+  // of the last word are never set, and covered_count < cells guarantees a
+  // zero bit exists at or after `cursor`.
+  std::uint32_t w = cursor / 64;
+  std::uint64_t inv = ~st.covered[w] &
+                      (~std::uint64_t{0} << (cursor % 64));
+  while (inv == 0) inv = ~st.covered[++w];
+  std::uint32_t first = w * 64 +
+      static_cast<std::uint32_t>(__builtin_ctzll(inv));
+  if (first >= t.cells) {
+    // Only reachable via the masked tail of the final word; rescan without
+    // the cursor mask would be wrong — coverage below cursor is total, so
+    // this cannot happen.  Guard anyway for cheap safety in release builds.
+    return false;
+  }
+
+  const Candidate* cand =
+      &t.candidates[static_cast<std::size_t>(first) * t.cand_stride];
+  for (std::uint32_t s = 0; s < t.cand_stride; ++s) {
+    if (++st.nodes > st.node_limit) return true;  // budget exhausted
+    const Candidate& c = cand[s];
+    const Footprint& fp = t.footprints[c.footprint];
+    if (!fp.self_ok) continue;
+    const std::uint64_t* mask = &t.mask_words[fp.mask_begin];
+    bool feasible = true;
+    for (std::uint32_t i = 0; i < t.words; ++i) {
+      if ((st.covered[i] & mask[i]) != 0) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    for (std::uint32_t i = 0; i < t.words; ++i) st.covered[i] ^= mask[i];
+    st.covered_count += fp.size;
+    st.placements.emplace_back(t.cell_points[c.translate_class],
+                               c.prototile);
+    ++st.uses[c.prototile];
+    const bool done = search_dense(st, first + 1);
+    --st.uses[c.prototile];
+    st.placements.pop_back();
+    st.covered_count -= fp.size;
+    for (std::uint32_t i = 0; i < t.words; ++i) st.covered[i] ^= mask[i];
+    if (done) return true;
+  }
+  return false;
+}
+
+std::vector<Tiling> run_search_dense(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    const TorusSearchConfig& config, std::size_t limit) {
+  std::vector<Tiling> results;
+  const DenseTables tables = build_tables(prototiles, period);
+  DenseState st;
+  st.prototiles = &prototiles;
+  st.period = &period;
+  st.tables = &tables;
+  st.covered.assign(tables.words, 0);
+  st.uses.assign(prototiles.size(), 0);
+  st.placements.reserve(tables.cells);
+  st.node_limit = config.node_limit;
+  st.require_all = config.require_all_prototiles;
+  st.result_limit = limit;
+  st.results = &results;
+  search_dense(st, 0);
+  if (config.stats != nullptr) config.stats->nodes = st.nodes;
+  return results;
 }
 
 std::vector<Tiling> run_search(const std::vector<Prototile>& prototiles,
@@ -98,22 +322,16 @@ std::vector<Tiling> run_search(const std::vector<Prototile>& prototiles,
       throw std::invalid_argument("torus search: dimension mismatch");
     }
   }
-  std::vector<Tiling> results;
-  SearchState st;
-  st.prototiles = &prototiles;
-  st.period = &period;
-  st.cells = period.coset_representatives();
-  for (std::uint32_t i = 0; i < st.cells.size(); ++i) {
-    st.cell_index.emplace(st.cells[i], i);
+  // The dense tables are O(prototiles x cells^2 / 64) words of footprint
+  // masks; past ~64MB the precompute dominates any search, so huge tori
+  // (far beyond the default sweep sizes) drop back to the seed engine.
+  const std::uint64_t cells = static_cast<std::uint64_t>(period.index());
+  const std::uint64_t mask_bytes =
+      prototiles.size() * cells * ((cells + 63) / 64) * 8;
+  if (config.use_dense_engine && mask_bytes <= (std::uint64_t{64} << 20)) {
+    return run_search_dense(prototiles, period, config, limit);
   }
-  st.covered.assign(st.cells.size(), false);
-  st.uses.assign(prototiles.size(), 0);
-  st.node_limit = config.node_limit;
-  st.require_all = config.require_all_prototiles;
-  st.result_limit = limit;
-  st.results = &results;
-  search(st);
-  return results;
+  return run_search_legacy(prototiles, period, config, limit);
 }
 
 }  // namespace

@@ -26,6 +26,14 @@
 
 namespace latticesched {
 
+/// Optional instrumentation filled by the search (see
+/// TorusSearchConfig::stats); both engines count identically, so
+/// nodes / wall-time is directly comparable across them.
+struct TorusSearchStats {
+  /// Placements tried (the budget unit of node_limit).
+  std::uint64_t nodes = 0;
+};
+
 struct TorusSearchConfig {
   /// Upper bound on period cells for the period sweep.
   std::int64_t max_period_cells = 256;
@@ -34,6 +42,13 @@ struct TorusSearchConfig {
   /// Require every prototile to appear at least once (used to force
   /// genuinely mixed tilings like Figure 5 left).
   bool require_all_prototiles = false;
+  /// Run the dense bitset engine (precomputed footprint masks over coset
+  /// ids, zero hashing/allocation per node).  The legacy hash-map path is
+  /// kept for comparison benchmarks and cross-validation tests; both
+  /// explore placements in the same order and return identical tilings.
+  bool use_dense_engine = true;
+  /// When non-null, receives search counters (overwritten per torus).
+  TorusSearchStats* stats = nullptr;
 };
 
 /// Exact-cover search on the torus Z^d / period; returns a Tiling whose

@@ -1,0 +1,60 @@
+// Compressed sparse row storage for small-integer adjacency.
+//
+// The engine stores every "list of ids per thing" (coverage points per
+// sensor, sensors per lattice point, listeners per transmitter) as one
+// flat value buffer plus an offsets array — one allocation total, cache-
+// linear traversal, and trivially buildable in two counting passes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace latticesched {
+
+struct CsrU32 {
+  /// offsets.size() == rows + 1; row r occupies
+  /// values[offsets[r] .. offsets[r+1]).
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> values;
+
+  std::size_t rows() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::span<const std::uint32_t> row(std::size_t r) const {
+    return {values.data() + offsets[r],
+            values.data() + offsets[r + 1]};
+  }
+  std::size_t row_size(std::size_t r) const {
+    return offsets[r + 1] - offsets[r];
+  }
+
+  /// Classic two-pass build: call begin_counting, bump count(r) for every
+  /// (r, value) pair, call finish_counting, then push(r, value) for the
+  /// same pairs in any order.
+  void begin_counting(std::size_t n_rows) {
+    offsets.assign(n_rows + 1, 0);
+  }
+  void count(std::size_t r) { ++offsets[r + 1]; }
+  void finish_counting() {
+    std::uint64_t total = 0;
+    for (std::size_t r = 1; r < offsets.size(); ++r) {
+      total += offsets[r];
+      if (total > 0xFFFFFFFFull) {
+        // A wrapped prefix sum would undersize `values` and turn push()
+        // into out-of-bounds writes; fail loudly instead.
+        throw std::length_error("CsrU32: more than 2^32-1 total entries");
+      }
+      offsets[r] = static_cast<std::uint32_t>(total);
+    }
+    values.resize(offsets.back());
+    cursor_.assign(offsets.begin(), offsets.end() - 1);
+  }
+  void push(std::size_t r, std::uint32_t v) { values[cursor_[r]++] = v; }
+
+ private:
+  std::vector<std::uint32_t> cursor_;
+};
+
+}  // namespace latticesched
