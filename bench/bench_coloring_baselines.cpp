@@ -2,46 +2,38 @@
 // (McCormick / Lloyd–Ramanathan NP-hardness; Wang–Ansari and Shi–Wang
 // heuristics).  The constructive tiling schedule achieves the optimum
 // |N| without materializing any graph; the heuristics approach it from
-// above at a runtime cost that grows with the window.
+// above at a runtime cost that grows with the window.  The whole
+// comparison runs through the planner pipeline: one plan_all per window
+// produces every backend's verified period and wall time.
 #include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "baseline/coloring_schedule.hpp"
 #include "core/optimality.hpp"
-#include "core/tiling_scheduler.hpp"
-#include "tiling/exactness.hpp"
+#include "core/planner.hpp"
 #include "tiling/shapes.hpp"
 #include "util/table.hpp"
 
 namespace latticesched {
 namespace {
 
-double ms_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
+const std::vector<std::string> kBackends = {
+    "greedy", "welsh-powell", "dsatur", "annealing", "tiling"};
 
 void report() {
   bench::section("Coloring baselines vs the constructive tiling optimum");
   const Prototile ball = shapes::chebyshev_ball(2, 1);
-  const TilingSchedule sched(*decide_exactness(ball).tiling);
   Table t({"window", "sensors", "conflict edges", "greedy", "welsh-powell",
            "dsatur", "annealing", "tiling (=|N|)", "exact optimum"});
   for (std::int64_t n : {5, 7, 9, 12}) {
     const Deployment d = Deployment::grid(Box::cube(2, 0, n - 1), ball);
     const Graph g = build_conflict_graph(d);
-    SaConfig sa;
-    sa.max_iters = 60'000;
-    const std::uint32_t greedy =
-        coloring_slots_on_graph(g, ColoringHeuristic::kGreedy).period;
-    const std::uint32_t wp =
-        coloring_slots_on_graph(g, ColoringHeuristic::kWelshPowell).period;
-    const std::uint32_t ds =
-        coloring_slots_on_graph(g, ColoringHeuristic::kDsatur).period;
-    const std::uint32_t ann =
-        coloring_slots_on_graph(g, ColoringHeuristic::kAnnealing, sa).period;
+    PlanRequest request;
+    request.deployment = &d;
+    request.conflict_graph = &g;
+    request.sa.max_iters = 60'000;
+    const auto results =
+        PlannerRegistry::global().plan_all(request, kBackends);
     ExactColoringConfig ec;
     ec.node_limit = 2'000'000;
     const ExactColoringResult exact = exact_chromatic(g, ec);
@@ -49,11 +41,13 @@ void report() {
     t.cell(std::to_string(n) + "x" + std::to_string(n));
     t.cell(d.size());
     t.cell(g.edge_count());
-    t.cell(greedy);
-    t.cell(wp);
-    t.cell(ds);
-    t.cell(ann);
-    t.cell(sched.period());
+    for (const PlanResult& r : results) {
+      if (!r.ok || !r.collision_free) {
+        t.cell(r.backend + "!FAILED");
+        continue;
+      }
+      t.cell(r.slots.period);
+    }
     t.cell(std::to_string(exact.colors) +
            (exact.proven_optimal ? "" : "?"));
   }
@@ -63,32 +57,28 @@ void report() {
               "literature resorts to heuristics — on lattices the\n"
               "tiling schedule reads the optimum off the tile size.\n");
 
-  bench::section("Heuristic runtime growth (wall-clock, single run)");
+  bench::section("Backend runtime growth (planner wall clock, single run)");
   Table rt({"window", "sensors", "graph build (ms)", "dsatur (ms)",
-            "annealing (ms)", "tiling assign (ms)"});
+            "annealing (ms)", "tiling (ms)"});
   for (std::int64_t n : {8, 16, 24}) {
     const Deployment d = Deployment::grid(Box::cube(2, 0, n - 1), ball);
-    auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();
     const Graph g = build_conflict_graph(d);
-    const double t_build = ms_since(t0);
-    t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(dsatur_coloring(g));
-    const double t_dsatur = ms_since(t0);
-    SaConfig sa;
-    sa.max_iters = 30'000;
-    t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(sa_min_coloring(g, sa));
-    const double t_sa = ms_since(t0);
-    t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(assign_slots(sched, d));
-    const double t_tiling = ms_since(t0);
+    const double t_build = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    PlanRequest request;
+    request.deployment = &d;
+    request.conflict_graph = &g;
+    request.sa.max_iters = 30'000;
+    request.verify = false;  // timing section; correctness is above
+    const auto results = PlannerRegistry::global().plan_all(
+        request, {"dsatur", "annealing", "tiling"});
     rt.begin_row();
     rt.cell(std::to_string(n) + "x" + std::to_string(n));
     rt.cell(d.size());
     rt.cell(t_build, 2);
-    rt.cell(t_dsatur, 2);
-    rt.cell(t_sa, 2);
-    rt.cell(t_tiling, 2);
+    for (const PlanResult& r : results) rt.cell(r.wall_seconds * 1e3, 2);
   }
   std::printf("%s", rt.to_string().c_str());
 }

@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "baseline/tdma.hpp"
+#include "core/planner.hpp"
 #include "core/tiling_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "tiling/exactness.hpp"
@@ -32,15 +33,23 @@ double saturated_throughput(const Deployment& d, const SensorSlots& slots) {
 void report() {
   bench::section("TDMA does not scale; the tiling schedule does");
   const Prototile ball = shapes::chebyshev_ball(2, 1);
-  const TilingSchedule tiling_sched(
-      *decide_exactness(ball).tiling);
   Table t({"grid", "sensors", "TDMA slots", "tiling slots",
            "TDMA tput/sensor", "tiling tput/sensor", "speedup"});
   for (std::int64_t n : {4, 8, 12, 16, 24, 32}) {
     const Deployment d =
         Deployment::grid(Box::cube(2, 0, n - 1), ball);
-    const SensorSlots tdma = tdma_slots(d);
-    const SensorSlots tiling = assign_slots(tiling_sched, d);
+    // Both schedules come out of the planner pipeline, already verified
+    // collision-free; the simulator then measures saturated throughput.
+    PlanRequest request;
+    request.deployment = &d;
+    const auto plans =
+        PlannerRegistry::global().plan_all(request, {"tdma", "tiling"});
+    if (!plans[0].collision_free || !plans[1].collision_free) {
+      std::printf("PLANNER FAILURE on %ldx%ld\n", n, n);
+      continue;
+    }
+    const SensorSlots& tdma = plans[0].slots;
+    const SensorSlots& tiling = plans[1].slots;
     const double tput_tdma = saturated_throughput(d, tdma);
     const double tput_tiling = saturated_throughput(d, tiling);
     t.begin_row();
@@ -62,13 +71,17 @@ void report() {
   Table r({"radius", "|N|", "tiling slots", "TDMA slots"});
   for (std::int64_t radius : {1, 2, 3}) {
     const Prototile shape = shapes::chebyshev_ball(2, radius);
-    const TilingSchedule sched(*decide_exactness(shape).tiling);
     const Deployment d = Deployment::grid(Box::cube(2, 0, 23), shape);
+    PlanRequest request;
+    request.deployment = &d;
+    request.verify = false;  // verified in the scaling table above
+    const auto plans =
+        PlannerRegistry::global().plan_all(request, {"tiling", "tdma"});
     r.begin_row();
     r.cell(radius);
     r.cell(shape.size());
-    r.cell(sched.period());
-    r.cell(tdma_slots(d).period);
+    r.cell(plans[0].slots.period);
+    r.cell(plans[1].slots.period);
   }
   std::printf("%s", r.to_string().c_str());
 }

@@ -11,9 +11,8 @@
 #include <iostream>
 #include <memory>
 
-#include "core/tiling_scheduler.hpp"
+#include "core/planner.hpp"
 #include "sim/convergecast.hpp"
-#include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -39,7 +38,16 @@ int main(int argc, char** argv) {
   const std::int64_t n = cli.get_int("n");
   const Prototile ball = shapes::chebyshev_ball(2, 1);
   const Deployment field = Deployment::grid(Box::cube(2, 0, n - 1), ball);
-  const TilingSchedule schedule(*decide_exactness(ball).tiling);
+  // The collision-free slot table comes out of the planner pipeline,
+  // already verified against the paper's predicate.
+  PlanRequest request;
+  request.deployment = &field;
+  const PlanResult plan =
+      PlannerRegistry::global().find("tiling")->plan(request);
+  if (!plan.ok || !plan.collision_free) {
+    std::fprintf(stderr, "planner failed: %s\n", plan.error.c_str());
+    return 1;
+  }
   const Point sink{0, 0};
   ConvergecastSimulator sim(field, sink);
 
@@ -61,8 +69,8 @@ int main(int argc, char** argv) {
     std::unique_ptr<MacProtocol> mac;
   };
   std::vector<Entry> protocols;
-  protocols.push_back({"tiling", std::make_unique<SlotScheduleMac>(
-                                     assign_slots(schedule, field))});
+  protocols.push_back(
+      {"tiling", std::make_unique<SlotScheduleMac>(plan.slots)});
   protocols.push_back({"aloha p=0.1", std::make_unique<AlohaMac>(0.1)});
   protocols.push_back({"csma", std::make_unique<CsmaMac>()});
 

@@ -10,8 +10,8 @@
 //   $ directional_antennas
 #include <cstdio>
 
-#include "core/collision.hpp"
 #include "core/optimality.hpp"
+#include "core/planner.hpp"
 #include "core/tiling_scheduler.hpp"
 #include "tiling/shapes.hpp"
 #include "util/ascii_canvas.hpp"
@@ -50,12 +50,21 @@ int main() {
   std::printf("slot map (1-based; bar sensors bracketed):\n%s\n",
               canvas.to_string().c_str());
 
-  // Deployment rule D1 and the paper's collision predicate.
+  // Deployment rule D1, scheduled and verified through the planner
+  // pipeline (the explicit tiling rides along in the request).
   const Deployment field =
       Deployment::from_tiling(tiling, Box::centered(2, 9));
-  const CollisionReport report = check_collision_free(field, schedule);
+  PlanRequest request;
+  request.deployment = &field;
+  request.tiling = &tiling;
+  const PlanResult plan =
+      PlannerRegistry::global().find("tiling")->plan(request);
+  if (!plan.ok) {
+    std::fprintf(stderr, "planner failed: %s\n", plan.error.c_str());
+    return 1;
+  }
   std::printf("deployment of %zu sensors (rule D1): %s\n", field.size(),
-              report.to_string().c_str());
+              plan.report.to_string().c_str());
 
   // Machine-check optimality: the tiling-constrained optimum equals 9.
   const TilingOptimum opt = optimal_slots_for_tiling(tiling);
@@ -63,7 +72,7 @@ int main() {
               "Theorem-2 algorithm used %u\n",
               opt.optimal_slots, opt.proven ? "yes" : "no",
               opt.theorem2_slots);
-  return report.collision_free && opt.optimal_slots == schedule.period()
+  return plan.collision_free && opt.optimal_slots == plan.slots.period
              ? 0
              : 1;
 }

@@ -10,11 +10,8 @@
 #include <iostream>
 #include <memory>
 
-#include "baseline/tdma.hpp"
-#include "core/collision.hpp"
-#include "core/tiling_scheduler.hpp"
+#include "core/planner.hpp"
 #include "sim/simulator.hpp"
-#include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -45,17 +42,25 @@ int main(int argc, char** argv) {
   std::printf("field: %zu sensors, neighborhood %s (%zu points)\n",
               field.size(), shape.name().c_str(), shape.size());
 
-  const ExactnessResult exact = decide_exactness(shape);
-  if (!exact.exact) {
-    std::fprintf(stderr, "neighborhood is not exact\n");
-    return 1;
+  // Planner pipeline: tiling + TDMA schedules, produced and verified in
+  // one fan-out.
+  PlanRequest request;
+  request.deployment = &field;
+  const auto plans =
+      PlannerRegistry::global().plan_all(request, {"tiling", "tdma"});
+  for (const PlanResult& p : plans) {
+    if (!p.ok) {
+      std::fprintf(stderr, "%s backend failed: %s\n", p.backend.c_str(),
+                   p.error.c_str());
+      return 1;
+    }
   }
-  const TilingSchedule schedule(*exact.tiling);
   std::printf("tiling schedule: %u slots (lower bound %u -> %s)\n",
-              schedule.period(), schedule.lower_bound_slots(),
-              schedule.optimal() ? "optimal" : "not proven optimal");
+              plans[0].slots.period, plans[0].lower_bound,
+              plans[0].optimality_gap == 1.0 ? "optimal"
+                                             : "not proven optimal");
   std::printf("static check: %s\n\n",
-              check_collision_free(field, schedule).to_string().c_str());
+              plans[0].report.to_string().c_str());
 
   SimConfig cfg;
   cfg.slots = static_cast<std::uint64_t>(cli.get_int("slots"));
@@ -68,10 +73,10 @@ int main(int argc, char** argv) {
     std::unique_ptr<MacProtocol> mac;
   };
   std::vector<Entry> protocols;
-  protocols.push_back({"tiling", std::make_unique<SlotScheduleMac>(
-                                     assign_slots(schedule, field))});
   protocols.push_back(
-      {"tdma", std::make_unique<SlotScheduleMac>(tdma_slots(field))});
+      {"tiling", std::make_unique<SlotScheduleMac>(plans[0].slots)});
+  protocols.push_back(
+      {"tdma", std::make_unique<SlotScheduleMac>(plans[1].slots)});
   protocols.push_back({"aloha", std::make_unique<AlohaMac>(0.15)});
   protocols.push_back({"csma", std::make_unique<CsmaMac>()});
 

@@ -11,9 +11,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/collision.hpp"
 #include "core/optimality.hpp"
-#include "core/tiling_scheduler.hpp"
+#include "core/planner.hpp"
 #include "lattice/voronoi.hpp"
 #include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
@@ -45,34 +44,42 @@ int main() {
   std::printf("exact via %s; quasi-polyhex area %.6f (= 7 x covolume)\n",
               to_string(exact.method),
               quasi_polyform_area(hex, ball.size()));
-  const TilingSchedule schedule(*exact.tiling);
-  std::printf("schedule: %s\n", schedule.description().c_str());
 
-  // Deploy a rhombic patch (natural for hex coordinates) and verify.
+  // Deploy a rhombic patch (natural for hex coordinates) and run every
+  // relevant backend through the planner pipeline: the constructive
+  // schedule against the coloring heuristics and TDMA, each verified.
   const Deployment field = Deployment::grid(Box::centered(2, 6), ball);
-  const CollisionReport report = check_collision_free(field, schedule);
-  std::printf("deployment of %zu sensors: %s\n", field.size(),
-              report.to_string().c_str());
-
-  // Optimality: the window optimum equals |N| = 7.
-  const DeploymentOptimum opt = optimal_slots_for_deployment(field);
-  std::printf("exact window optimum: %u slots (proven: %s)\n",
-              opt.optimal_slots, opt.proven ? "yes" : "no");
-
-  // Slot usage census: every slot serves ~1/7 of the sensors.
-  Table t({"slot", "sensors", "share"});
-  std::vector<std::size_t> counts(schedule.period(), 0);
-  for (std::size_t i = 0; i < field.size(); ++i) {
-    ++counts[schedule.slot_of(field.position(i))];
-  }
-  for (std::uint32_t s = 0; s < schedule.period(); ++s) {
+  PlanRequest request;
+  request.deployment = &field;
+  request.tiling = &*exact.tiling;
+  const auto plans = PlannerRegistry::global().plan_all(
+      request, {"tiling", "dsatur", "tdma"});
+  std::printf("\ndeployment of %zu sensors, backend comparison:\n",
+              field.size());
+  Table t({"backend", "slots", "collision-free", "balance", "duty cycle"});
+  bool all_free = true;
+  for (const PlanResult& p : plans) {
+    if (!p.ok) {
+      std::fprintf(stderr, "%s backend failed: %s\n", p.backend.c_str(),
+                   p.error.c_str());
+      return 1;
+    }
+    all_free = all_free && p.collision_free;
     t.begin_row();
-    t.cell(s + 1);
-    t.cell(counts[s]);
-    t.cell_percent(static_cast<double>(counts[s]) /
-                       static_cast<double>(field.size()),
-                   1);
+    t.cell(p.backend);
+    t.cell(p.slots.period);
+    t.cell(p.collision_free ? "yes" : "NO");
+    t.cell(p.slot_balance, 3);
+    t.cell(p.duty_cycle, 4);
   }
   t.print(std::cout);
-  return report.collision_free ? 0 : 1;
+
+  // Optimality: the window optimum equals |N| = 7, which the tiling
+  // backend meets exactly (the paper's Theorem 1).
+  const DeploymentOptimum opt = optimal_slots_for_deployment(field);
+  std::printf("exact window optimum: %u slots (proven: %s); tiling "
+              "backend used %u\n",
+              opt.optimal_slots, opt.proven ? "yes" : "no",
+              plans[0].slots.period);
+  return all_free ? 0 : 1;
 }

@@ -10,8 +10,9 @@
 #include <iostream>
 
 #include "core/mobile.hpp"
+#include "core/planner.hpp"
+#include "core/tiling_scheduler.hpp"
 #include "sim/mobile_sim.hpp"
-#include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -37,13 +38,26 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Location slots come from the 3x3-ball tiling schedule on Z².
+  // Location slots come from the 3x3-ball tiling schedule on Z²; the
+  // planner pipeline finds the tiling and verifies the lattice schedule
+  // on a reference window before the mobile rule reuses it.
   const Prototile ball = shapes::chebyshev_ball(2, 1);
-  MobileScheduler scheduler(Lattice::square(),
-                            TilingSchedule(*decide_exactness(ball).tiling));
-  std::printf("location schedule: %u slots; Voronoi cells are unit "
-              "squares; tile regions are 3x3 blocks\n\n",
-              scheduler.period());
+  const Deployment reference =
+      Deployment::grid(Box::centered(2, 4), ball);
+  PlanRequest request;
+  request.deployment = &reference;
+  const PlanResult plan =
+      PlannerRegistry::global().find("tiling")->plan(request);
+  if (!plan.ok || !plan.collision_free || !plan.tiling.has_value()) {
+    std::fprintf(stderr, "planner failed: %s\n", plan.error.c_str());
+    return 1;
+  }
+  MobileScheduler scheduler(Lattice::square(), TilingSchedule(*plan.tiling));
+  std::printf("location schedule: %u slots (verified %s on a static "
+              "window); Voronoi cells are unit\nsquares; tile regions "
+              "are 3x3 blocks\n\n",
+              scheduler.period(),
+              plan.collision_free ? "collision-free" : "NOT collision-free");
 
   MobileConfig cfg;
   cfg.sensors = static_cast<std::size_t>(cli.get_int("sensors"));

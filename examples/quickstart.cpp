@@ -4,15 +4,15 @@
 //   $ quickstart
 //
 // Walks the full pipeline of the paper: choose a neighborhood N, decide
-// exactness (Section 3), build the Theorem-1 schedule (m = |N| slots),
-// verify collision-freedom on a deployment window, and export the
-// per-sensor slot table as CSV.
+// exactness (Section 3), then let the planner registry produce the
+// Theorem-1 schedule (m = |N| slots), verify collision-freedom and
+// report diagnostics in one call — and export the per-sensor slot table
+// as CSV.
 #include <cstdio>
 #include <iostream>
 
-#include "core/collision.hpp"
+#include "core/planner.hpp"
 #include "core/serialization.hpp"
-#include "core/tiling_scheduler.hpp"
 #include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
 
@@ -37,25 +37,31 @@ int main() {
               to_string(exact.method),
               exact.tiling->period().to_string().c_str());
 
-  // 3. The Theorem-1 schedule: m = |N| slots, provably minimal.
-  const TilingSchedule schedule(*exact.tiling);
-  std::printf("schedule: %s\n", schedule.description().c_str());
-  std::printf("slot of sensor at (0,0):  %u\n",
-              schedule.slot_of(Point{0, 0}));
-  std::printf("slot of sensor at (5,-3): %u\n",
-              schedule.slot_of(Point{5, -3}));
-
-  // 4. Deploy 11x11 sensors and verify the paper's collision predicate.
+  // 3. Deploy 11x11 sensors and run the planner pipeline: the tiling
+  //    backend builds the Theorem-1 schedule, verifies the paper's
+  //    collision predicate and attaches the diagnostics.
   const Deployment field =
       Deployment::grid(Box::centered(2, 5), neighborhood);
-  const CollisionReport report = check_collision_free(field, schedule);
+  PlanRequest request;
+  request.deployment = &field;
+  request.tiling = &*exact.tiling;
+  const PlanResult plan =
+      PlannerRegistry::global().find("tiling")->plan(request);
+  if (!plan.ok) {
+    std::printf("planner failed: %s\n", plan.error.c_str());
+    return 1;
+  }
+  std::printf("schedule: %s\n", plan.detail.c_str());
   std::printf("deployment of %zu sensors: %s\n", field.size(),
-              report.to_string().c_str());
+              plan.report.to_string().c_str());
+  std::printf("period %u = lower bound %u -> optimal; duty cycle %.3f, "
+              "slot balance %.3f\n",
+              plan.slots.period, plan.lower_bound, plan.duty_cycle,
+              plan.slot_balance);
 
-  // 5. Ship the slot table.
+  // 4. Ship the slot table.
   std::printf("\nfirst lines of the deployable CSV:\n");
-  const std::string csv =
-      schedule_to_csv(field, assign_slots(schedule, field));
+  const std::string csv = schedule_to_csv(field, plan.slots);
   std::printf("%s...\n", csv.substr(0, 120).c_str());
-  return report.collision_free ? 0 : 1;
+  return plan.collision_free ? 0 : 1;
 }

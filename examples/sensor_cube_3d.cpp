@@ -11,10 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "baseline/tdma.hpp"
-#include "core/collision.hpp"
-#include "core/optimality.hpp"
-#include "core/tiling_scheduler.hpp"
+#include "core/planner.hpp"
 #include "lattice/snf.hpp"
 #include "sim/simulator.hpp"
 #include "tiling/exactness.hpp"
@@ -40,41 +37,50 @@ int main() {
               exact.tiling->period().to_string().c_str(),
               quotient_group_name(exact.tiling->period()).c_str());
 
-  const TilingSchedule schedule(*exact.tiling);
-  std::printf("Theorem-1 schedule: %s (optimal: %s)\n\n",
-              schedule.description().c_str(),
-              schedule.optimal() ? "yes" : "no");
-
-  // A 6x6x6 sensor cube = 216 sensors.
+  // A 6x6x6 sensor cube = 216 sensors; the planner pipeline produces and
+  // verifies the Theorem-1 schedule and the TDMA foil in one call.
   const Deployment cube = Deployment::grid(Box::cube(3, 0, 5), volume);
-  const CollisionReport report = check_collision_free(cube, schedule);
+  PlanRequest request;
+  request.deployment = &cube;
+  request.tiling = &*exact.tiling;
+  const auto plans =
+      PlannerRegistry::global().plan_all(request, {"tiling", "tdma"});
+  for (const PlanResult& p : plans) {
+    if (!p.ok) {
+      std::fprintf(stderr, "%s backend failed: %s\n", p.backend.c_str(),
+                   p.error.c_str());
+      return 1;
+    }
+  }
+  std::printf("Theorem-1 schedule: %s (gap %.2f)\n",
+              plans[0].detail.c_str(), plans[0].optimality_gap);
   std::printf("deployment: %zu sensors in a 6x6x6 cube -> %s\n",
-              cube.size(), report.to_string().c_str());
+              cube.size(), plans[0].report.to_string().c_str());
 
   // Saturated throughput vs TDMA, as in the 2-D experiments.
   SimConfig cfg;
   cfg.slots = 2700;
   cfg.saturated = true;
   SlotSimulator sim(cube, cfg);
-  SlotScheduleMac tiling_mac(assign_slots(schedule, cube));
-  SlotScheduleMac tdma_mac(tdma_slots(cube));
+  SlotScheduleMac tiling_mac(plans[0].slots);
+  SlotScheduleMac tdma_mac(plans[1].slots);
   const SimResult r_tiling = sim.run(tiling_mac);
   const SimResult r_tdma = sim.run(tdma_mac);
 
   Table t({"schedule", "slots", "collisions", "tput/sensor"});
   t.begin_row();
   t.cell("tiling (Thm 1)");
-  t.cell(schedule.period());
+  t.cell(plans[0].slots.period);
   t.cell(r_tiling.failed_tx);
   t.cell(r_tiling.per_sensor_throughput(), 5);
   t.begin_row();
   t.cell("tdma");
-  t.cell(static_cast<std::uint64_t>(cube.size()));
+  t.cell(plans[1].slots.period);
   t.cell(r_tdma.failed_tx);
   t.cell(r_tdma.per_sensor_throughput(), 5);
   t.print(std::cout);
 
   std::printf("\n27 slots regardless of cube size vs one slot per sensor: "
               "the paper's scaling\nargument is dimension-free.\n");
-  return report.collision_free ? 0 : 1;
+  return plans[0].collision_free && plans[1].collision_free ? 0 : 1;
 }

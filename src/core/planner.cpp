@@ -1,0 +1,355 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "baseline/coloring_schedule.hpp"
+#include "baseline/tdma.hpp"
+#include "core/analysis.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "util/parallel.hpp"
+
+namespace latticesched {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Built-in backends
+// ---------------------------------------------------------------------------
+
+class TilingPlanner final : public Planner {
+ public:
+  std::string name() const override { return "tiling"; }
+
+ protected:
+  Raw compute(const PlanRequest& request) const override {
+    const Deployment& d = *request.deployment;
+    std::optional<Tiling> tiling;
+    if (request.tiling != nullptr) {
+      tiling = *request.tiling;
+    } else {
+      TorusSearchConfig search = request.search;
+      // Rule-D1 deployments carry several prototiles; a schedule that
+      // covers them all needs a tiling using every one (Theorem 2).
+      if (d.prototiles().size() > 1) search.require_all_prototiles = true;
+      tiling = search_periodic_tiling(d.prototiles(), search);
+      if (!tiling.has_value()) {
+        throw std::runtime_error(
+            "no periodic tiling found within the search budget "
+            "(prototile set may not be exact)");
+      }
+    }
+    const TilingSchedule schedule(*tiling);
+    Raw raw;
+    raw.slots = assign_slots(schedule, d);
+    raw.detail = schedule.description();
+    raw.tiling = std::move(tiling);
+    return raw;
+  }
+};
+
+class ColoringPlanner final : public Planner {
+ public:
+  explicit ColoringPlanner(ColoringHeuristic h) : heuristic_(h) {}
+  std::string name() const override { return to_string(heuristic_); }
+
+ protected:
+  Raw compute(const PlanRequest& request) const override {
+    const Deployment& d = *request.deployment;
+    Raw raw;
+    if (request.conflict_graph != nullptr) {
+      raw.slots = coloring_slots_on_graph(*request.conflict_graph,
+                                          heuristic_, request.sa);
+    } else {
+      raw.slots = coloring_slots(d, heuristic_, request.sa);
+    }
+    std::ostringstream os;
+    os << "conflict-graph coloring (" << to_string(heuristic_) << "), "
+       << raw.slots.period << " slots";
+    raw.detail = os.str();
+    return raw;
+  }
+
+ private:
+  ColoringHeuristic heuristic_;
+};
+
+class TdmaPlanner final : public Planner {
+ public:
+  std::string name() const override { return "tdma"; }
+
+ protected:
+  Raw compute(const PlanRequest& request) const override {
+    Raw raw;
+    raw.slots = tdma_slots(*request.deployment);
+    std::ostringstream os;
+    os << "TDMA round-robin, one slot per sensor (period "
+       << raw.slots.period << ")";
+    raw.detail = os.str();
+    return raw;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Planner base pipeline
+// ---------------------------------------------------------------------------
+
+PlanResult Planner::plan(const PlanRequest& request) const {
+  if (request.deployment == nullptr) {
+    throw std::invalid_argument("Planner::plan: deployment is required");
+  }
+  const Deployment& d = *request.deployment;
+  PlanResult result;
+  result.backend = name();
+  for (const Prototile& n : d.prototiles()) {
+    result.lower_bound = std::max(result.lower_bound,
+                                  static_cast<std::uint32_t>(n.size()));
+  }
+
+  const Clock::time_point t0 = Clock::now();
+  try {
+    Raw raw = compute(request);
+    result.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    result.slots = std::move(raw.slots);
+    result.detail = std::move(raw.detail);
+    result.tiling = std::move(raw.tiling);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    result.error = e.what();
+    return result;
+  }
+
+  if (result.slots.slot.size() != d.size()) {
+    result.ok = false;
+    result.error = "backend produced a slot table of the wrong size";
+    return result;
+  }
+  // Custom backends can be registered, so the pipeline must not trust the
+  // table: a slot >= period would corrupt the histogram below.
+  for (std::uint32_t s : result.slots.slot) {
+    if (s >= result.slots.period) {
+      result.ok = false;
+      result.error = "backend produced a slot outside [0, period)";
+      return result;
+    }
+  }
+
+  if (request.verify) {
+    result.report = check_collision_free(d, result.slots);
+    result.collision_free = result.report.collision_free;
+  } else {
+    result.collision_free = true;
+  }
+
+  if (result.slots.period > 0) {
+    std::vector<std::uint64_t> histogram(result.slots.period, 0);
+    for (std::uint32_t s : result.slots.slot) ++histogram[s];
+    result.slot_balance = slot_balance(histogram);
+    result.duty_cycle = 1.0 / static_cast<double>(result.slots.period);
+    if (result.lower_bound > 0) {
+      result.optimality_gap =
+          static_cast<double>(result.slots.period) /
+          static_cast<double>(result.lower_bound);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+void PlannerRegistry::register_planner(std::unique_ptr<Planner> planner) {
+  if (planner == nullptr) {
+    throw std::invalid_argument("register_planner: null planner");
+  }
+  const std::string name = planner->name();
+  for (auto& existing : planners_) {
+    if (existing->name() == name) {
+      existing = std::move(planner);
+      return;
+    }
+  }
+  planners_.push_back(std::move(planner));
+}
+
+std::vector<std::string> PlannerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(planners_.size());
+  for (const auto& p : planners_) out.push_back(p->name());
+  return out;
+}
+
+const Planner* PlannerRegistry::find(const std::string& name) const {
+  for (const auto& p : planners_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+std::vector<PlanResult> PlannerRegistry::plan_all(
+    const PlanRequest& request,
+    const std::vector<std::string>& backends) const {
+  if (request.deployment == nullptr) {
+    throw std::invalid_argument("plan_all: deployment is required");
+  }
+  std::vector<const Planner*> selected;
+  if (backends.empty()) {
+    for (const auto& p : planners_) selected.push_back(p.get());
+  } else {
+    for (const std::string& name : backends) {
+      const Planner* p = find(name);
+      if (p == nullptr) {
+        throw std::invalid_argument("plan_all: unknown backend '" + name +
+                                    "'");
+      }
+      selected.push_back(p);
+    }
+  }
+
+  // Build the conflict graph once for every coloring backend (they are
+  // the only consumers, and each would otherwise rebuild it).
+  PlanRequest shared = request;
+  std::optional<Graph> graph;
+  if (shared.conflict_graph == nullptr) {
+    const bool wants_graph =
+        std::any_of(selected.begin(), selected.end(), [](const Planner* p) {
+          const std::string n = p->name();
+          return n != "tiling" && n != "tdma";
+        });
+    if (wants_graph) {
+      graph.emplace(build_conflict_graph(*request.deployment));
+      shared.conflict_graph = &*graph;
+    }
+  }
+
+  // Backend fan-out: results land in their request slots, so the output
+  // order is the request order at any thread count.  Backends that
+  // themselves use the pool (tiling search) degrade to serial inside
+  // this region — the pool never nests.
+  std::vector<PlanResult> results(selected.size());
+  parallel_for(0, selected.size(), [&](std::size_t i) {
+    results[i] = selected[i]->plan(shared);
+  });
+  return results;
+}
+
+PlannerRegistry& PlannerRegistry::global() {
+  static PlannerRegistry* registry = [] {
+    auto* r = new PlannerRegistry();
+    r->register_planner(std::make_unique<TilingPlanner>());
+    r->register_planner(
+        std::make_unique<ColoringPlanner>(ColoringHeuristic::kGreedy));
+    r->register_planner(
+        std::make_unique<ColoringPlanner>(ColoringHeuristic::kWelshPowell));
+    r->register_planner(
+        std::make_unique<ColoringPlanner>(ColoringHeuristic::kDsatur));
+    r->register_planner(
+        std::make_unique<ColoringPlanner>(ColoringHeuristic::kAnnealing));
+    r->register_planner(std::make_unique<TdmaPlanner>());
+    return r;
+  }();
+  return *registry;
+}
+
+// ---------------------------------------------------------------------------
+// Report helpers
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> parse_backend_list(const std::string& csv) {
+  if (csv.empty() || csv == "all") return {};
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream is(csv);
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string plan_results_to_csv(const std::vector<PlanResult>& results,
+                                const std::string& scenario) {
+  std::ostringstream os;
+  os << "scenario,backend,ok,sensors,period,lower_bound,optimality_gap,"
+        "collision_free,slot_balance,duty_cycle,wall_ms,error\n";
+  for (const PlanResult& r : results) {
+    os << scenario << ',' << r.backend << ',' << (r.ok ? 1 : 0) << ','
+       << r.slots.slot.size() << ',' << r.slots.period << ','
+       << r.lower_bound << ',' << format_double(r.optimality_gap) << ','
+       << (r.collision_free ? 1 : 0) << ','
+       << format_double(r.slot_balance) << ','
+       << format_double(r.duty_cycle) << ','
+       << format_double(r.wall_seconds * 1e3) << ','
+       << '"' << r.error << '"' << '\n';
+  }
+  return os.str();
+}
+
+std::string plan_results_to_json(const std::vector<PlanResult>& results,
+                                 const std::string& scenario) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PlanResult& r = results[i];
+    os << "  {\"scenario\": \"" << json_escape(scenario)
+       << "\", \"backend\": \"" << json_escape(r.backend)
+       << "\", \"ok\": " << (r.ok ? "true" : "false")
+       << ", \"sensors\": " << r.slots.slot.size()
+       << ", \"period\": " << r.slots.period
+       << ", \"lower_bound\": " << r.lower_bound
+       << ", \"optimality_gap\": " << format_double(r.optimality_gap)
+       << ", \"collision_free\": " << (r.collision_free ? "true" : "false")
+       << ", \"slot_balance\": " << format_double(r.slot_balance)
+       << ", \"duty_cycle\": " << format_double(r.duty_cycle)
+       << ", \"wall_ms\": " << format_double(r.wall_seconds * 1e3)
+       << ", \"detail\": \"" << json_escape(r.detail)
+       << "\", \"error\": \"" << json_escape(r.error) << "\"}"
+       << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace latticesched

@@ -1,0 +1,159 @@
+// Unified planner pipeline: one way to produce and evaluate schedules.
+//
+// Every consumer used to hand-wire deployment → scheduler → verification
+// → metrics; this subsystem folds that pipeline into a single
+// `PlanRequest → PlanResult` call behind a registry of backends, so the
+// paper's head-to-head comparison (constructive tiling schedules vs.
+// coloring/TDMA baselines) is one `plan_all` invocation — the examples,
+// the comparison benches and the `latticesched` CLI driver all run
+// through here.  Backends:
+//
+//   tiling        Theorem-1/2 constructive schedule (torus/lattice search)
+//   greedy        first-fit conflict-graph coloring
+//   welsh-powell  first-fit by decreasing degree
+//   dsatur        Brélaz saturation coloring
+//   annealing     simulated-annealing coloring (Wang–Ansari stand-in)
+//   tdma          one slot per sensor (the paper's non-scaling foil)
+//
+// plan_all fans the selected backends out over the shared thread pool
+// (util/parallel.hpp) and prebuilds the conflict graph once for all
+// coloring backends; results come back in request order regardless of
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collision.hpp"
+#include "core/schedule.hpp"
+#include "graph/interference.hpp"
+#include "graph/sa_coloring.hpp"
+#include "tiling/tiling.hpp"
+#include "tiling/torus_search.hpp"
+
+namespace latticesched {
+
+struct PlanRequest {
+  /// Deployment to schedule.  Required; must outlive the call.
+  const Deployment* deployment = nullptr;
+
+  /// Known tiling consistent with the deployment (e.g. the one a rule-D1
+  /// deployment was built from).  The tiling backend uses it directly
+  /// instead of searching for one.
+  const Tiling* tiling = nullptr;
+
+  /// Torus-search knobs for the tiling backend's period sweep.
+  TorusSearchConfig search;
+
+  /// Annealing knobs for the `annealing` backend.
+  SaConfig sa;
+
+  /// Run the paper's exhaustive collision checker on the produced slots.
+  bool verify = true;
+
+  /// Prebuilt conflict graph of `deployment` (coloring backends).  When
+  /// null, plan_all builds it once and shares it; a lone Planner::plan
+  /// call builds its own.
+  const Graph* conflict_graph = nullptr;
+};
+
+struct PlanResult {
+  std::string backend;
+  bool ok = false;       ///< slots were produced (false: see `error`)
+  std::string error;     ///< why the backend failed (ok == false)
+
+  SensorSlots slots;     ///< per-sensor slot table (ok == true)
+  std::string detail;    ///< backend-specific description of the schedule
+
+  /// Collision verdict (request.verify; trivially true when skipped).
+  bool collision_free = false;
+  CollisionReport report;
+
+  /// Paper's lower bound max_k |N_k| on any collision-free periodic
+  /// schedule of a window containing a full tile (Theorems 1/2).
+  std::uint32_t lower_bound = 0;
+  /// slots.period / lower_bound; 1.0 = provably optimal slot count.
+  double optimality_gap = 0.0;
+
+  /// min/max sensors per slot over the deployment, as in
+  /// analysis.hpp's slot_balance: 1.0 = perfectly even, 0 = some slot idle.
+  double slot_balance = 0.0;
+  /// Fraction of time a sensor may transmit (= 1 / period).
+  double duty_cycle = 0.0;
+
+  double wall_seconds = 0.0;  ///< scheduling time (verification excluded)
+
+  /// The tiling the tiling backend scheduled (reusable by callers that
+  /// need the point-schedule, e.g. mobile location scheduling).
+  std::optional<Tiling> tiling;
+};
+
+/// A scheduling backend.  Implementations produce a slot table; the base
+/// class wraps it with timing, verification and the shared diagnostics so
+/// every backend reports the same PlanResult surface.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Full pipeline: compute slots, verify, attach diagnostics.  Never
+  /// throws for backend-level failures — those come back as ok == false.
+  PlanResult plan(const PlanRequest& request) const;
+
+ protected:
+  struct Raw {
+    SensorSlots slots;
+    std::string detail;
+    std::optional<Tiling> tiling;
+  };
+
+  /// Backend-specific slot production; throws on failure (the base turns
+  /// the exception into ok == false).
+  virtual Raw compute(const PlanRequest& request) const = 0;
+};
+
+/// Name-indexed planner collection.  The global() registry comes
+/// pre-populated with the six built-in backends; register_planner adds
+/// custom ones (replacing any existing planner of the same name).
+class PlannerRegistry {
+ public:
+  PlannerRegistry() = default;
+
+  void register_planner(std::unique_ptr<Planner> planner);
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// The planner registered under `name`, or nullptr.
+  const Planner* find(const std::string& name) const;
+
+  /// Runs the named backends ("" or empty list = all registered, in
+  /// registration order) concurrently on the shared pool and returns
+  /// their results in the same order.  Builds the conflict graph once
+  /// for all coloring backends when the request doesn't carry one.
+  /// Throws std::invalid_argument on unknown names or a null deployment.
+  std::vector<PlanResult> plan_all(
+      const PlanRequest& request,
+      const std::vector<std::string>& backends = {}) const;
+
+  /// Process-wide registry with the built-in backends.
+  static PlannerRegistry& global();
+
+ private:
+  std::vector<std::unique_ptr<Planner>> planners_;
+};
+
+/// Splits "a,b,c" (or "all" / "") into backend names for plan_all.
+std::vector<std::string> parse_backend_list(const std::string& csv);
+
+/// Writes results as a CSV / JSON report (one row or object per result).
+std::string plan_results_to_csv(const std::vector<PlanResult>& results,
+                                const std::string& scenario = "");
+std::string plan_results_to_json(const std::vector<PlanResult>& results,
+                                 const std::string& scenario = "");
+
+}  // namespace latticesched

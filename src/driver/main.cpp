@@ -1,0 +1,267 @@
+// latticesched — the planner-pipeline driver.
+//
+// Runs a named deployment scenario through the planner registry (every
+// backend unless --backends narrows it), prints the head-to-head
+// comparison the paper makes (constructive tiling schedule vs.
+// coloring/TDMA baselines), and optionally emits the same report as CSV
+// or JSON for the experiment scripts.
+//
+//   $ latticesched --scenario grid --n 16 --radius 1
+//   $ latticesched --scenario figure5 --format json --out report.json
+//   $ latticesched --scenario cube3d --backends tiling,dsatur,tdma
+//
+// Scenarios: grid (n x n Chebyshev ball), hex (hexagonal-lattice
+// Euclidean ball), cube3d (n^3, 3-D Chebyshev ball), mobile (random
+// scattered snapshot, l1 ball), figure5 (mixed S/Z tetromino tiling,
+// rule D1), antennas (omni ball + low-power bar, Theorem 2),
+// multichannel (grid + c-channel extension of the tiling schedule).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/multichannel.hpp"
+#include "core/planner.hpp"
+#include "core/tiling_scheduler.hpp"
+#include "graph/interference.hpp"
+#include "lattice/lattice.hpp"
+#include "tiling/shapes.hpp"
+#include "tiling/torus_search.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace latticesched {
+namespace {
+
+struct Scenario {
+  std::string name;
+  Deployment deployment;
+  std::optional<Tiling> tiling;  ///< when the deployment came from one
+};
+
+Tiling figure5_tiling() {
+  TorusSearchConfig cfg;
+  cfg.require_all_prototiles = true;
+  auto tiling = find_tiling_on_torus(
+      {shapes::s_tetromino(), shapes::z_tetromino()},
+      Sublattice::diagonal({4, 4}), cfg);
+  if (!tiling.has_value()) {
+    throw std::runtime_error("figure5: no mixed S/Z tiling on 4x4");
+  }
+  return *tiling;
+}
+
+Tiling antennas_tiling() {
+  // Period 3x6: one 3x3 ball block + three 1x3 bars (Theorem 2's
+  // respectable mixed tiling, as in examples/directional_antennas).
+  return Tiling::periodic(
+      {shapes::chebyshev_ball(2, 1), shapes::rectangle(3, 1, 1, 0)},
+      Sublattice::diagonal({3, 6}),
+      {{Point{1, 1}, 0}, {Point{1, 3}, 1}, {Point{1, 4}, 1},
+       {Point{1, 5}, 1}});
+}
+
+Scenario make_scenario(const std::string& name, std::int64_t n,
+                       std::int64_t radius, std::uint64_t seed) {
+  if (name == "grid" || name == "multichannel") {
+    return {name,
+            Deployment::grid(Box::cube(2, 0, n - 1),
+                             shapes::chebyshev_ball(2, radius)),
+            std::nullopt};
+  }
+  if (name == "hex") {
+    const Prototile ball = shapes::euclidean_ball(Lattice::hexagonal(), 1.0);
+    return {name, Deployment::grid(Box::centered(2, n / 2), ball),
+            std::nullopt};
+  }
+  if (name == "cube3d") {
+    return {name,
+            Deployment::grid(Box::cube(3, 0, n - 1),
+                             shapes::chebyshev_ball(3, radius)),
+            std::nullopt};
+  }
+  if (name == "mobile") {
+    // Snapshot of a mobile swarm: ~35% of the n x n cells hold a sensor,
+    // positions drawn without replacement from the seeded RNG.
+    PointVec cells = Box::cube(2, 0, n - 1).points();
+    Rng rng(seed);
+    rng.shuffle(cells);
+    cells.resize(std::max<std::size_t>(1, cells.size() * 35 / 100));
+    return {name,
+            Deployment::uniform(std::move(cells), shapes::l1_ball(2, radius)),
+            std::nullopt};
+  }
+  if (name == "figure5") {
+    Tiling tiling = figure5_tiling();
+    Deployment d = Deployment::from_tiling(tiling, Box::centered(2, n / 2));
+    return {name, std::move(d), std::move(tiling)};
+  }
+  if (name == "antennas") {
+    Tiling tiling = antennas_tiling();
+    Deployment d = Deployment::from_tiling(tiling, Box::centered(2, n / 2));
+    return {name, std::move(d), std::move(tiling)};
+  }
+  throw std::invalid_argument(
+      "unknown scenario '" + name +
+      "' (grid, hex, cube3d, mobile, figure5, antennas, multichannel)");
+}
+
+void print_table(const Scenario& scenario,
+                 const std::vector<PlanResult>& results) {
+  std::printf("scenario %s: %zu sensors, %zu prototile(s), lower bound %u "
+              "slots\n\n",
+              scenario.name.c_str(), scenario.deployment.size(),
+              scenario.deployment.prototiles().size(),
+              results.empty() ? 0 : results.front().lower_bound);
+  Table t({"backend", "period", "gap", "collision-free", "balance",
+           "duty cycle", "wall ms", "status"});
+  for (const PlanResult& r : results) {
+    t.begin_row();
+    t.cell(r.backend);
+    if (r.ok) {
+      t.cell(r.slots.period);
+      t.cell(r.optimality_gap, 2);
+      t.cell(r.collision_free ? "yes" : "NO");
+      t.cell(r.slot_balance, 3);
+      t.cell(r.duty_cycle, 4);
+      t.cell(r.wall_seconds * 1e3, 2);
+      t.cell("ok");
+    } else {
+      t.cell(static_cast<std::int64_t>(0));
+      t.cell(0.0, 2);
+      t.cell("-");
+      t.cell(0.0, 3);
+      t.cell(0.0, 4);
+      t.cell(r.wall_seconds * 1e3, 2);
+      t.cell("FAILED: " + r.error);
+    }
+  }
+  t.print(std::cout);
+}
+
+// Returns the extension's collision verdict (true when skipped).  Writes
+// to `sink` — stderr when stdout carries a CSV/JSON report, so the
+// supplementary text never corrupts the machine-readable stream.
+bool print_multichannel(const Scenario& scenario,
+                        const std::vector<PlanResult>& results,
+                        std::uint32_t channels, std::FILE* sink) {
+  for (const PlanResult& r : results) {
+    if (r.backend != "tiling" || !r.ok || !r.tiling.has_value()) continue;
+    const MultiChannelSchedule mc(TilingSchedule(*r.tiling), channels);
+    const MultiChannelSlots slots =
+        assign_multichannel(mc, scenario.deployment);
+    const CollisionReport report =
+        check_collision_free_multichannel(scenario.deployment, slots);
+    std::fprintf(sink, "\nmultichannel extension (%u channels): %s; %s\n",
+                 channels, mc.description().c_str(),
+                 report.to_string().c_str());
+    return report.collision_free;
+  }
+  std::fprintf(sink, "\nmultichannel extension skipped: no tiling result\n");
+  return true;
+}
+
+int run(int argc, char** argv) {
+  CliParser cli(
+      "Run a deployment scenario through every scheduling backend and "
+      "report verified, diagnosed plans.");
+  cli.add_flag("scenario", "grid",
+               "grid | hex | cube3d | mobile | figure5 | antennas | "
+               "multichannel");
+  cli.add_flag("n", "12", "window size (side length / diameter)");
+  cli.add_flag("radius", "1", "interference radius where applicable");
+  cli.add_flag("backends", "all",
+               "comma-separated backend names, or 'all'");
+  cli.add_flag("threads", "0",
+               "worker threads for the parallel layer (0 = auto)");
+  cli.add_flag("format", "table", "table | csv | json");
+  cli.add_flag("out", "", "also write the csv/json report to this file");
+  cli.add_flag("seed", "1", "seed for randomized scenarios");
+  cli.add_flag("channels", "2", "channels for the multichannel scenario");
+  cli.add_flag("sa-iters", "60000", "annealing iteration budget");
+  cli.add_flag("no-verify", "false", "skip the collision checker");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.help_text().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+
+  const std::int64_t threads = cli.get_int("threads");
+  if (threads > 0) {
+    set_parallel_threads(static_cast<std::size_t>(threads));
+  }
+
+  const Scenario scenario = make_scenario(
+      cli.get_string("scenario"), cli.get_int("n"), cli.get_int("radius"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  PlanRequest request;
+  request.deployment = &scenario.deployment;
+  if (scenario.tiling.has_value()) request.tiling = &*scenario.tiling;
+  request.verify = !cli.get_bool("no-verify");
+  request.sa.max_iters =
+      static_cast<std::uint64_t>(cli.get_int("sa-iters"));
+
+  const std::vector<PlanResult> results = PlannerRegistry::global().plan_all(
+      request, parse_backend_list(cli.get_string("backends")));
+
+  const std::string format = cli.get_string("format");
+  std::string report;
+  if (format == "csv") {
+    report = plan_results_to_csv(results, scenario.name);
+  } else if (format == "json") {
+    report = plan_results_to_json(results, scenario.name);
+  } else if (format != "table") {
+    std::fprintf(stderr, "unknown --format %s\n", format.c_str());
+    return 2;
+  }
+  if (format == "table") {
+    print_table(scenario, results);
+  } else {
+    std::printf("%s", report.c_str());
+  }
+  if (const std::string out = cli.get_string("out"); !out.empty()) {
+    const std::string payload =
+        !report.empty() ? report : plan_results_to_csv(results, scenario.name);
+    std::ofstream os(out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 2;
+    }
+    os << payload;
+    std::fprintf(stderr, "report written to %s\n", out.c_str());
+  }
+  bool multichannel_free = true;
+  if (cli.get_string("scenario") == "multichannel") {
+    multichannel_free = print_multichannel(
+        scenario, results,
+        static_cast<std::uint32_t>(cli.get_int("channels")),
+        format == "table" ? stdout : stderr);
+  }
+
+  if (!multichannel_free) return 1;
+  for (const PlanResult& r : results) {
+    if (!r.ok || !r.collision_free) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace latticesched
+
+int main(int argc, char** argv) {
+  try {
+    return latticesched::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "latticesched: %s\n", e.what());
+    return 2;
+  }
+}

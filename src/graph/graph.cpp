@@ -7,6 +7,34 @@ namespace latticesched {
 
 Graph::Graph(std::size_t n) : adj_(n) {}
 
+Graph Graph::from_sorted_adjacency(
+    std::vector<std::vector<std::uint32_t>> adjacency) {
+  Graph g(adjacency.size());
+  std::size_t directed = 0;
+  for (std::uint32_t u = 0; u < adjacency.size(); ++u) {
+    const auto& au = adjacency[u];
+    for (std::size_t i = 0; i < au.size(); ++i) {
+      const std::uint32_t v = au[i];
+      if (v >= adjacency.size() || v == u) {
+        throw std::invalid_argument(
+            "Graph::from_sorted_adjacency: bad neighbor");
+      }
+      if (i > 0 && au[i - 1] >= v) {
+        throw std::invalid_argument(
+            "Graph::from_sorted_adjacency: list not sorted/unique");
+      }
+      if (!std::binary_search(adjacency[v].begin(), adjacency[v].end(), u)) {
+        throw std::invalid_argument(
+            "Graph::from_sorted_adjacency: asymmetric edge");
+      }
+    }
+    directed += au.size();
+  }
+  g.adj_ = std::move(adjacency);
+  g.edges_ = directed / 2;
+  return g;
+}
+
 void Graph::add_edge(std::uint32_t u, std::uint32_t v) {
   if (u >= size() || v >= size()) {
     throw std::out_of_range("Graph::add_edge: vertex out of range");

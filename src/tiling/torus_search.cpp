@@ -1,10 +1,12 @@
 #include "tiling/torus_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <stdexcept>
 
 #include "lattice/point_index.hpp"
+#include "util/parallel.hpp"
 
 namespace latticesched {
 
@@ -221,6 +223,12 @@ struct DenseState {
   bool require_all = false;
   std::size_t result_limit = 1;
   std::vector<Tiling>* results = nullptr;
+  // Parallel root fan-out only: subtree `subtree_index` may abandon its
+  // search once an earlier subtree alone satisfied the result limit (the
+  // abandoned results are provably beyond the limit cut, so the final
+  // output is unchanged — see run_search_dense_parallel).
+  const std::atomic<std::uint32_t>* satisfied = nullptr;
+  std::uint32_t subtree_index = 0;
 };
 
 void emit_dense(DenseState& st) {
@@ -233,6 +241,10 @@ void emit_dense(DenseState& st) {
 // coverage, so the scan never revisits the prefix.
 bool search_dense(DenseState& st, std::uint32_t cursor) {
   const DenseTables& t = *st.tables;
+  if (st.satisfied != nullptr &&
+      st.subtree_index > st.satisfied->load(std::memory_order_relaxed)) {
+    return true;  // an earlier subtree already produced every needed result
+  }
   if (st.covered_count == t.cells) {
     if (st.require_all) {
       for (std::size_t k = 0; k < st.uses.size(); ++k) {
@@ -310,6 +322,80 @@ std::vector<Tiling> run_search_dense(
   return results;
 }
 
+// Parallel variant of run_search_dense: the serial DFS tries every root
+// candidate (placement covering cell 0) in order and explores each
+// subtree to completion before the next, so the subtrees are independent
+// and their result streams concatenate in root-candidate order to the
+// exact serial output.  Each subtree runs with its own node budget (the
+// one serial/parallel divergence, see TorusSearchConfig::use_parallel)
+// and its own result vector; cancellation only prunes subtrees whose
+// results provably fall beyond the `limit` cut.
+std::vector<Tiling> run_search_dense_parallel(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    const TorusSearchConfig& config, std::size_t limit) {
+  const DenseTables tables = build_tables(prototiles, period);
+  if (tables.cells == 0 || tables.cand_stride == 0) return {};
+
+  // min index of a subtree that alone reached `limit` results.
+  std::atomic<std::uint32_t> satisfied{~std::uint32_t{0}};
+  std::vector<std::vector<Tiling>> results(tables.cand_stride);
+  std::vector<std::uint64_t> nodes(tables.cand_stride, 0);
+
+  parallel_for(0, tables.cand_stride, [&](std::size_t s) {
+    nodes[s] = 1;  // the root trial itself, as the serial loop counts it
+    const Candidate& c =
+        tables.candidates[s];  // root = first uncovered cell = cell 0
+    const Footprint& fp = tables.footprints[c.footprint];
+    if (!fp.self_ok) return;
+    if (static_cast<std::uint32_t>(s) >
+        satisfied.load(std::memory_order_relaxed)) {
+      return;
+    }
+    DenseState st;
+    st.prototiles = &prototiles;
+    st.period = &period;
+    st.tables = &tables;
+    st.covered.assign(tables.words, 0);
+    const std::uint64_t* mask = &tables.mask_words[fp.mask_begin];
+    for (std::uint32_t i = 0; i < tables.words; ++i) st.covered[i] = mask[i];
+    st.covered_count = fp.size;
+    st.placements.reserve(tables.cells);
+    st.placements.emplace_back(tables.cell_points[c.translate_class],
+                               c.prototile);
+    st.uses.assign(prototiles.size(), 0);
+    ++st.uses[c.prototile];
+    st.node_limit = config.node_limit;
+    st.require_all = config.require_all_prototiles;
+    st.result_limit = limit;
+    st.results = &results[s];
+    st.satisfied = &satisfied;
+    st.subtree_index = static_cast<std::uint32_t>(s);
+    search_dense(st, 1);
+    nodes[s] += st.nodes;
+    if (results[s].size() >= limit) {
+      std::uint32_t cur = satisfied.load(std::memory_order_relaxed);
+      const std::uint32_t mine = static_cast<std::uint32_t>(s);
+      while (mine < cur &&
+             !satisfied.compare_exchange_weak(cur, mine,
+                                              std::memory_order_relaxed)) {
+      }
+    }
+  });
+
+  std::vector<Tiling> out;
+  std::uint64_t total_nodes = 0;
+  for (std::uint32_t s = 0; s < tables.cand_stride; ++s) {
+    total_nodes += nodes[s];
+    for (Tiling& t : results[s]) {
+      if (out.size() >= limit) break;
+      out.push_back(std::move(t));
+    }
+    if (out.size() >= limit) break;
+  }
+  if (config.stats != nullptr) config.stats->nodes = total_nodes;
+  return out;
+}
+
 std::vector<Tiling> run_search(const std::vector<Prototile>& prototiles,
                                const Sublattice& period,
                                const TorusSearchConfig& config,
@@ -329,6 +415,10 @@ std::vector<Tiling> run_search(const std::vector<Prototile>& prototiles,
   const std::uint64_t mask_bytes =
       prototiles.size() * cells * ((cells + 63) / 64) * 8;
   if (config.use_dense_engine && mask_bytes <= (std::uint64_t{64} << 20)) {
+    if (config.use_parallel && parallel_threads() > 1 &&
+        !in_parallel_region() && cells >= 16) {
+      return run_search_dense_parallel(prototiles, period, config, limit);
+    }
     return run_search_dense(prototiles, period, config, limit);
   }
   return run_search_legacy(prototiles, period, config, limit);
@@ -386,6 +476,7 @@ std::optional<Tiling> search_periodic_tiling(
   // single-prototile tilings the size must divide the cell count.
   std::size_t min_tile = prototiles.front().size();
   for (const auto& t : prototiles) min_tile = std::min(min_tile, t.size());
+  std::vector<Sublattice> tori;
   for (const auto& shape : shapes) {
     std::int64_t cells = 1;
     for (auto v : shape) cells *= v;
@@ -394,10 +485,64 @@ std::optional<Tiling> search_periodic_tiling(
         cells % static_cast<std::int64_t>(min_tile) != 0) {
       continue;
     }
-    auto tiling = find_tiling_on_torus(prototiles,
-                                       Sublattice::diagonal(shape), config);
-    if (tiling.has_value()) return tiling;
+    tori.push_back(Sublattice::diagonal(shape));
   }
+  if (tori.empty()) return std::nullopt;
+  // One admissible torus: nothing to speculate across — let the dense
+  // engine's root-subtree fan-out (if enabled) parallelize that single
+  // search instead.
+  if (tori.size() == 1) {
+    return find_tiling_on_torus(prototiles, tori.front(), config);
+  }
+
+  // Speculative sweep: workers claim torus indices in sweep order from an
+  // atomic cursor and search each torus serially; the smallest index that
+  // admits a tiling wins.  Because indices are claimed in increasing
+  // order, every index below a reported hit is already claimed and will
+  // finish, so the CAS-min over hit indices converges to exactly the
+  // serial sweep's answer (the per-torus search is itself deterministic).
+  // With one thread the same loop degenerates to the serial sweep,
+  // including its early exit after the first hit.
+  const std::size_t threads =
+      (config.use_parallel && !in_parallel_region())
+          ? std::min(parallel_threads(), tori.size())
+          : 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> best{tori.size()};
+  std::vector<std::optional<Tiling>> found(tori.size());
+  std::vector<TorusSearchStats> stats(tori.size());
+  const auto sweep_worker = [&](std::size_t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tori.size() || i >= best.load(std::memory_order_acquire)) {
+        return;
+      }
+      TorusSearchConfig local = config;
+      local.stats = &stats[i];
+      local.use_parallel = false;  // one torus per worker; don't nest
+      auto tiling = find_tiling_on_torus(prototiles, tori[i], local);
+      if (tiling.has_value()) {
+        found[i] = std::move(tiling);
+        std::size_t cur = best.load(std::memory_order_relaxed);
+        while (i < cur && !best.compare_exchange_weak(
+                              cur, i, std::memory_order_release)) {
+        }
+      }
+    }
+  };
+  if (threads <= 1) {
+    sweep_worker(0);
+  } else {
+    ThreadPool::global().run(threads, sweep_worker);
+  }
+  const std::size_t winner = best.load(std::memory_order_relaxed);
+  if (winner < tori.size()) {
+    if (config.stats != nullptr) *config.stats = stats[winner];
+    return std::move(found[winner]);
+  }
+  // No torus admits a tiling; report the last searched torus's counters,
+  // matching the serial sweep's overwrite-per-torus behavior.
+  if (config.stats != nullptr) *config.stats = stats[tori.size() - 1];
   return std::nullopt;
 }
 

@@ -47,7 +47,19 @@ struct TorusSearchConfig {
   /// kept for comparison benchmarks and cross-validation tests; both
   /// explore placements in the same order and return identical tilings.
   bool use_dense_engine = true;
-  /// When non-null, receives search counters (overwritten per torus).
+  /// Allow the shared thread pool (util/parallel.hpp) to speculate: the
+  /// period sweep searches several tori concurrently (the first torus in
+  /// sweep order that admits a tiling wins, exactly as in the serial
+  /// sweep) and all_tilings_on_torus fans the root subtrees out (results
+  /// concatenated in root-candidate order, i.e. the serial DFS order).
+  /// Both are deterministic: any thread count returns the identical
+  /// tilings, PROVIDED node_limit is not hit — under parallel execution
+  /// the budget applies per torus/subtree rather than globally, so a
+  /// budget-truncated parallel search may explore more than a serial one.
+  /// Serial whenever this is false or the pool has one thread.
+  bool use_parallel = true;
+  /// When non-null, receives search counters (overwritten per torus; the
+  /// parallel sweep reports the winning torus's counters).
   TorusSearchStats* stats = nullptr;
 };
 

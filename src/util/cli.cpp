@@ -18,6 +18,9 @@ void CliParser::add_flag(const std::string& name,
 }
 
 void CliParser::parse(int argc, const char* const* argv) {
+  // Unknown flags are collected and reported together, so every typo in
+  // an invocation surfaces in one error instead of the first only.
+  std::vector<std::string> unknown;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -38,15 +41,34 @@ void CliParser::parse(int argc, const char* const* argv) {
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
-      throw std::invalid_argument("unknown flag --" + name);
+      unknown.push_back("--" + name);
+      continue;
     }
     if (!have_value) {
-      // Bare `--flag` is boolean true.  (The space-separated `--flag v`
-      // form is intentionally unsupported: it is ambiguous with trailing
-      // positional arguments.)
-      value = "true";
+      // Registered booleans (default "true"/"false") keep the bare
+      // `--flag` = true form; any other flag takes the next argument as
+      // its value (`--flag value`), which stays unambiguous because a
+      // value-flag can never be passed bare.
+      const std::string& dflt = it->second.default_value;
+      const bool is_boolean = dflt == "true" || dflt == "false";
+      if (is_boolean) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::invalid_argument("flag --" + name + " expects a value");
+      }
     }
     it->second.value = value;
+  }
+  if (!unknown.empty()) {
+    std::string msg =
+        unknown.size() == 1 ? "unknown flag " : "unknown flags: ";
+    for (std::size_t i = 0; i < unknown.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg += unknown[i];
+    }
+    throw std::invalid_argument(msg);
   }
 }
 

@@ -1,8 +1,12 @@
-// Minimal command-line flag parser for the example programs.
+// Minimal command-line flag parser for the example programs and the
+// latticesched driver.
 //
-// Supports `--name=value` and boolean `--name` forms.  Unrecognized flags
-// raise, so typos are caught instead of silently using defaults (an easy
-// way to invalidate an experiment).
+// Supports `--name=value`, space-separated `--name value` (for flags
+// whose default is not a boolean literal), and boolean `--name` forms.
+// Unrecognized flags raise — with EVERY unknown flag listed in one error,
+// so a mistyped invocation is fixed in one round trip instead of one flag
+// at a time (silently using defaults is an easy way to invalidate an
+// experiment).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,145 @@
+// Planner registry unit tests: backend inventory, result surfaces,
+// failure reporting, fan-out ordering and the report emitters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/planner.hpp"
+#include "tiling/shapes.hpp"
+#include "util/parallel.hpp"
+
+namespace latticesched {
+namespace {
+
+const Deployment& small_grid() {
+  static const Deployment d =
+      Deployment::grid(Box::cube(2, 0, 5), shapes::chebyshev_ball(2, 1));
+  return d;
+}
+
+TEST(Planner, RegistryListsBuiltinBackends) {
+  const auto names = PlannerRegistry::global().names();
+  const std::vector<std::string> expected = {
+      "tiling", "greedy", "welsh-powell", "dsatur", "annealing", "tdma"};
+  for (const std::string& name : expected) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name;
+    EXPECT_NE(PlannerRegistry::global().find(name), nullptr) << name;
+  }
+  EXPECT_EQ(PlannerRegistry::global().find("no-such-backend"), nullptr);
+}
+
+TEST(Planner, TilingBackendIsOptimalOnGrid) {
+  PlanRequest request;
+  request.deployment = &small_grid();
+  const PlanResult r =
+      PlannerRegistry::global().find("tiling")->plan(request);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.collision_free);
+  EXPECT_EQ(r.slots.period, 9u);      // |N| = 9 (Theorem 1)
+  EXPECT_EQ(r.lower_bound, 9u);
+  EXPECT_DOUBLE_EQ(r.optimality_gap, 1.0);
+  EXPECT_DOUBLE_EQ(r.duty_cycle, 1.0 / 9.0);
+  ASSERT_TRUE(r.tiling.has_value());
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(Planner, TdmaBackendUsesOneSlotPerSensor) {
+  PlanRequest request;
+  request.deployment = &small_grid();
+  const PlanResult r = PlannerRegistry::global().find("tdma")->plan(request);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.collision_free);
+  EXPECT_EQ(r.slots.period, small_grid().size());
+  EXPECT_DOUBLE_EQ(r.slot_balance, 1.0);  // one sensor per slot
+}
+
+TEST(Planner, NonExactPrototileFailsGracefully) {
+  // The F-pentomino admits no translate tiling: the tiling backend must
+  // report the failure instead of throwing out of plan().
+  const Prototile f(PointVec{{0, 0}, {1, 0}, {-1, 1}, {0, 1}, {0, 2}}, "F");
+  const Deployment d = Deployment::grid(Box::cube(2, 0, 3), f);
+  PlanRequest request;
+  request.deployment = &d;
+  request.search.max_period_cells = 40;
+  const PlanResult r =
+      PlannerRegistry::global().find("tiling")->plan(request);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  // The baselines still schedule it.
+  const PlanResult ds =
+      PlannerRegistry::global().find("dsatur")->plan(request);
+  ASSERT_TRUE(ds.ok) << ds.error;
+  EXPECT_TRUE(ds.collision_free);
+}
+
+TEST(Planner, PlanAllPreservesRequestOrder) {
+  PlanRequest request;
+  request.deployment = &small_grid();
+  request.sa.max_iters = 5'000;
+  const std::vector<std::string> order = {"tdma", "tiling", "dsatur"};
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_parallel_threads(threads);
+    const auto results = PlannerRegistry::global().plan_all(request, order);
+    ASSERT_EQ(results.size(), order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(results[i].backend, order[i]) << threads << " threads";
+      EXPECT_TRUE(results[i].ok) << results[i].error;
+    }
+  }
+  set_parallel_threads(0);
+}
+
+TEST(Planner, PlanAllRejectsUnknownBackendAndNullDeployment) {
+  PlanRequest request;
+  request.deployment = &small_grid();
+  EXPECT_THROW(PlannerRegistry::global().plan_all(request, {"nope"}),
+               std::invalid_argument);
+  PlanRequest empty;
+  EXPECT_THROW(PlannerRegistry::global().plan_all(empty),
+               std::invalid_argument);
+  EXPECT_THROW(PlannerRegistry::global().find("tiling")->plan(empty),
+               std::invalid_argument);
+}
+
+TEST(Planner, SharedConflictGraphMatchesPerBackendBuild) {
+  PlanRequest request;
+  request.deployment = &small_grid();
+  request.sa.max_iters = 5'000;
+  // plan_all prebuilds the graph; a lone plan() builds its own.  The
+  // coloring outcome must not depend on which path supplied the graph.
+  const auto all =
+      PlannerRegistry::global().plan_all(request, {"greedy", "dsatur"});
+  const PlanResult lone_greedy =
+      PlannerRegistry::global().find("greedy")->plan(request);
+  ASSERT_TRUE(all[0].ok);
+  ASSERT_TRUE(lone_greedy.ok);
+  EXPECT_EQ(all[0].slots.slot, lone_greedy.slots.slot);
+  EXPECT_EQ(all[0].slots.period, lone_greedy.slots.period);
+}
+
+TEST(Planner, ParseBackendList) {
+  EXPECT_TRUE(parse_backend_list("").empty());
+  EXPECT_TRUE(parse_backend_list("all").empty());
+  const auto two = parse_backend_list("tiling,tdma");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], "tiling");
+  EXPECT_EQ(two[1], "tdma");
+}
+
+TEST(Planner, ReportEmitters) {
+  PlanRequest request;
+  request.deployment = &small_grid();
+  const auto results =
+      PlannerRegistry::global().plan_all(request, {"tiling", "tdma"});
+  const std::string csv = plan_results_to_csv(results, "unit");
+  EXPECT_NE(csv.find("scenario,backend"), std::string::npos);
+  EXPECT_NE(csv.find("unit,tiling"), std::string::npos);
+  EXPECT_NE(csv.find("unit,tdma"), std::string::npos);
+  const std::string json = plan_results_to_json(results, "unit");
+  EXPECT_NE(json.find("\"backend\": \"tiling\""), std::string::npos);
+  EXPECT_NE(json.find("\"collision_free\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace latticesched

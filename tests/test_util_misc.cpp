@@ -101,6 +101,45 @@ TEST(Cli, UnknownFlagThrows) {
   EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
 }
 
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser p("test");
+  p.add_flag("n", "10", "count");
+  p.add_flag("name", "x", "label");
+  p.add_flag("verbose", "false", "verbosity");
+  const char* argv[] = {"prog", "--n", "20", "--name", "field",
+                        "--verbose", "pos1"};
+  p.parse(7, argv);
+  EXPECT_EQ(p.get_int("n"), 20);
+  EXPECT_EQ(p.get_string("name"), "field");
+  // Boolean flags never consume the next token.
+  EXPECT_TRUE(p.get_bool("verbose"));
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+}
+
+TEST(Cli, SpaceSeparatedMissingValueThrows) {
+  CliParser p("test");
+  p.add_flag("n", "10", "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, AllUnknownFlagsReportedTogether) {
+  CliParser p("test");
+  p.add_flag("n", "10", "count");
+  const char* argv[] = {"prog", "--typo1=1", "--n=5", "--typo2"};
+  try {
+    p.parse(4, argv);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--typo1"), std::string::npos);
+    EXPECT_NE(msg.find("--typo2"), std::string::npos);
+  }
+  // Known flags seen before the error still parsed.
+  EXPECT_EQ(p.get_int("n"), 5);
+}
+
 TEST(Cli, MalformedNumberThrows) {
   CliParser p("test");
   p.add_flag("n", "1", "count");
