@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/optimality.hpp"
 #include "core/planner.hpp"
+#include "core/scenario.hpp"
 #include "tiling/shapes.hpp"
 #include "util/table.hpp"
 
@@ -20,13 +21,21 @@ namespace {
 const std::vector<std::string> kBackends = {
     "greedy", "welsh-powell", "dsatur", "annealing", "tiling"};
 
+// The scenario library's "grid" generator — the same instance the driver
+// and the batch service plan.
+Deployment grid_deployment(std::int64_t n) {
+  ScenarioParams params;
+  params.n = n;
+  params.radius = 1;
+  return ScenarioRegistry::global().build("grid", params).deployment;
+}
+
 void report() {
   bench::section("Coloring baselines vs the constructive tiling optimum");
-  const Prototile ball = shapes::chebyshev_ball(2, 1);
   Table t({"window", "sensors", "conflict edges", "greedy", "welsh-powell",
            "dsatur", "annealing", "tiling (=|N|)", "exact optimum"});
   for (std::int64_t n : {5, 7, 9, 12}) {
-    const Deployment d = Deployment::grid(Box::cube(2, 0, n - 1), ball);
+    const Deployment d = grid_deployment(n);
     const Graph g = build_conflict_graph(d);
     PlanRequest request;
     request.deployment = &d;
@@ -61,7 +70,7 @@ void report() {
   Table rt({"window", "sensors", "graph build (ms)", "dsatur (ms)",
             "annealing (ms)", "tiling (ms)"});
   for (std::int64_t n : {8, 16, 24}) {
-    const Deployment d = Deployment::grid(Box::cube(2, 0, n - 1), ball);
+    const Deployment d = grid_deployment(n);
     const auto t0 = std::chrono::steady_clock::now();
     const Graph g = build_conflict_graph(d);
     const double t_build = std::chrono::duration<double, std::milli>(

@@ -10,18 +10,29 @@
 
 #include "bench_common.hpp"
 #include "core/mobile.hpp"
+#include "core/planner.hpp"
 #include "sim/mobile_sim.hpp"
-#include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
 #include "util/table.hpp"
 
 namespace latticesched {
 namespace {
 
+// The `mobile` backend owns the scheduler construction (tiling search,
+// static-window verification, location rule); the bench only consumes
+// PlanResult::mobile.
 MobileScheduler make_scheduler() {
-  const Prototile ball = shapes::chebyshev_ball(2, 1);
-  return MobileScheduler(Lattice::square(),
-                         TilingSchedule(*decide_exactness(ball).tiling));
+  static const Deployment reference =
+      Deployment::grid(Box::centered(2, 4), shapes::chebyshev_ball(2, 1));
+  PlanRequest request;
+  request.deployment = &reference;
+  const PlanResult plan =
+      PlannerRegistry::global().find("mobile")->plan(request);
+  if (!plan.ok || !plan.collision_free || plan.mobile == nullptr) {
+    std::fprintf(stderr, "mobile backend failed: %s\n", plan.error.c_str());
+    std::abort();
+  }
+  return *plan.mobile;
 }
 
 void report() {

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/planner.hpp"
+#include "core/scenario.hpp"
 #include "sim/convergecast.hpp"
 #include "tiling/shapes.hpp"
 #include "util/cli.hpp"
@@ -36,10 +37,15 @@ int main(int argc, char** argv) {
   }
 
   const std::int64_t n = cli.get_int("n");
-  const Prototile ball = shapes::chebyshev_ball(2, 1);
-  const Deployment field = Deployment::grid(Box::cube(2, 0, n - 1), ball);
-  // The collision-free slot table comes out of the planner pipeline,
+  // The field is the scenario library's "grid" generator; the
+  // collision-free slot table comes out of the planner pipeline,
   // already verified against the paper's predicate.
+  ScenarioParams params;
+  params.n = n;
+  params.radius = 1;
+  const ScenarioInstance grid =
+      ScenarioRegistry::global().build("grid", params);
+  const Deployment& field = grid.deployment;
   PlanRequest request;
   request.deployment = &field;
   const PlanResult plan =

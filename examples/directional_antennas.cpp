@@ -12,6 +12,7 @@
 
 #include "core/optimality.hpp"
 #include "core/planner.hpp"
+#include "core/scenario.hpp"
 #include "core/tiling_scheduler.hpp"
 #include "tiling/shapes.hpp"
 #include "util/ascii_canvas.hpp"
@@ -19,19 +20,20 @@
 int main() {
   using namespace latticesched;
 
-  // Prototiles: N1 = 3x3 ball (respectable), N2 = horizontal 1x3 bar.
-  std::vector<Prototile> protos = {shapes::chebyshev_ball(2, 1),
-                                   shapes::rectangle(3, 1, 1, 0)};
+  // The "antennas" scenario builds the whole Theorem-2 instance: the
+  // 3x6-period respectable tiling mixing both prototiles and the rule-D1
+  // deployment over the window.
+  ScenarioParams params;
+  params.n = 18;
+  const ScenarioInstance antennas =
+      ScenarioRegistry::global().build("antennas", params);
+  const Tiling& tiling = *antennas.tiling;
+  const std::vector<Prototile>& protos = tiling.prototiles();
   std::printf("N1 (omni, 9 pts):\n%s\nN2 (bar, 3 pts):\n%s\n",
               protos[0].to_ascii().c_str(), protos[1].to_ascii().c_str());
   std::printf("N1 contains N2: %s -> a respectable tiling is possible\n\n",
               protos[0].contains_tile(protos[1]) ? "yes" : "no");
 
-  // Period 3x6: one ball block (rows 0-2) + three bars (rows 3-5).
-  const Tiling tiling = Tiling::periodic(
-      protos, Sublattice::diagonal({3, 6}),
-      {{Point{1, 1}, 0}, {Point{1, 3}, 1}, {Point{1, 4}, 1},
-       {Point{1, 5}, 1}});
   std::printf("tiling: %zu placements per 3x6 period; respectable: %s\n",
               tiling.placements().size(),
               tiling.is_respectable() ? "yes" : "no");
@@ -50,10 +52,9 @@ int main() {
   std::printf("slot map (1-based; bar sensors bracketed):\n%s\n",
               canvas.to_string().c_str());
 
-  // Deployment rule D1, scheduled and verified through the planner
-  // pipeline (the explicit tiling rides along in the request).
-  const Deployment field =
-      Deployment::from_tiling(tiling, Box::centered(2, 9));
+  // Deployment rule D1 (built by the scenario), scheduled and verified
+  // through the planner pipeline (the tiling rides along in the request).
+  const Deployment& field = antennas.deployment;
   PlanRequest request;
   request.deployment = &field;
   request.tiling = &tiling;

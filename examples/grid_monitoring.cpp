@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/planner.hpp"
+#include "core/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "tiling/shapes.hpp"
 #include "util/cli.hpp"
@@ -35,12 +36,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::int64_t n = cli.get_int("n");
-  const Prototile shape = shapes::chebyshev_ball(2, cli.get_int("radius"));
-  const Deployment field =
-      Deployment::grid(Box::cube(2, 0, n - 1), shape);
-  std::printf("field: %zu sensors, neighborhood %s (%zu points)\n",
-              field.size(), shape.name().c_str(), shape.size());
+  // The field comes from the scenario library — the same "grid"
+  // generator the driver and batch service use.
+  ScenarioParams params;
+  params.n = cli.get_int("n");
+  params.radius = cli.get_int("radius");
+  const ScenarioInstance grid =
+      ScenarioRegistry::global().build("grid", params);
+  const Deployment& field = grid.deployment;
+  const Prototile& shape = field.prototiles().front();
+  std::printf("field %s: %zu sensors, neighborhood %s (%zu points)\n",
+              grid.label.c_str(), field.size(), shape.name().c_str(),
+              shape.size());
 
   // Planner pipeline: tiling + TDMA schedules, produced and verified in
   // one fan-out.

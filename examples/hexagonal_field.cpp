@@ -13,6 +13,7 @@
 
 #include "core/optimality.hpp"
 #include "core/planner.hpp"
+#include "core/scenario.hpp"
 #include "lattice/voronoi.hpp"
 #include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
@@ -45,10 +46,15 @@ int main() {
               to_string(exact.method),
               quasi_polyform_area(hex, ball.size()));
 
-  // Deploy a rhombic patch (natural for hex coordinates) and run every
-  // relevant backend through the planner pipeline: the constructive
-  // schedule against the coloring heuristics and TDMA, each verified.
-  const Deployment field = Deployment::grid(Box::centered(2, 6), ball);
+  // Deploy a rhombic patch (the scenario library's "hex" generator) and
+  // run every relevant backend through the planner pipeline: the
+  // constructive schedule against the coloring heuristics and TDMA,
+  // each verified.
+  ScenarioParams params;
+  params.n = 12;
+  const ScenarioInstance hex_field =
+      ScenarioRegistry::global().build("hex", params);
+  const Deployment& field = hex_field.deployment;
   PlanRequest request;
   request.deployment = &field;
   request.tiling = &*exact.tiling;

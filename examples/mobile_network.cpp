@@ -11,7 +11,6 @@
 
 #include "core/mobile.hpp"
 #include "core/planner.hpp"
-#include "core/tiling_scheduler.hpp"
 #include "sim/mobile_sim.hpp"
 #include "tiling/shapes.hpp"
 #include "util/cli.hpp"
@@ -38,25 +37,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Location slots come from the 3x3-ball tiling schedule on Z²; the
-  // planner pipeline finds the tiling and verifies the lattice schedule
-  // on a reference window before the mobile rule reuses it.
+  // Location slots come from the 3x3-ball tiling schedule on Z².  The
+  // `mobile` backend owns the whole construction: it finds the tiling,
+  // verifies the lattice schedule on the reference window, and hands
+  // back the ready-made location scheduler in PlanResult::mobile.
   const Prototile ball = shapes::chebyshev_ball(2, 1);
   const Deployment reference =
       Deployment::grid(Box::centered(2, 4), ball);
   PlanRequest request;
   request.deployment = &reference;
   const PlanResult plan =
-      PlannerRegistry::global().find("tiling")->plan(request);
-  if (!plan.ok || !plan.collision_free || !plan.tiling.has_value()) {
+      PlannerRegistry::global().find("mobile")->plan(request);
+  if (!plan.ok || !plan.collision_free || plan.mobile == nullptr) {
     std::fprintf(stderr, "planner failed: %s\n", plan.error.c_str());
     return 1;
   }
-  MobileScheduler scheduler(Lattice::square(), TilingSchedule(*plan.tiling));
   std::printf("location schedule: %u slots (verified %s on a static "
               "window); Voronoi cells are unit\nsquares; tile regions "
               "are 3x3 blocks\n\n",
-              scheduler.period(),
+              plan.mobile->period(),
               plan.collision_free ? "collision-free" : "NOT collision-free");
 
   MobileConfig cfg;
@@ -68,7 +67,7 @@ int main(int argc, char** argv) {
   cfg.aloha_p = cli.get_double("aloha_p");
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  MobileSimulator sim(std::move(scheduler), cfg);
+  MobileSimulator sim(*plan.mobile, cfg);
   const MobileResult location = sim.run_location_schedule();
   const MobileResult aloha = sim.run_aloha();
 

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/planner.hpp"
+#include "core/scenario.hpp"
 #include "core/serialization.hpp"
 #include "tiling/exactness.hpp"
 #include "tiling/shapes.hpp"
@@ -37,11 +38,17 @@ int main() {
               to_string(exact.method),
               exact.tiling->period().to_string().c_str());
 
-  // 3. Deploy 11x11 sensors and run the planner pipeline: the tiling
-  //    backend builds the Theorem-1 schedule, verifies the paper's
-  //    collision predicate and attaches the diagnostics.
-  const Deployment field =
-      Deployment::grid(Box::centered(2, 5), neighborhood);
+  // 3. Deploy 11x11 sensors — the "grid" scenario from the scenario
+  //    library (the same generator the driver and the batch service
+  //    use) — and run the planner pipeline: the tiling backend builds
+  //    the Theorem-1 schedule, verifies the paper's collision predicate
+  //    and attaches the diagnostics.
+  ScenarioParams params;
+  params.n = 11;
+  params.radius = 1;
+  const ScenarioInstance grid =
+      ScenarioRegistry::global().build("grid", params);
+  const Deployment& field = grid.deployment;
   PlanRequest request;
   request.deployment = &field;
   request.tiling = &*exact.tiling;

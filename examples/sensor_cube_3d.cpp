@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/planner.hpp"
+#include "core/scenario.hpp"
 #include "lattice/snf.hpp"
 #include "sim/simulator.hpp"
 #include "tiling/exactness.hpp"
@@ -37,9 +38,15 @@ int main() {
               exact.tiling->period().to_string().c_str(),
               quotient_group_name(exact.tiling->period()).c_str());
 
-  // A 6x6x6 sensor cube = 216 sensors; the planner pipeline produces and
-  // verifies the Theorem-1 schedule and the TDMA foil in one call.
-  const Deployment cube = Deployment::grid(Box::cube(3, 0, 5), volume);
+  // A 6x6x6 sensor cube = 216 sensors (the scenario library's "cube3d"
+  // generator); the planner pipeline produces and verifies the
+  // Theorem-1 schedule and the TDMA foil in one call.
+  ScenarioParams params;
+  params.n = 6;
+  params.radius = 1;
+  const ScenarioInstance cube3d =
+      ScenarioRegistry::global().build("cube3d", params);
+  const Deployment& cube = cube3d.deployment;
   PlanRequest request;
   request.deployment = &cube;
   request.tiling = &*exact.tiling;

@@ -48,6 +48,18 @@ MultiChannelSlots assign_multichannel(const MultiChannelSchedule& schedule,
   return out;
 }
 
+MultiChannelSlots fold_channels(const SensorSlots& slots,
+                                std::uint32_t channels) {
+  MultiChannelSlots out;
+  out.channels = channels;
+  out.period = checked_ceil_div(slots.period, channels);
+  out.assignment.reserve(slots.slot.size());
+  for (std::uint32_t e : slots.slot) {
+    out.assignment.push_back(SlotChannel{e / channels, e % channels});
+  }
+  return out;
+}
+
 CollisionReport check_collision_free_multichannel(
     const Deployment& d, const MultiChannelSlots& slots) {
   if (slots.assignment.size() != d.size()) {

@@ -72,6 +72,16 @@ struct MultiChannelSlots {
 MultiChannelSlots assign_multichannel(const MultiChannelSchedule& schedule,
                                       const Deployment& d);
 
+/// Folds ANY collision-free slot table onto c channels by the same map
+/// the theorem construction uses: slot e becomes (e / c, e % c), period
+/// ceil(m / c).  Two sensors share (slot, channel) iff they shared the
+/// original slot, so collision-freedom is preserved verbatim — this is
+/// how the planner pipeline extends every backend (not just tiling) to
+/// multichannel radios.  For the tiling schedule the folding coincides
+/// with MultiChannelSchedule's assignment exactly.
+MultiChannelSlots fold_channels(const SensorSlots& slots,
+                                std::uint32_t channels);
+
 CollisionReport check_collision_free_multichannel(
     const Deployment& d, const MultiChannelSlots& slots);
 

@@ -1,0 +1,116 @@
+#include "core/plan_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace latticesched {
+
+bool BatchItemReport::all_ok() const {
+  if (!built) return false;
+  for (const PlanResult& r : results) {
+    if (!r.ok || !r.collision_free) return false;
+  }
+  return true;
+}
+
+bool BatchReport::all_ok() const {
+  for (const BatchItemReport& item : items) {
+    if (!item.all_ok()) return false;
+  }
+  return true;
+}
+
+PlanService::PlanService(const PlannerRegistry* planners,
+                         const ScenarioRegistry* scenarios)
+    : planners_(planners != nullptr ? planners : &PlannerRegistry::global()),
+      scenarios_(scenarios != nullptr ? scenarios
+                                      : &ScenarioRegistry::global()) {}
+
+BatchReport PlanService::run(const std::vector<BatchItem>& items) {
+  // Fail fast on unknown backend names so a typo cannot surface as a
+  // mid-batch exception from a pool worker.
+  for (const BatchItem& item : items) {
+    for (const std::string& name : item.backends) {
+      if (planners_->find(name) == nullptr) {
+        throw std::invalid_argument("PlanService: unknown backend '" + name +
+                                    "'");
+      }
+    }
+  }
+
+  const TilingCache::Stats before = cache_.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  BatchReport report;
+  report.items.resize(items.size());
+  // Item fan-out; each item's own plan_all fan-out degrades to serial
+  // inside this region (the pool never nests), so the parallelism grain
+  // is one scenario per worker.
+  parallel_for(0, items.size(), [&](std::size_t i) {
+    const BatchItem& item = items[i];
+    BatchItemReport& out = report.items[i];
+    out.scenario = item.query.scenario;
+    try {
+      const ScenarioInstance instance =
+          scenarios_->build(item.query.scenario, item.query.params, &cache_);
+      out.label = instance.label;
+      out.sensors = instance.deployment.size();
+      out.channels = instance.channels;
+      out.built = true;
+
+      PlanRequest request;
+      request.deployment = &instance.deployment;
+      if (instance.tiling.has_value()) request.tiling = &*instance.tiling;
+      if (instance.lattice.has_value()) request.lattice = &*instance.lattice;
+      request.search = item.search;
+      request.sa = item.sa;
+      request.verify = item.verify;
+      request.channels = instance.channels;
+      request.tiling_cache = &cache_;
+      out.results = planners_->plan_all(request, item.backends);
+    } catch (const std::exception& e) {
+      out.built = false;
+      out.error = e.what();
+      out.results.clear();
+    }
+  });
+
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  const TilingCache::Stats after = cache_.stats();
+  report.cache_hits = after.hits - before.hits;
+  report.cache_misses = after.misses - before.misses;
+  return report;
+}
+
+std::vector<BatchItem> PlanService::registry_batch(
+    const ScenarioParams& params,
+    const std::vector<std::string>& backends) const {
+  std::vector<BatchItem> items;
+  for (const std::string& name : scenarios_->names()) {
+    BatchItem item;
+    item.query = ScenarioQuery{name, params};
+    item.backends = backends;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<BatchItem> PlanService::items_for(
+    const std::vector<ScenarioQuery>& queries,
+    const std::vector<std::string>& backends) {
+  std::vector<BatchItem> items;
+  items.reserve(queries.size());
+  for (const ScenarioQuery& q : queries) {
+    BatchItem item;
+    item.query = q;
+    item.backends = backends;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace latticesched

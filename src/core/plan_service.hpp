@@ -1,0 +1,92 @@
+// Batched planning service: many (scenario, backend-set) pairs in one
+// call, fanned over the shared thread pool, with torus-search results
+// memoized in a TilingCache.
+//
+// This is the workload shape a production scheduler serves (the related
+// work frames sensor scheduling as batch optimization over many
+// instances): a client submits a sweep — every registry scenario, a
+// radius sweep, seed replicas — and the service plans them all.  The
+// cache makes repeated sweeps near-free: the period sweep for a given
+// (prototile set, search budget) runs once per service lifetime, and
+// the hit/miss counters come back in every BatchReport so reports can
+// prove it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/scenario.hpp"
+#include "core/tiling_cache.hpp"
+
+namespace latticesched {
+
+/// One unit of batch work: build the scenario, plan it on the backends.
+struct BatchItem {
+  ScenarioQuery query;
+  /// Backend names; empty = every registered backend supporting the
+  /// request (PlannerRegistry::plan_all semantics).
+  std::vector<std::string> backends;
+  TorusSearchConfig search;
+  SaConfig sa;
+  bool verify = true;
+};
+
+struct BatchItemReport {
+  std::string scenario;        ///< registry name
+  std::string label;           ///< instance label (report key)
+  std::size_t sensors = 0;
+  std::uint32_t channels = 1;
+  bool built = false;          ///< scenario generator succeeded
+  std::string error;           ///< generator failure (built == false)
+  std::vector<PlanResult> results;
+
+  /// Built, and every backend produced a verified collision-free plan.
+  bool all_ok() const;
+};
+
+struct BatchReport {
+  std::vector<BatchItemReport> items;  ///< in request order
+  std::uint64_t cache_hits = 0;        ///< TilingCache hits of THIS run
+  std::uint64_t cache_misses = 0;      ///< TilingCache misses of THIS run
+  double wall_seconds = 0.0;
+
+  bool all_ok() const;
+};
+
+class PlanService {
+ public:
+  /// Uses the global planner/scenario registries unless given others.
+  /// The service owns its TilingCache; keep one service alive across
+  /// batches to keep the cache warm.
+  explicit PlanService(const PlannerRegistry* planners = nullptr,
+                       const ScenarioRegistry* scenarios = nullptr);
+
+  TilingCache& tiling_cache() { return cache_; }
+
+  /// Plans every item (fanned over the shared pool; results in request
+  /// order at any thread count).  Scenario-build failures are reported
+  /// per item, never thrown; unknown backend names throw
+  /// std::invalid_argument before any work starts.
+  BatchReport run(const std::vector<BatchItem>& items);
+
+  /// Convenience: one BatchItem per registered scenario, sharing params
+  /// and backend set — "plan the whole registry".
+  std::vector<BatchItem> registry_batch(
+      const ScenarioParams& params = {},
+      const std::vector<std::string>& backends = {}) const;
+
+  /// Lifts (scenario, params) queries (e.g. sweep-helper output) into
+  /// batch items sharing one backend set.
+  static std::vector<BatchItem> items_for(
+      const std::vector<ScenarioQuery>& queries,
+      const std::vector<std::string>& backends = {});
+
+ private:
+  const PlannerRegistry* planners_;
+  const ScenarioRegistry* scenarios_;
+  TilingCache cache_;
+};
+
+}  // namespace latticesched

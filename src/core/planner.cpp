@@ -9,7 +9,11 @@
 #include "baseline/coloring_schedule.hpp"
 #include "baseline/tdma.hpp"
 #include "core/analysis.hpp"
+#include "core/mobile.hpp"
+#include "core/tiling_cache.hpp"
 #include "core/tiling_scheduler.hpp"
+#include "lattice/lattice.hpp"
+#include "util/cli.hpp"
 #include "util/parallel.hpp"
 
 namespace latticesched {
@@ -22,32 +26,75 @@ using Clock = std::chrono::steady_clock;
 // Built-in backends
 // ---------------------------------------------------------------------------
 
+/// Obtains the tiling behind a request: a caller-provided one, a cached
+/// torus-search result (request.tiling_cache), or a fresh period sweep.
+/// Throws when the search budget is exhausted without a tiling.
+Tiling acquire_tiling(const PlanRequest& request) {
+  if (request.tiling != nullptr) return *request.tiling;
+  const Deployment& d = *request.deployment;
+  TorusSearchConfig search = request.search;
+  // Rule-D1 deployments carry several prototiles; a schedule that
+  // covers them all needs a tiling using every one (Theorem 2).
+  if (d.prototiles().size() > 1) search.require_all_prototiles = true;
+  std::optional<Tiling> tiling =
+      request.tiling_cache != nullptr
+          ? request.tiling_cache->find_or_search(d.prototiles(), search)
+          : search_periodic_tiling(d.prototiles(), search);
+  if (!tiling.has_value()) {
+    throw std::runtime_error(
+        "no periodic tiling found within the search budget "
+        "(prototile set may not be exact)");
+  }
+  return *std::move(tiling);
+}
+
 class TilingPlanner final : public Planner {
  public:
   std::string name() const override { return "tiling"; }
 
  protected:
   Raw compute(const PlanRequest& request) const override {
-    const Deployment& d = *request.deployment;
-    std::optional<Tiling> tiling;
-    if (request.tiling != nullptr) {
-      tiling = *request.tiling;
-    } else {
-      TorusSearchConfig search = request.search;
-      // Rule-D1 deployments carry several prototiles; a schedule that
-      // covers them all needs a tiling using every one (Theorem 2).
-      if (d.prototiles().size() > 1) search.require_all_prototiles = true;
-      tiling = search_periodic_tiling(d.prototiles(), search);
-      if (!tiling.has_value()) {
-        throw std::runtime_error(
-            "no periodic tiling found within the search budget "
-            "(prototile set may not be exact)");
-      }
-    }
-    const TilingSchedule schedule(*tiling);
+    Tiling tiling = acquire_tiling(request);
+    const TilingSchedule schedule(tiling);
     Raw raw;
-    raw.slots = assign_slots(schedule, d);
+    raw.slots = assign_slots(schedule, *request.deployment);
     raw.detail = schedule.description();
+    raw.tiling = std::move(tiling);
+    return raw;
+  }
+};
+
+// The Conclusions' location-based rule as a first-class backend: the
+// Theorem-1/2 schedule for the deployment's prototiles plus a
+// MobileScheduler over the square lattice, so consumers simulate roaming
+// sensors straight from the PlanResult instead of hand-wiring the
+// scheduler from PlanResult::tiling.
+class MobilePlanner final : public Planner {
+ public:
+  std::string name() const override { return "mobile"; }
+
+  bool supports(const PlanRequest& request) const override {
+    // The Voronoi-cell geometry of the mobile rule is 2-D.
+    return request.deployment != nullptr && request.deployment->size() > 0 &&
+           request.deployment->position(0).dim() == 2;
+  }
+
+ protected:
+  Raw compute(const PlanRequest& request) const override {
+    if (!supports(request)) {
+      throw std::runtime_error(
+          "mobile backend needs a non-empty 2-D deployment");
+    }
+    Tiling tiling = acquire_tiling(request);
+    TilingSchedule schedule(tiling);
+    Raw raw;
+    raw.slots = assign_slots(schedule, *request.deployment);
+    raw.detail = "location-based rule over " + schedule.description();
+    // The Voronoi-cell geometry follows the request's lattice (hex
+    // deployments get hexagonal cells), square by default.
+    raw.mobile = std::make_shared<const MobileScheduler>(
+        request.lattice != nullptr ? *request.lattice : Lattice::square(),
+        std::move(schedule));
     raw.tiling = std::move(tiling);
     return raw;
   }
@@ -57,6 +104,7 @@ class ColoringPlanner final : public Planner {
  public:
   explicit ColoringPlanner(ColoringHeuristic h) : heuristic_(h) {}
   std::string name() const override { return to_string(heuristic_); }
+  bool wants_conflict_graph() const override { return true; }
 
  protected:
   Raw compute(const PlanRequest& request) const override {
@@ -105,9 +153,13 @@ PlanResult Planner::plan(const PlanRequest& request) const {
   if (request.deployment == nullptr) {
     throw std::invalid_argument("Planner::plan: deployment is required");
   }
+  if (request.channels == 0) {
+    throw std::invalid_argument("Planner::plan: channels must be >= 1");
+  }
   const Deployment& d = *request.deployment;
   PlanResult result;
   result.backend = name();
+  result.channels = request.channels;
   for (const Prototile& n : d.prototiles()) {
     result.lower_bound = std::max(result.lower_bound,
                                   static_cast<std::uint32_t>(n.size()));
@@ -121,6 +173,7 @@ PlanResult Planner::plan(const PlanRequest& request) const {
     result.slots = std::move(raw.slots);
     result.detail = std::move(raw.detail);
     result.tiling = std::move(raw.tiling);
+    result.mobile = std::move(raw.mobile);
     result.ok = true;
   } catch (const std::exception& e) {
     result.wall_seconds =
@@ -144,22 +197,49 @@ PlanResult Planner::plan(const PlanRequest& request) const {
     }
   }
 
+  // Multichannel is planner currency: every backend's table folds onto c
+  // channels (collision-freedom is preserved — sensors share
+  // (slot, channel) iff they shared the original slot), and the verdict
+  // below covers the folded schedule, which is what gets deployed.
+  if (request.channels > 1) {
+    result.channel_slots = fold_channels(result.slots, request.channels);
+  }
+
   if (request.verify) {
-    result.report = check_collision_free(d, result.slots);
+    result.report =
+        result.channel_slots.has_value()
+            ? check_collision_free_multichannel(d, *result.channel_slots)
+            : check_collision_free(d, result.slots);
     result.collision_free = result.report.collision_free;
+    result.verified = true;
   } else {
     result.collision_free = true;
+    result.verified = false;
   }
 
   if (result.slots.period > 0) {
-    std::vector<std::uint64_t> histogram(result.slots.period, 0);
-    for (std::uint32_t s : result.slots.slot) ++histogram[s];
+    // Every diagnostic describes the DEPLOYED schedule: with channels
+    // the histogram counts senders per folded time slot (across
+    // channels), the duty cycle uses the folded period, and the
+    // optimality gap is judged against the pigeonhole bound
+    // ceil(lower_bound / c) (at most c of one tile's
+    // pairwise-conflicting sensors can share a slot).
+    std::vector<std::uint64_t> histogram(result.effective_period(), 0);
+    if (result.channel_slots.has_value()) {
+      for (const SlotChannel& a : result.channel_slots->assignment) {
+        ++histogram[a.slot];
+      }
+    } else {
+      for (std::uint32_t s : result.slots.slot) ++histogram[s];
+    }
     result.slot_balance = slot_balance(histogram);
-    result.duty_cycle = 1.0 / static_cast<double>(result.slots.period);
-    if (result.lower_bound > 0) {
-      result.optimality_gap =
-          static_cast<double>(result.slots.period) /
-          static_cast<double>(result.lower_bound);
+    const std::uint32_t period = result.effective_period();
+    result.duty_cycle = 1.0 / static_cast<double>(period);
+    const std::uint32_t bound =
+        (result.lower_bound + request.channels - 1) / request.channels;
+    if (bound > 0) {
+      result.optimality_gap = static_cast<double>(period) /
+                              static_cast<double>(bound);
     }
   }
   return result;
@@ -205,7 +285,11 @@ std::vector<PlanResult> PlannerRegistry::plan_all(
   }
   std::vector<const Planner*> selected;
   if (backends.empty()) {
-    for (const auto& p : planners_) selected.push_back(p.get());
+    // Default selection: every backend that supports the request (the
+    // mobile backend, e.g., sits out 3-D deployments instead of failing).
+    for (const auto& p : planners_) {
+      if (p->supports(request)) selected.push_back(p.get());
+    }
   } else {
     for (const std::string& name : backends) {
       const Planner* p = find(name);
@@ -217,15 +301,24 @@ std::vector<PlanResult> PlannerRegistry::plan_all(
     }
   }
 
+  PlanRequest shared = request;
+
+  // Several selected backends may search for the same tiling (tiling +
+  // mobile); a scoped cache dedupes that work when the caller brought
+  // none.  (Concurrent cold misses can still race and both search — the
+  // results are identical — but the serial fan-out pays exactly once.)
+  TilingCache scoped_cache;
+  if (shared.tiling == nullptr && shared.tiling_cache == nullptr) {
+    shared.tiling_cache = &scoped_cache;
+  }
+
   // Build the conflict graph once for every coloring backend (they are
   // the only consumers, and each would otherwise rebuild it).
-  PlanRequest shared = request;
   std::optional<Graph> graph;
   if (shared.conflict_graph == nullptr) {
     const bool wants_graph =
         std::any_of(selected.begin(), selected.end(), [](const Planner* p) {
-          const std::string n = p->name();
-          return n != "tiling" && n != "tdma";
+          return p->wants_conflict_graph();
         });
     if (wants_graph) {
       graph.emplace(build_conflict_graph(*request.deployment));
@@ -257,6 +350,7 @@ PlannerRegistry& PlannerRegistry::global() {
     r->register_planner(
         std::make_unique<ColoringPlanner>(ColoringHeuristic::kAnnealing));
     r->register_planner(std::make_unique<TdmaPlanner>());
+    r->register_planner(std::make_unique<MobilePlanner>());
     return r;
   }();
   return *registry;
@@ -268,88 +362,7 @@ PlannerRegistry& PlannerRegistry::global() {
 
 std::vector<std::string> parse_backend_list(const std::string& csv) {
   if (csv.empty() || csv == "all") return {};
-  std::vector<std::string> out;
-  std::string token;
-  std::istringstream is(csv);
-  while (std::getline(is, token, ',')) {
-    if (!token.empty()) out.push_back(token);
-  }
-  return out;
-}
-
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string format_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
-}
-
-}  // namespace
-
-std::string plan_results_to_csv(const std::vector<PlanResult>& results,
-                                const std::string& scenario) {
-  std::ostringstream os;
-  os << "scenario,backend,ok,sensors,period,lower_bound,optimality_gap,"
-        "collision_free,slot_balance,duty_cycle,wall_ms,error\n";
-  for (const PlanResult& r : results) {
-    os << scenario << ',' << r.backend << ',' << (r.ok ? 1 : 0) << ','
-       << r.slots.slot.size() << ',' << r.slots.period << ','
-       << r.lower_bound << ',' << format_double(r.optimality_gap) << ','
-       << (r.collision_free ? 1 : 0) << ','
-       << format_double(r.slot_balance) << ','
-       << format_double(r.duty_cycle) << ','
-       << format_double(r.wall_seconds * 1e3) << ','
-       << '"' << r.error << '"' << '\n';
-  }
-  return os.str();
-}
-
-std::string plan_results_to_json(const std::vector<PlanResult>& results,
-                                 const std::string& scenario) {
-  std::ostringstream os;
-  os << "[\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const PlanResult& r = results[i];
-    os << "  {\"scenario\": \"" << json_escape(scenario)
-       << "\", \"backend\": \"" << json_escape(r.backend)
-       << "\", \"ok\": " << (r.ok ? "true" : "false")
-       << ", \"sensors\": " << r.slots.slot.size()
-       << ", \"period\": " << r.slots.period
-       << ", \"lower_bound\": " << r.lower_bound
-       << ", \"optimality_gap\": " << format_double(r.optimality_gap)
-       << ", \"collision_free\": " << (r.collision_free ? "true" : "false")
-       << ", \"slot_balance\": " << format_double(r.slot_balance)
-       << ", \"duty_cycle\": " << format_double(r.duty_cycle)
-       << ", \"wall_ms\": " << format_double(r.wall_seconds * 1e3)
-       << ", \"detail\": \"" << json_escape(r.detail)
-       << "\", \"error\": \"" << json_escape(r.error) << "\"}"
-       << (i + 1 < results.size() ? "," : "") << '\n';
-  }
-  os << "]\n";
-  return os.str();
+  return split_csv_list(csv);
 }
 
 }  // namespace latticesched

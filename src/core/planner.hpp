@@ -14,6 +14,15 @@
 //   dsatur        Brélaz saturation coloring
 //   annealing     simulated-annealing coloring (Wang–Ansari stand-in)
 //   tdma          one slot per sensor (the paper's non-scaling foil)
+//   mobile        tiling schedule + the Conclusions' location-based rule
+//                 (2-D only; PlanResult::mobile carries the scheduler)
+//
+// Two extensions are part of the planner currency rather than bolted on
+// by consumers: multi-channel schedules (request.channels > 1 folds every
+// backend's slot table into per-sensor (slot, channel) assignments,
+// verified by the multichannel collision checker) and tiling memoization
+// (request.tiling_cache routes the torus search through a TilingCache so
+// scenario sweeps re-pay only the first search).
 //
 // plan_all fans the selected backends out over the shared thread pool
 // (util/parallel.hpp) and prebuilds the conflict graph once for all
@@ -28,6 +37,7 @@
 #include <vector>
 
 #include "core/collision.hpp"
+#include "core/multichannel.hpp"
 #include "core/schedule.hpp"
 #include "graph/interference.hpp"
 #include "graph/sa_coloring.hpp"
@@ -35,6 +45,10 @@
 #include "tiling/torus_search.hpp"
 
 namespace latticesched {
+
+class Lattice;
+class MobileScheduler;
+class TilingCache;
 
 struct PlanRequest {
   /// Deployment to schedule.  Required; must outlive the call.
@@ -54,6 +68,22 @@ struct PlanRequest {
   /// Run the paper's exhaustive collision checker on the produced slots.
   bool verify = true;
 
+  /// Orthogonal frequency channels (>= 1).  When > 1 the pipeline folds
+  /// the backend's slot table into (slot, channel) assignments — slot
+  /// e maps to (e / channels, e % channels), the multichannel extension's
+  /// construction — and the collision verdict covers the folded schedule.
+  std::uint32_t channels = 1;
+
+  /// Memoization cache for the torus search (tiling/mobile backends).
+  /// When null every plan re-runs the period sweep; the batch service
+  /// always supplies its cache.
+  TilingCache* tiling_cache = nullptr;
+
+  /// Euclidean geometry of the deployment's coordinates (the mobile
+  /// backend's Voronoi cells).  Null = the square lattice Z².  Must
+  /// outlive the call.
+  const Lattice* lattice = nullptr;
+
   /// Prebuilt conflict graph of `deployment` (coloring backends).  When
   /// null, plan_all builds it once and shares it; a lone Planner::plan
   /// call builds its own.
@@ -68,8 +98,11 @@ struct PlanResult {
   SensorSlots slots;     ///< per-sensor slot table (ok == true)
   std::string detail;    ///< backend-specific description of the schedule
 
-  /// Collision verdict (request.verify; trivially true when skipped).
+  /// Collision verdict (request.verify; trivially true when skipped —
+  /// `verified` below records whether the checker actually ran, so
+  /// reports can render an unchecked schedule as such).
   bool collision_free = false;
+  bool verified = false;
   CollisionReport report;
 
   /// Paper's lower bound max_k |N_k| on any collision-free periodic
@@ -89,6 +122,25 @@ struct PlanResult {
   /// The tiling the tiling backend scheduled (reusable by callers that
   /// need the point-schedule, e.g. mobile location scheduling).
   std::optional<Tiling> tiling;
+
+  /// Channel count the request planned with (recorded even when the
+  /// backend failed, so report rows of a multichannel sweep never
+  /// misreport their channel count).
+  std::uint32_t channels = 1;
+
+  /// Per-sensor (slot, channel) assignments (request.channels > 1); the
+  /// collision verdict above covers them when present.
+  std::optional<MultiChannelSlots> channel_slots;
+
+  /// The mobile backend's location scheduler, ready to drive a
+  /// MobileSimulator — no consumer rebuilds it from `tiling` by hand.
+  std::shared_ptr<const MobileScheduler> mobile;
+
+  /// Slot period actually deployed: the folded multichannel period when
+  /// channels were requested, the plain slot period otherwise.
+  std::uint32_t effective_period() const {
+    return channel_slots.has_value() ? channel_slots->period : slots.period;
+  }
 };
 
 /// A scheduling backend.  Implementations produce a slot table; the base
@@ -100,6 +152,19 @@ class Planner {
 
   virtual std::string name() const = 0;
 
+  /// Whether this backend can plan the request at all (e.g. the mobile
+  /// backend is 2-D only).  plan_all's default "all backends" selection
+  /// skips non-supporting backends; explicitly named backends always run
+  /// and report their failure through PlanResult::error.
+  virtual bool supports(const PlanRequest& request) const {
+    (void)request;
+    return true;
+  }
+
+  /// Whether the backend consumes PlanRequest::conflict_graph (plan_all
+  /// prebuilds the graph once iff some selected backend wants it).
+  virtual bool wants_conflict_graph() const { return false; }
+
   /// Full pipeline: compute slots, verify, attach diagnostics.  Never
   /// throws for backend-level failures — those come back as ok == false.
   PlanResult plan(const PlanRequest& request) const;
@@ -109,6 +174,7 @@ class Planner {
     SensorSlots slots;
     std::string detail;
     std::optional<Tiling> tiling;
+    std::shared_ptr<const MobileScheduler> mobile;
   };
 
   /// Backend-specific slot production; throws on failure (the base turns
@@ -117,7 +183,7 @@ class Planner {
 };
 
 /// Name-indexed planner collection.  The global() registry comes
-/// pre-populated with the six built-in backends; register_planner adds
+/// pre-populated with the seven built-in backends; register_planner adds
 /// custom ones (replacing any existing planner of the same name).
 class PlannerRegistry {
  public:
@@ -131,11 +197,12 @@ class PlannerRegistry {
   /// The planner registered under `name`, or nullptr.
   const Planner* find(const std::string& name) const;
 
-  /// Runs the named backends ("" or empty list = all registered, in
-  /// registration order) concurrently on the shared pool and returns
-  /// their results in the same order.  Builds the conflict graph once
-  /// for all coloring backends when the request doesn't carry one.
-  /// Throws std::invalid_argument on unknown names or a null deployment.
+  /// Runs the named backends ("" or empty list = all registered backends
+  /// supporting the request, in registration order) concurrently on the
+  /// shared pool and returns their results in the same order.  Builds the
+  /// conflict graph once for all coloring backends when the request
+  /// doesn't carry one.  Throws std::invalid_argument on unknown names or
+  /// a null deployment.
   std::vector<PlanResult> plan_all(
       const PlanRequest& request,
       const std::vector<std::string>& backends = {}) const;
@@ -150,10 +217,6 @@ class PlannerRegistry {
 /// Splits "a,b,c" (or "all" / "") into backend names for plan_all.
 std::vector<std::string> parse_backend_list(const std::string& csv);
 
-/// Writes results as a CSV / JSON report (one row or object per result).
-std::string plan_results_to_csv(const std::vector<PlanResult>& results,
-                                const std::string& scenario = "");
-std::string plan_results_to_json(const std::vector<PlanResult>& results,
-                                 const std::string& scenario = "");
+// Report emission/parsing (CSV and JSON) lives in core/report.hpp.
 
 }  // namespace latticesched

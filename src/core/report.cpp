@@ -1,0 +1,306 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace latticesched {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          out += static_cast<char>(
+              std::strtol(s.substr(i + 1, 4).c_str(), nullptr, 16));
+          i += 4;
+        }
+        break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+constexpr const char* kCsvHeader =
+    "scenario,backend,ok,sensors,period,lower_bound,optimality_gap,"
+    "collision_free,verified,slot_balance,duty_cycle,wall_ms,channels,"
+    "effective_period,error";
+
+void emit_csv_row(std::ostream& os, const PlanResultRow& row) {
+  os << row.scenario << ',' << row.backend << ',' << (row.ok ? 1 : 0) << ','
+     << row.sensors << ',' << row.period << ',' << row.lower_bound << ','
+     << format_double(row.optimality_gap) << ','
+     << (row.collision_free ? 1 : 0) << ',' << (row.verified ? 1 : 0)
+     << ',' << format_double(row.slot_balance) << ','
+     << format_double(row.duty_cycle) << ','
+     << format_double(row.wall_ms) << ',' << row.channels << ','
+     << row.effective_period << ',' << '"' << row.error << '"' << '\n';
+}
+
+void emit_json_object(std::ostream& os, const PlanResultRow& row,
+                      const std::string& indent) {
+  os << indent << "{\"scenario\": \"" << json_escape(row.scenario)
+     << "\", \"backend\": \"" << json_escape(row.backend)
+     << "\", \"ok\": " << (row.ok ? "true" : "false")
+     << ", \"sensors\": " << row.sensors << ", \"period\": " << row.period
+     << ", \"lower_bound\": " << row.lower_bound
+     << ", \"optimality_gap\": " << format_double(row.optimality_gap)
+     << ", \"collision_free\": " << (row.collision_free ? "true" : "false")
+     << ", \"verified\": " << (row.verified ? "true" : "false")
+     << ", \"slot_balance\": " << format_double(row.slot_balance)
+     << ", \"duty_cycle\": " << format_double(row.duty_cycle)
+     << ", \"wall_ms\": " << format_double(row.wall_ms)
+     << ", \"channels\": " << row.channels
+     << ", \"effective_period\": " << row.effective_period
+     << ", \"detail\": \"" << json_escape(row.detail) << "\", \"error\": \""
+     << json_escape(row.error) << "\"}";
+}
+
+// -- Minimal parsers for the exact formats emitted above ------------------
+
+std::vector<std::string> split_line(const std::string& line) {
+  // The only quoted field is the trailing `error`, so split the first 14
+  // commas and treat the rest as the error payload.
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (int field = 0; field < 14; ++field) {
+    const std::size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("plan-results CSV: short row: " + line);
+    }
+    out.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  std::string error = line.substr(pos);
+  if (error.size() >= 2 && error.front() == '"' && error.back() == '"') {
+    error = error.substr(1, error.size() - 2);
+  }
+  out.push_back(error);
+  return out;
+}
+
+/// Extracts the JSON value (raw text) following `"key": ` in `obj`.
+std::string json_field(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) {
+    throw std::invalid_argument("plan-results JSON: missing key '" + key +
+                                "'");
+  }
+  std::size_t pos = at + needle.size();
+  if (obj[pos] == '"') {
+    // String value: scan to the closing quote, stepping over escape
+    // pairs so a value ending in an (escaped) backslash terminates
+    // correctly.
+    std::size_t end = pos + 1;
+    while (end < obj.size() && obj[end] != '"') {
+      end += obj[end] == '\\' ? 2 : 1;
+    }
+    if (end > obj.size()) end = obj.size();
+    return json_unescape(obj.substr(pos + 1, end - pos - 1));
+  }
+  std::size_t end = pos;
+  while (end < obj.size() && obj[end] != ',' && obj[end] != '}') ++end;
+  return obj.substr(pos, end - pos);
+}
+
+PlanResultRow row_from_json_object(const std::string& obj) {
+  PlanResultRow row;
+  row.scenario = json_field(obj, "scenario");
+  row.backend = json_field(obj, "backend");
+  row.ok = json_field(obj, "ok") == "true";
+  row.sensors = std::stoull(json_field(obj, "sensors"));
+  row.period = static_cast<std::uint32_t>(
+      std::stoul(json_field(obj, "period")));
+  row.lower_bound = static_cast<std::uint32_t>(
+      std::stoul(json_field(obj, "lower_bound")));
+  row.optimality_gap = std::stod(json_field(obj, "optimality_gap"));
+  row.collision_free = json_field(obj, "collision_free") == "true";
+  row.verified = json_field(obj, "verified") == "true";
+  row.slot_balance = std::stod(json_field(obj, "slot_balance"));
+  row.duty_cycle = std::stod(json_field(obj, "duty_cycle"));
+  row.wall_ms = std::stod(json_field(obj, "wall_ms"));
+  row.channels = static_cast<std::uint32_t>(
+      std::stoul(json_field(obj, "channels")));
+  row.effective_period = static_cast<std::uint32_t>(
+      std::stoul(json_field(obj, "effective_period")));
+  row.detail = json_field(obj, "detail");
+  row.error = json_field(obj, "error");
+  return row;
+}
+
+}  // namespace
+
+PlanResultRow to_row(const PlanResult& result, const std::string& scenario) {
+  PlanResultRow row;
+  row.scenario = scenario;
+  row.backend = result.backend;
+  row.ok = result.ok;
+  row.sensors = result.slots.slot.size();
+  row.period = result.slots.period;
+  row.lower_bound = result.lower_bound;
+  row.optimality_gap = result.optimality_gap;
+  row.collision_free = result.collision_free;
+  row.verified = result.verified;
+  row.slot_balance = result.slot_balance;
+  row.duty_cycle = result.duty_cycle;
+  row.wall_ms = result.wall_seconds * 1e3;
+  row.channels = result.channels;
+  row.effective_period = result.effective_period();
+  row.detail = result.detail;
+  row.error = result.error;
+  return row;
+}
+
+std::string plan_results_to_csv(const std::vector<PlanResult>& results,
+                                const std::string& scenario) {
+  std::ostringstream os;
+  os << kCsvHeader << '\n';
+  for (const PlanResult& r : results) emit_csv_row(os, to_row(r, scenario));
+  return os.str();
+}
+
+std::string plan_results_to_json(const std::vector<PlanResult>& results,
+                                 const std::string& scenario) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    emit_json_object(os, to_row(results[i], scenario), "  ");
+    os << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::vector<PlanResultRow> parse_plan_results_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) || line != kCsvHeader) {
+    throw std::invalid_argument("plan-results CSV: bad header");
+  }
+  std::vector<PlanResultRow> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_line(line);
+    PlanResultRow row;
+    row.scenario = f[0];
+    row.backend = f[1];
+    row.ok = f[2] == "1";
+    row.sensors = std::stoull(f[3]);
+    row.period = static_cast<std::uint32_t>(std::stoul(f[4]));
+    row.lower_bound = static_cast<std::uint32_t>(std::stoul(f[5]));
+    row.optimality_gap = std::stod(f[6]);
+    row.collision_free = f[7] == "1";
+    row.verified = f[8] == "1";
+    row.slot_balance = std::stod(f[9]);
+    row.duty_cycle = std::stod(f[10]);
+    row.wall_ms = std::stod(f[11]);
+    row.channels = static_cast<std::uint32_t>(std::stoul(f[12]));
+    row.effective_period = static_cast<std::uint32_t>(std::stoul(f[13]));
+    row.error = f[14];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<PlanResultRow> parse_plan_results_json(const std::string& json) {
+  // The emitters write one result object per line; batch JSON nests the
+  // same per-line objects under "items", so scanning for lines holding a
+  // "backend" key parses both forms.
+  std::vector<PlanResultRow> rows;
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"backend\": ") == std::string::npos) continue;
+    rows.push_back(row_from_json_object(line));
+  }
+  return rows;
+}
+
+std::string batch_report_to_csv(const BatchReport& report) {
+  std::ostringstream os;
+  os << kCsvHeader << '\n';
+  for (const BatchItemReport& item : report.items) {
+    if (!item.built) {
+      PlanResultRow row;
+      row.scenario = item.label.empty() ? item.scenario : item.label;
+      row.backend = "-";
+      row.error = item.error;
+      emit_csv_row(os, row);
+      continue;
+    }
+    for (const PlanResult& r : item.results) {
+      emit_csv_row(os, to_row(r, item.label));
+    }
+  }
+  return os.str();
+}
+
+std::string batch_report_to_json(const BatchReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"items\": [\n";
+  for (std::size_t i = 0; i < report.items.size(); ++i) {
+    const BatchItemReport& item = report.items[i];
+    os << "    {\"scenario\": \"" << json_escape(item.scenario)
+       << "\", \"label\": \"" << json_escape(item.label)
+       << "\", \"sensors\": " << item.sensors
+       << ", \"channels\": " << item.channels
+       << ", \"built\": " << (item.built ? "true" : "false")
+       << ", \"error\": \"" << json_escape(item.error)
+       << "\", \"results\": [\n";
+    for (std::size_t j = 0; j < item.results.size(); ++j) {
+      emit_json_object(os, to_row(item.results[j], item.label), "      ");
+      os << (j + 1 < item.results.size() ? "," : "") << '\n';
+    }
+    os << "    ]}" << (i + 1 < report.items.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+  os << "  \"cache\": {\"hits\": " << report.cache_hits
+     << ", \"misses\": " << report.cache_misses << "},\n";
+  os << "  \"wall_ms\": " << format_double(report.wall_seconds * 1e3)
+     << "\n}\n";
+  return os.str();
+}
+
+}  // namespace latticesched

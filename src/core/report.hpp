@@ -1,0 +1,62 @@
+// Machine-readable plan reports: CSV and JSON emission AND parsing.
+//
+// The emitters serialize PlanResults (one row/object per backend result,
+// including the multichannel fields) and whole BatchReports (items plus
+// the TilingCache hit/miss counters, so a sweep report proves its cache
+// behavior).  The parsers read exactly the formats the emitters write —
+// they exist so round-trips are testable and downstream tooling can
+// rely on the schema staying parseable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan_service.hpp"
+#include "core/planner.hpp"
+
+namespace latticesched {
+
+/// Writes results as a CSV / JSON report (one row or object per result).
+std::string plan_results_to_csv(const std::vector<PlanResult>& results,
+                                const std::string& scenario = "");
+std::string plan_results_to_json(const std::vector<PlanResult>& results,
+                                 const std::string& scenario = "");
+
+/// The serialized surface of a PlanResult — what a report row carries
+/// (slot tables themselves ship via core/serialization.hpp).
+struct PlanResultRow {
+  std::string scenario;
+  std::string backend;
+  bool ok = false;
+  std::size_t sensors = 0;
+  std::uint32_t period = 0;
+  std::uint32_t lower_bound = 0;
+  double optimality_gap = 0.0;
+  bool collision_free = false;
+  bool verified = false;  ///< collision checker actually ran
+  double slot_balance = 0.0;
+  double duty_cycle = 0.0;
+  double wall_ms = 0.0;
+  std::uint32_t channels = 1;
+  std::uint32_t effective_period = 0;  ///< folded period (== period at c=1)
+  std::string detail;                  ///< JSON only (CSV omits it)
+  std::string error;
+};
+
+/// The row the emitters would write for `result`.
+PlanResultRow to_row(const PlanResult& result, const std::string& scenario);
+
+/// Parse the emitters' output; throw std::invalid_argument on malformed
+/// input.  parse_plan_results_csv leaves `detail` empty (CSV omits it).
+std::vector<PlanResultRow> parse_plan_results_csv(const std::string& csv);
+std::vector<PlanResultRow> parse_plan_results_json(const std::string& json);
+
+/// Batch reports: CSV is the per-result rows of every item (labelled by
+/// the item's scenario label) — cache counters don't fit a row stream
+/// and are surfaced by the JSON form and the driver's footer.  JSON is
+/// one object: {"items": [...], "cache": {...}, "wall_ms": ...}.
+std::string batch_report_to_csv(const BatchReport& report);
+std::string batch_report_to_json(const BatchReport& report);
+
+}  // namespace latticesched

@@ -1,0 +1,350 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/tiling_cache.hpp"
+#include "lattice/lattice.hpp"
+#include "tiling/shapes.hpp"
+#include "tiling/torus_search.hpp"
+#include "util/rng.hpp"
+
+namespace latticesched {
+
+namespace {
+
+std::string fmt_density(double d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", d);
+  return buf;
+}
+
+/// Runs a torus search through the cache when one is supplied.
+std::optional<Tiling> cached_torus_search(
+    TilingCache* cache, const std::vector<Prototile>& prototiles,
+    const Sublattice& period, const TorusSearchConfig& config) {
+  if (cache != nullptr) {
+    return cache->find_or_search_on_torus(prototiles, period, config);
+  }
+  return find_tiling_on_torus(prototiles, period, config);
+}
+
+Tiling figure5_tiling(TilingCache* cache) {
+  TorusSearchConfig cfg;
+  cfg.require_all_prototiles = true;
+  auto tiling = cached_torus_search(
+      cache, {shapes::s_tetromino(), shapes::z_tetromino()},
+      Sublattice::diagonal({4, 4}), cfg);
+  if (!tiling.has_value()) {
+    throw std::runtime_error("figure5: no mixed S/Z tiling on 4x4");
+  }
+  return *std::move(tiling);
+}
+
+Tiling antennas_tiling() {
+  // Period 3x6: one 3x3 ball block + three 1x3 bars (Theorem 2's
+  // respectable mixed tiling, as in examples/directional_antennas).
+  return Tiling::periodic(
+      {shapes::chebyshev_ball(2, 1), shapes::rectangle(3, 1, 1, 0)},
+      Sublattice::diagonal({3, 6}),
+      {{Point{1, 1}, 0}, {Point{1, 3}, 1}, {Point{1, 4}, 1},
+       {Point{1, 5}, 1}});
+}
+
+/// Seeded random subset of the n x n grid cells at the given density
+/// (at least one sensor), shared by the mobile and random-subset
+/// scenarios.
+PointVec random_cells(std::int64_t n, std::uint64_t seed, double density) {
+  if (density <= 0.0 || density > 1.0) {
+    throw std::invalid_argument("scenario: density must be in (0, 1]");
+  }
+  PointVec cells = Box::cube(2, 0, n - 1).points();
+  Rng rng(seed);
+  rng.shuffle(cells);
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(cells.size()) * density);
+  cells.resize(std::max<std::size_t>(1, keep));
+  return cells;
+}
+
+ScenarioSpec make_grid_spec() {
+  return ScenarioSpec{
+      "grid",
+      "n x n field of Chebyshev-ball sensors (the paper's motivating grid)",
+      {{"n", "12", "grid side length"},
+       {"radius", "1", "Chebyshev interference radius"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        std::ostringstream label;
+        label << "grid(n=" << p.n << " r=" << p.radius << ")";
+        return ScenarioInstance{
+            "grid", label.str(),
+            Deployment::grid(Box::cube(2, 0, p.n - 1),
+                             shapes::chebyshev_ball(2, p.radius)),
+            std::nullopt, 1};
+      }};
+}
+
+ScenarioSpec make_hex_spec() {
+  return ScenarioSpec{
+      "hex",
+      "hexagonal-lattice patch with the 7-point Euclidean-ball "
+      "neighborhood (Figure 1 right)",
+      {{"n", "12", "patch diameter (rhombic window)"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        Lattice hex = Lattice::hexagonal();
+        const Prototile ball = shapes::euclidean_ball(hex, 1.0);
+        std::ostringstream label;
+        label << "hex(n=" << p.n << ")";
+        return ScenarioInstance{
+            "hex", label.str(),
+            Deployment::grid(Box::centered(2, p.n / 2), ball), std::nullopt,
+            1, std::move(hex)};
+      }};
+}
+
+ScenarioSpec make_cube3d_spec() {
+  return ScenarioSpec{
+      "cube3d",
+      "n^3 sensor cube with a 3-D Chebyshev interference volume "
+      "(\"arbitrary dimensions\")",
+      {{"n", "12", "cube side length"},
+       {"radius", "1", "Chebyshev interference radius"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        std::ostringstream label;
+        label << "cube3d(n=" << p.n << " r=" << p.radius << ")";
+        return ScenarioInstance{
+            "cube3d", label.str(),
+            Deployment::grid(Box::cube(3, 0, p.n - 1),
+                             shapes::chebyshev_ball(3, p.radius)),
+            std::nullopt, 1};
+      }};
+}
+
+ScenarioSpec make_mobile_spec() {
+  return ScenarioSpec{
+      "mobile",
+      "snapshot of a mobile swarm: seeded random scatter of l1-ball "
+      "sensors over the n x n window",
+      {{"n", "12", "window side length"},
+       {"radius", "1", "l1 interference radius"},
+       {"seed", "1", "scatter seed"},
+       {"density", "0.35", "fraction of cells holding a sensor"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        std::ostringstream label;
+        label << "mobile(n=" << p.n << " r=" << p.radius
+              << " d=" << fmt_density(p.density) << " seed=" << p.seed
+              << ")";
+        return ScenarioInstance{
+            "mobile", label.str(),
+            Deployment::uniform(random_cells(p.n, p.seed, p.density),
+                                shapes::l1_ball(2, p.radius)),
+            std::nullopt, 1};
+      }};
+}
+
+ScenarioSpec make_figure5_spec() {
+  return ScenarioSpec{
+      "figure5",
+      "mixed S/Z tetromino tiling (Figure 5 left), deployment rule D1",
+      {{"n", "12", "window diameter"}},
+      [](const ScenarioParams& p, TilingCache* cache) {
+        Tiling tiling = figure5_tiling(cache);
+        Deployment d =
+            Deployment::from_tiling(tiling, Box::centered(2, p.n / 2));
+        std::ostringstream label;
+        label << "figure5(n=" << p.n << ")";
+        return ScenarioInstance{"figure5", label.str(), std::move(d),
+                                std::move(tiling), 1};
+      }};
+}
+
+ScenarioSpec make_antennas_spec() {
+  return ScenarioSpec{
+      "antennas",
+      "heterogeneous field mixing 3x3 omni balls with 1x3 bars "
+      "(Theorem 2, respectable tiling)",
+      {{"n", "12", "window diameter"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        Tiling tiling = antennas_tiling();
+        Deployment d =
+            Deployment::from_tiling(tiling, Box::centered(2, p.n / 2));
+        std::ostringstream label;
+        label << "antennas(n=" << p.n << ")";
+        return ScenarioInstance{"antennas", label.str(), std::move(d),
+                                std::move(tiling), 1};
+      }};
+}
+
+ScenarioSpec make_multichannel_spec() {
+  return ScenarioSpec{
+      "multichannel",
+      "grid whose radios have c orthogonal channels: every backend's "
+      "schedule folds to (slot, channel) pairs",
+      {{"n", "12", "grid side length"},
+       {"radius", "1", "Chebyshev interference radius"},
+       {"channels", "2", "channel count (raised to >= 2)"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        const std::uint32_t channels = std::max<std::uint32_t>(2, p.channels);
+        std::ostringstream label;
+        label << "multichannel(n=" << p.n << " r=" << p.radius
+              << " c=" << channels << ")";
+        return ScenarioInstance{
+            "multichannel", label.str(),
+            Deployment::grid(Box::cube(2, 0, p.n - 1),
+                             shapes::chebyshev_ball(2, p.radius)),
+            std::nullopt, channels};
+      }};
+}
+
+ScenarioSpec make_random_subset_spec() {
+  return ScenarioSpec{
+      "random-subset",
+      "seeded random sub-deployment of the Chebyshev grid at a given "
+      "density (finite-restriction workloads)",
+      {{"n", "12", "window side length"},
+       {"radius", "1", "Chebyshev interference radius"},
+       {"seed", "1", "subset seed"},
+       {"density", "0.35", "fraction of grid cells kept"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        std::ostringstream label;
+        label << "random-subset(n=" << p.n << " r=" << p.radius
+              << " d=" << fmt_density(p.density) << " seed=" << p.seed
+              << ")";
+        return ScenarioInstance{
+            "random-subset", label.str(),
+            Deployment::uniform(random_cells(p.n, p.seed, p.density),
+                                shapes::chebyshev_ball(2, p.radius)),
+            std::nullopt, 1};
+      }};
+}
+
+}  // namespace
+
+void ScenarioRegistry::register_scenario(ScenarioSpec spec) {
+  if (spec.name.empty() || !spec.build) {
+    throw std::invalid_argument(
+        "register_scenario: name and build are required");
+  }
+  for (ScenarioSpec& existing : specs_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const ScenarioSpec& s : specs_) out.push_back(s.name);
+  return out;
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const ScenarioSpec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ScenarioInstance ScenarioRegistry::build(const std::string& name,
+                                         const ScenarioParams& params,
+                                         TilingCache* cache) const {
+  const ScenarioSpec* spec = find(name);
+  if (spec == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown scenario '" + name + "' (" + known +
+                                ")");
+  }
+  return spec->build(params, cache);
+}
+
+std::string ScenarioRegistry::describe() const {
+  std::ostringstream os;
+  for (const ScenarioSpec& s : specs_) {
+    os << s.name << " — " << s.summary << "\n";
+    for (const ScenarioParamDoc& p : s.params) {
+      os << "    --" << p.name;
+      for (std::size_t pad = p.name.size(); pad < 10; ++pad) os << ' ';
+      os << "(default " << p.value << ")  " << p.doc << "\n";
+    }
+  }
+  return os.str();
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    r->register_scenario(make_grid_spec());
+    r->register_scenario(make_hex_spec());
+    r->register_scenario(make_cube3d_spec());
+    r->register_scenario(make_mobile_spec());
+    r->register_scenario(make_figure5_spec());
+    r->register_scenario(make_antennas_spec());
+    r->register_scenario(make_multichannel_spec());
+    r->register_scenario(make_random_subset_spec());
+    return r;
+  }();
+  return *registry;
+}
+
+std::vector<ScenarioQuery> radius_sweep(
+    const std::string& scenario, const ScenarioParams& base,
+    const std::vector<std::int64_t>& radii) {
+  std::vector<ScenarioQuery> out;
+  out.reserve(radii.size());
+  for (std::int64_t r : radii) {
+    ScenarioParams p = base;
+    p.radius = r;
+    out.push_back(ScenarioQuery{scenario, p});
+  }
+  return out;
+}
+
+std::vector<ScenarioQuery> density_sweep(const std::string& scenario,
+                                         const ScenarioParams& base,
+                                         const std::vector<double>& densities) {
+  std::vector<ScenarioQuery> out;
+  out.reserve(densities.size());
+  for (double d : densities) {
+    ScenarioParams p = base;
+    p.density = d;
+    out.push_back(ScenarioQuery{scenario, p});
+  }
+  return out;
+}
+
+std::vector<ScenarioQuery> size_sweep(const std::string& scenario,
+                                      const ScenarioParams& base,
+                                      const std::vector<std::int64_t>& sizes) {
+  std::vector<ScenarioQuery> out;
+  out.reserve(sizes.size());
+  for (std::int64_t n : sizes) {
+    ScenarioParams p = base;
+    p.n = n;
+    out.push_back(ScenarioQuery{scenario, p});
+  }
+  return out;
+}
+
+std::vector<ScenarioQuery> seed_sweep(const std::string& scenario,
+                                      const ScenarioParams& base,
+                                      std::size_t replicas) {
+  std::vector<ScenarioQuery> out;
+  out.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    ScenarioParams p = base;
+    p.seed = base.seed + i;
+    out.push_back(ScenarioQuery{scenario, p});
+  }
+  return out;
+}
+
+}  // namespace latticesched

@@ -7,26 +7,41 @@
 namespace latticesched {
 
 void write_schedule_csv(std::ostream& os, const Deployment& d,
-                        const SensorSlots& slots) {
+                        const SensorSlots& slots,
+                        const MultiChannelSlots* channels) {
   if (slots.slot.size() != d.size()) {
     throw std::invalid_argument("write_schedule_csv: size mismatch");
+  }
+  if (channels != nullptr && channels->assignment.size() != d.size()) {
+    throw std::invalid_argument("write_schedule_csv: channel size mismatch");
   }
   const std::size_t dim = d.size() == 0 ? 0 : d.position(0).dim();
   for (std::size_t i = 0; i < dim; ++i) {
     os << "x" << i << ",";
   }
-  os << "type,slot,period\n";
+  os << "type,slot,period";
+  if (channels != nullptr) os << ",channel,channels";
+  os << "\n";
   for (std::size_t i = 0; i < d.size(); ++i) {
     const Point& p = d.position(i);
     for (std::size_t c = 0; c < p.dim(); ++c) os << p[c] << ",";
-    os << d.type_of(i) << "," << slots.slot[i] << "," << slots.period
-       << "\n";
+    if (channels != nullptr) {
+      // Ship the deployed folded schedule: (slot, channel) and the
+      // folded period, not the pre-fold slot table.
+      os << d.type_of(i) << "," << channels->assignment[i].slot << ","
+         << channels->period << "," << channels->assignment[i].channel << ","
+         << channels->channels << "\n";
+    } else {
+      os << d.type_of(i) << "," << slots.slot[i] << "," << slots.period
+         << "\n";
+    }
   }
 }
 
-std::string schedule_to_csv(const Deployment& d, const SensorSlots& slots) {
+std::string schedule_to_csv(const Deployment& d, const SensorSlots& slots,
+                            const MultiChannelSlots* channels) {
   std::ostringstream os;
-  write_schedule_csv(os, d, slots);
+  write_schedule_csv(os, d, slots, channels);
   return os.str();
 }
 
@@ -65,12 +80,19 @@ ParsedSchedule parse_schedule_csv(std::istream& is) {
     throw std::invalid_argument("parse_schedule_csv: empty input");
   }
   const auto header = split_csv_line(line);
-  if (header.size() < 3 || header[header.size() - 3] != "type" ||
-      header[header.size() - 2] != "slot" ||
-      header[header.size() - 1] != "period") {
+  // Two header forms: "...,type,slot,period" and the multichannel
+  // "...,type,slot,period,channel,channels".
+  const bool multichannel =
+      header.size() >= 5 && header[header.size() - 2] == "channel" &&
+      header[header.size() - 1] == "channels";
+  const std::size_t tail = multichannel ? 5 : 3;
+  if (header.size() < tail || header[header.size() - tail] != "type" ||
+      header[header.size() - tail + 1] != "slot" ||
+      header[header.size() - tail + 2] != "period") {
     throw std::invalid_argument("parse_schedule_csv: bad header");
   }
-  const std::size_t dim = header.size() - 3;
+  const std::size_t dim = header.size() - tail;
+  if (multichannel) out.channels.emplace();
   bool period_set = false;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
@@ -82,14 +104,28 @@ ParsedSchedule parse_schedule_csv(std::istream& is) {
     for (std::size_t i = 0; i < dim; ++i) p[i] = to_i64(cells[i]);
     out.positions.push_back(p);
     out.types.push_back(static_cast<std::uint32_t>(to_i64(cells[dim])));
-    out.slots.slot.push_back(
-        static_cast<std::uint32_t>(to_i64(cells[dim + 1])));
+    const auto slot = static_cast<std::uint32_t>(to_i64(cells[dim + 1]));
+    out.slots.slot.push_back(slot);
     const auto period = static_cast<std::uint32_t>(to_i64(cells[dim + 2]));
     if (period_set && period != out.slots.period) {
       throw std::invalid_argument("parse_schedule_csv: inconsistent period");
     }
     out.slots.period = period;
     period_set = true;
+    if (multichannel) {
+      const auto channel =
+          static_cast<std::uint32_t>(to_i64(cells[dim + 3]));
+      const auto channel_count =
+          static_cast<std::uint32_t>(to_i64(cells[dim + 4]));
+      if (!out.channels->assignment.empty() &&
+          channel_count != out.channels->channels) {
+        throw std::invalid_argument(
+            "parse_schedule_csv: inconsistent channel count");
+      }
+      out.channels->assignment.push_back(SlotChannel{slot, channel});
+      out.channels->channels = channel_count;
+      out.channels->period = period;
+    }
   }
   out.slots.source = "csv";
   return out;

@@ -7,23 +7,34 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
+#include "core/multichannel.hpp"
 #include "core/schedule.hpp"
 #include "graph/interference.hpp"
 
 namespace latticesched {
 
 /// Writes "x0,...,x{d-1},type,slot,period" rows with a header line.
+/// When `channels` is non-null (a multichannel plan), the deployed
+/// (slot, channel) assignment is written instead — the slot/period
+/// columns carry the folded schedule and two columns
+/// "channel,channels" are appended.
 void write_schedule_csv(std::ostream& os, const Deployment& d,
-                        const SensorSlots& slots);
+                        const SensorSlots& slots,
+                        const MultiChannelSlots* channels = nullptr);
 
-std::string schedule_to_csv(const Deployment& d, const SensorSlots& slots);
+std::string schedule_to_csv(const Deployment& d, const SensorSlots& slots,
+                            const MultiChannelSlots* channels = nullptr);
 
 struct ParsedSchedule {
   PointVec positions;
   std::vector<std::uint32_t> types;
   SensorSlots slots;
+  /// Present when the CSV carried the multichannel columns; the folded
+  /// (slot, channel) assignment (slots above holds the folded slots too).
+  std::optional<MultiChannelSlots> channels;
 };
 
 /// Parses the format written by write_schedule_csv; throws

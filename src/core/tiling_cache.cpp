@@ -1,0 +1,143 @@
+#include "core/tiling_cache.hpp"
+
+namespace latticesched {
+
+namespace {
+
+// FNV-1a over a stream of 64-bit words; good enough for a bucket index
+// (full keys are compared on lookup, so collisions only cost a compare).
+struct Fnv {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      state ^= (v >> (8 * byte)) & 0xff;
+      state *= 0x100000001b3ull;
+    }
+  }
+};
+
+}  // namespace
+
+bool TilingCache::Key::operator==(const Key& o) const {
+  return max_period_cells == o.max_period_cells &&
+         node_limit == o.node_limit &&
+         require_all_prototiles == o.require_all_prototiles &&
+         period == o.period && prototiles == o.prototiles;
+}
+
+std::uint64_t TilingCache::hash_key(const Key& key) {
+  Fnv h;
+  h.mix(static_cast<std::uint64_t>(key.max_period_cells));
+  h.mix(key.node_limit);
+  h.mix(key.require_all_prototiles ? 1 : 0);
+  if (key.period.has_value()) {
+    const IntMatrix& b = key.period->basis();
+    h.mix(b.rows());
+    for (std::size_t r = 0; r < b.rows(); ++r) {
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        h.mix(static_cast<std::uint64_t>(b.at(r, c)));
+      }
+    }
+  } else {
+    h.mix(0xfeedfacecafebeefull);  // marker: diagonal period sweep
+  }
+  h.mix(key.prototiles.size());
+  for (const Prototile& tile : key.prototiles) {
+    h.mix(tile.size());
+    // Elements are stored sorted and deduplicated (the canonical order of
+    // the schedules), so equal prototile sets hash equally by design.
+    for (const Point& p : tile.points()) {
+      for (std::size_t i = 0; i < p.dim(); ++i) {
+        h.mix(static_cast<std::uint64_t>(p[i]));
+      }
+    }
+  }
+  return h.state;
+}
+
+std::optional<Tiling> TilingCache::lookup_or_run(
+    const std::vector<Prototile>& prototiles, const Sublattice* period,
+    const TorusSearchConfig& config) {
+  Key key;
+  key.prototiles = prototiles;
+  if (period != nullptr) key.period = *period;
+  key.max_period_cells = config.max_period_cells;
+  key.node_limit = config.node_limit;
+  key.require_all_prototiles = config.require_all_prototiles;
+  const std::uint64_t hash = hash_key(key);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(hash);
+    if (it != entries_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.key == key) {
+          ++hits_;
+          return entry.tiling;
+        }
+      }
+    }
+    ++misses_;
+  }
+
+  // Search outside the lock: a cold key may be searched by several racing
+  // threads, but the search is deterministic, so every racer computes the
+  // same tiling and the duplicate insert below is dropped.
+  TorusSearchConfig local = config;
+  TorusSearchStats stats;  // the caller's stats pointer must not leak in
+  local.stats = &stats;
+  std::optional<Tiling> tiling =
+      period != nullptr ? find_tiling_on_torus(prototiles, *period, local)
+                        : search_periodic_tiling(prototiles, local);
+
+  // A found tiling is always cacheable (any found tiling is a valid
+  // answer).  A FAILURE is only cacheable when no searched torus hit the
+  // node budget: a truncated failure depends on the engine and the
+  // parallel fan-out (the per-subtree budget can explore more than the
+  // serial search), so memoizing it could deny a tiling that a later,
+  // differently-shaped search would find.
+  const bool cacheable = tiling.has_value() || !stats.budget_exhausted;
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry>& bucket = entries_[hash];
+    bool present = false;
+    for (const Entry& entry : bucket) {
+      if (entry.key == key) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) bucket.push_back(Entry{std::move(key), tiling});
+  }
+  return tiling;
+}
+
+std::optional<Tiling> TilingCache::find_or_search(
+    const std::vector<Prototile>& prototiles,
+    const TorusSearchConfig& config) {
+  return lookup_or_run(prototiles, nullptr, config);
+}
+
+std::optional<Tiling> TilingCache::find_or_search_on_torus(
+    const std::vector<Prototile>& prototiles, const Sublattice& period,
+    const TorusSearchConfig& config) {
+  return lookup_or_run(prototiles, &period, config);
+}
+
+TilingCache::Stats TilingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  for (const auto& [hash, bucket] : entries_) s.entries += bucket.size();
+  return s;
+}
+
+void TilingCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace latticesched

@@ -1,0 +1,98 @@
+// Memoization of torus-search results (the planner-level cache from the
+// ROADMAP): identical (prototile set, search budget) requests used to
+// re-run the period sweep on every plan, which dominates the cost of
+// scenario sweeps — the same handful of neighborhoods is searched over
+// and over while only the deployment window changes.  The cache keys a
+// search by a canonical hash of the prototile set (element lists are
+// already stored sorted), the optional explicit torus, and the budget
+// knobs that can change the answer (max_period_cells, node_limit,
+// require_all_prototiles; the engine/parallel toggles are excluded
+// because both engines return identical tilings within budget).  Failed
+// searches are cached too — so sweeping a non-exact prototile is
+// charged once — UNLESS the search hit its node budget: a truncated
+// failure is engine- and parallelism-dependent
+// (TorusSearchStats::budget_exhausted), so it is re-run each time
+// rather than memoized.
+//
+// Thread safety: lookups and inserts lock a mutex; the search itself
+// runs outside the lock, so two threads racing on the same cold key may
+// both search (deterministically producing the same tiling — the second
+// insert is a no-op).  Hit/miss counters are surfaced in batch reports.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lattice/sublattice.hpp"
+#include "tiling/prototile.hpp"
+#include "tiling/tiling.hpp"
+#include "tiling/torus_search.hpp"
+
+namespace latticesched {
+
+class TilingCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  TilingCache() = default;
+  TilingCache(const TilingCache&) = delete;
+  TilingCache& operator=(const TilingCache&) = delete;
+
+  /// Memoized search_periodic_tiling: sweeps diagonal tori of growing
+  /// size on a miss, returns the cached result (possibly a cached
+  /// failure) on a hit.
+  std::optional<Tiling> find_or_search(
+      const std::vector<Prototile>& prototiles,
+      const TorusSearchConfig& config = {});
+
+  /// Memoized find_tiling_on_torus for an explicit period sublattice.
+  std::optional<Tiling> find_or_search_on_torus(
+      const std::vector<Prototile>& prototiles, const Sublattice& period,
+      const TorusSearchConfig& config = {});
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::vector<Prototile> prototiles;
+    std::optional<Sublattice> period;  ///< nullopt: diagonal period sweep
+    std::int64_t max_period_cells = 0;
+    std::uint64_t node_limit = 0;
+    bool require_all_prototiles = false;
+    bool operator==(const Key& o) const;
+  };
+
+  struct Entry {
+    Key key;
+    std::optional<Tiling> tiling;
+  };
+
+  std::optional<Tiling> lookup_or_run(
+      const std::vector<Prototile>& prototiles,
+      const Sublattice* period, const TorusSearchConfig& config);
+
+  static std::uint64_t hash_key(const Key& key);
+
+  mutable std::mutex mu_;
+  /// Buckets by key hash; each bucket holds full keys to survive hash
+  /// collisions.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace latticesched

@@ -1,130 +1,82 @@
-// latticesched — the planner-pipeline driver.
+// latticesched — the batch planning driver.
 //
-// Runs a named deployment scenario through the planner registry (every
-// backend unless --backends narrows it), prints the head-to-head
-// comparison the paper makes (constructive tiling schedule vs.
-// coloring/TDMA baselines), and optionally emits the same report as CSV
-// or JSON for the experiment scripts.
+// Scenarios come from the scenario library (core/scenario.hpp) and run
+// through the batch planning service (core/plan_service.hpp): every
+// (scenario, backend-set) pair is planned over the shared pool, torus
+// searches are memoized in the service's TilingCache, and the report
+// surfaces the cache hit/miss counters along with each backend's
+// verified plan.
 //
+//   $ latticesched --list-scenarios
 //   $ latticesched --scenario grid --n 16 --radius 1
-//   $ latticesched --scenario figure5 --format json --out report.json
+//   $ latticesched --scenario all --format json --out report.json
+//   $ latticesched --scenario grid,hex --radius 1,2,3      # sweep batch
+//   $ latticesched --scenario multichannel --channels 4
 //   $ latticesched --scenario cube3d --backends tiling,dsatur,tdma
 //
-// Scenarios: grid (n x n Chebyshev ball), hex (hexagonal-lattice
-// Euclidean ball), cube3d (n^3, 3-D Chebyshev ball), mobile (random
-// scattered snapshot, l1 ball), figure5 (mixed S/Z tetromino tiling,
-// rule D1), antennas (omni ball + low-power bar, Theorem 2),
-// multichannel (grid + c-channel extension of the tiling schedule).
+// Comma lists in --scenario / --n / --radius / --density expand to the
+// cross-product batch, so a whole sweep is one invocation (and, thanks
+// to the cache, one torus search per distinct neighborhood).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/multichannel.hpp"
+#include "core/plan_service.hpp"
 #include "core/planner.hpp"
-#include "core/tiling_scheduler.hpp"
-#include "graph/interference.hpp"
-#include "lattice/lattice.hpp"
-#include "tiling/shapes.hpp"
-#include "tiling/torus_search.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace latticesched {
 namespace {
 
-struct Scenario {
-  std::string name;
-  Deployment deployment;
-  std::optional<Tiling> tiling;  ///< when the deployment came from one
-};
-
-Tiling figure5_tiling() {
-  TorusSearchConfig cfg;
-  cfg.require_all_prototiles = true;
-  auto tiling = find_tiling_on_torus(
-      {shapes::s_tetromino(), shapes::z_tetromino()},
-      Sublattice::diagonal({4, 4}), cfg);
-  if (!tiling.has_value()) {
-    throw std::runtime_error("figure5: no mixed S/Z tiling on 4x4");
+std::vector<std::int64_t> int_list(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  for (const std::string& t : split_csv_list(csv)) out.push_back(std::stoll(t));
+  if (out.empty()) {
+    throw std::invalid_argument("expected at least one value in '" + csv +
+                                "'");
   }
-  return *tiling;
+  return out;
 }
 
-Tiling antennas_tiling() {
-  // Period 3x6: one 3x3 ball block + three 1x3 bars (Theorem 2's
-  // respectable mixed tiling, as in examples/directional_antennas).
-  return Tiling::periodic(
-      {shapes::chebyshev_ball(2, 1), shapes::rectangle(3, 1, 1, 0)},
-      Sublattice::diagonal({3, 6}),
-      {{Point{1, 1}, 0}, {Point{1, 3}, 1}, {Point{1, 4}, 1},
-       {Point{1, 5}, 1}});
+std::vector<double> double_list(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& t : split_csv_list(csv)) out.push_back(std::stod(t));
+  if (out.empty()) {
+    throw std::invalid_argument("expected at least one value in '" + csv +
+                                "'");
+  }
+  return out;
 }
 
-Scenario make_scenario(const std::string& name, std::int64_t n,
-                       std::int64_t radius, std::uint64_t seed) {
-  if (name == "grid" || name == "multichannel") {
-    return {name,
-            Deployment::grid(Box::cube(2, 0, n - 1),
-                             shapes::chebyshev_ball(2, radius)),
-            std::nullopt};
+void print_item_table(const BatchItemReport& item) {
+  if (!item.built) {
+    std::printf("scenario %s: FAILED to build: %s\n\n",
+                item.scenario.c_str(), item.error.c_str());
+    return;
   }
-  if (name == "hex") {
-    const Prototile ball = shapes::euclidean_ball(Lattice::hexagonal(), 1.0);
-    return {name, Deployment::grid(Box::centered(2, n / 2), ball),
-            std::nullopt};
+  std::printf("scenario %s: %zu sensors", item.label.c_str(), item.sensors);
+  if (item.channels > 1) std::printf(", %u channels", item.channels);
+  if (!item.results.empty()) {
+    std::printf(", lower bound %u slots", item.results.front().lower_bound);
   }
-  if (name == "cube3d") {
-    return {name,
-            Deployment::grid(Box::cube(3, 0, n - 1),
-                             shapes::chebyshev_ball(3, radius)),
-            std::nullopt};
-  }
-  if (name == "mobile") {
-    // Snapshot of a mobile swarm: ~35% of the n x n cells hold a sensor,
-    // positions drawn without replacement from the seeded RNG.
-    PointVec cells = Box::cube(2, 0, n - 1).points();
-    Rng rng(seed);
-    rng.shuffle(cells);
-    cells.resize(std::max<std::size_t>(1, cells.size() * 35 / 100));
-    return {name,
-            Deployment::uniform(std::move(cells), shapes::l1_ball(2, radius)),
-            std::nullopt};
-  }
-  if (name == "figure5") {
-    Tiling tiling = figure5_tiling();
-    Deployment d = Deployment::from_tiling(tiling, Box::centered(2, n / 2));
-    return {name, std::move(d), std::move(tiling)};
-  }
-  if (name == "antennas") {
-    Tiling tiling = antennas_tiling();
-    Deployment d = Deployment::from_tiling(tiling, Box::centered(2, n / 2));
-    return {name, std::move(d), std::move(tiling)};
-  }
-  throw std::invalid_argument(
-      "unknown scenario '" + name +
-      "' (grid, hex, cube3d, mobile, figure5, antennas, multichannel)");
-}
-
-void print_table(const Scenario& scenario,
-                 const std::vector<PlanResult>& results) {
-  std::printf("scenario %s: %zu sensors, %zu prototile(s), lower bound %u "
-              "slots\n\n",
-              scenario.name.c_str(), scenario.deployment.size(),
-              scenario.deployment.prototiles().size(),
-              results.empty() ? 0 : results.front().lower_bound);
+  std::printf("\n\n");
   Table t({"backend", "period", "gap", "collision-free", "balance",
            "duty cycle", "wall ms", "status"});
-  for (const PlanResult& r : results) {
+  for (const PlanResult& r : item.results) {
     t.begin_row();
     t.cell(r.backend);
     if (r.ok) {
-      t.cell(r.slots.period);
+      t.cell(r.effective_period());
       t.cell(r.optimality_gap, 2);
-      t.cell(r.collision_free ? "yes" : "NO");
+      // "-" = the checker was skipped (--no-verify), not a clean bill.
+      t.cell(!r.verified ? "-" : r.collision_free ? "yes" : "NO");
       t.cell(r.slot_balance, 3);
       t.cell(r.duty_cycle, 4);
       t.cell(r.wall_seconds * 1e3, 2);
@@ -140,39 +92,24 @@ void print_table(const Scenario& scenario,
     }
   }
   t.print(std::cout);
-}
-
-// Returns the extension's collision verdict (true when skipped).  Writes
-// to `sink` — stderr when stdout carries a CSV/JSON report, so the
-// supplementary text never corrupts the machine-readable stream.
-bool print_multichannel(const Scenario& scenario,
-                        const std::vector<PlanResult>& results,
-                        std::uint32_t channels, std::FILE* sink) {
-  for (const PlanResult& r : results) {
-    if (r.backend != "tiling" || !r.ok || !r.tiling.has_value()) continue;
-    const MultiChannelSchedule mc(TilingSchedule(*r.tiling), channels);
-    const MultiChannelSlots slots =
-        assign_multichannel(mc, scenario.deployment);
-    const CollisionReport report =
-        check_collision_free_multichannel(scenario.deployment, slots);
-    std::fprintf(sink, "\nmultichannel extension (%u channels): %s; %s\n",
-                 channels, mc.description().c_str(),
-                 report.to_string().c_str());
-    return report.collision_free;
-  }
-  std::fprintf(sink, "\nmultichannel extension skipped: no tiling result\n");
-  return true;
+  std::printf("\n");
 }
 
 int run(int argc, char** argv) {
   CliParser cli(
-      "Run a deployment scenario through every scheduling backend and "
+      "Run deployment scenarios through the batch planning service and "
       "report verified, diagnosed plans.");
   cli.add_flag("scenario", "grid",
-               "grid | hex | cube3d | mobile | figure5 | antennas | "
-               "multichannel");
-  cli.add_flag("n", "12", "window size (side length / diameter)");
-  cli.add_flag("radius", "1", "interference radius where applicable");
+               "scenario name, comma list, or 'all' (see --list-scenarios)");
+  cli.add_flag("list-scenarios", "false",
+               "print the scenario registry with parameter docs and exit");
+  cli.add_flag("n", "12", "window size (side length / diameter); comma "
+               "list sweeps");
+  cli.add_flag("radius", "1",
+               "interference radius where applicable; comma list sweeps");
+  cli.add_flag("density", "0.35",
+               "occupied-cell fraction of random scatters; comma list "
+               "sweeps");
   cli.add_flag("backends", "all",
                "comma-separated backend names, or 'all'");
   cli.add_flag("threads", "0",
@@ -193,44 +130,131 @@ int run(int argc, char** argv) {
     std::printf("%s", cli.help_text().c_str());
     return 0;
   }
+  if (cli.get_bool("list-scenarios")) {
+    std::printf("%s", ScenarioRegistry::global().describe().c_str());
+    return 0;
+  }
 
   const std::int64_t threads = cli.get_int("threads");
   if (threads > 0) {
     set_parallel_threads(static_cast<std::size_t>(threads));
   }
 
-  const Scenario scenario = make_scenario(
-      cli.get_string("scenario"), cli.get_int("n"), cli.get_int("radius"),
-      static_cast<std::uint64_t>(cli.get_int("seed")));
+  // Scenario selection (a name, a comma list, or the whole registry),
+  // crossed with the swept numeric flags into one batch.
+  std::vector<std::string> scenario_names;
+  if (const std::string s = cli.get_string("scenario"); s == "all") {
+    scenario_names = ScenarioRegistry::global().names();
+  } else {
+    scenario_names = split_csv_list(s);
+  }
+  if (scenario_names.empty()) {
+    std::fprintf(stderr,
+                 "--scenario names no scenario; --list-scenarios shows "
+                 "the registry\n");
+    return 2;
+  }
+  for (const std::string& name : scenario_names) {
+    if (ScenarioRegistry::global().find(name) == nullptr) {
+      std::fprintf(stderr,
+                   "unknown scenario '%s'; --list-scenarios shows the "
+                   "registry\n",
+                   name.c_str());
+      return 2;
+    }
+  }
 
-  PlanRequest request;
-  request.deployment = &scenario.deployment;
-  if (scenario.tiling.has_value()) request.tiling = &*scenario.tiling;
-  request.verify = !cli.get_bool("no-verify");
-  request.sa.max_iters =
-      static_cast<std::uint64_t>(cli.get_int("sa-iters"));
+  std::vector<BatchItem> items;
+  const std::vector<std::string> backends =
+      parse_backend_list(cli.get_string("backends"));
+  try {
+    const std::vector<std::int64_t> all_n = int_list(cli.get_string("n"));
+    const std::vector<std::int64_t> all_radii =
+        int_list(cli.get_string("radius"));
+    const std::vector<double> all_densities =
+        double_list(cli.get_string("density"));
+    for (const std::string& name : scenario_names) {
+      // Sweep only the parameters this scenario declares it reads —
+      // sweeping a parameter a generator ignores would plan the
+      // identical instance several times over.
+      const ScenarioSpec& spec = *ScenarioRegistry::global().find(name);
+      const auto uses = [&spec](const char* param) {
+        for (const ScenarioParamDoc& doc : spec.params) {
+          if (doc.name == param) return true;
+        }
+        return false;
+      };
+      const std::vector<std::int64_t> radii =
+          uses("radius") ? all_radii
+                         : std::vector<std::int64_t>{all_radii.front()};
+      const std::vector<double> densities =
+          uses("density") ? all_densities
+                          : std::vector<double>{all_densities.front()};
+      for (std::int64_t n : all_n) {
+        for (std::int64_t radius : radii) {
+          for (double density : densities) {
+            BatchItem item;
+            item.query.scenario = name;
+            item.query.params.n = n;
+            item.query.params.radius = radius;
+            item.query.params.density = density;
+            item.query.params.seed =
+                static_cast<std::uint64_t>(cli.get_int("seed"));
+            item.query.params.channels =
+                static_cast<std::uint32_t>(cli.get_int("channels"));
+            item.backends = backends;
+            item.sa.max_iters =
+                static_cast<std::uint64_t>(cli.get_int("sa-iters"));
+            item.verify = !cli.get_bool("no-verify");
+            items.push_back(std::move(item));
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
-  const std::vector<PlanResult> results = PlannerRegistry::global().plan_all(
-      request, parse_backend_list(cli.get_string("backends")));
+  PlanService service;
+  BatchReport report;
+  try {
+    report = service.run(items);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "latticesched: %s\n", e.what());
+    return 2;
+  }
 
   const std::string format = cli.get_string("format");
-  std::string report;
+  std::string serialized;
   if (format == "csv") {
-    report = plan_results_to_csv(results, scenario.name);
+    serialized = batch_report_to_csv(report);
   } else if (format == "json") {
-    report = plan_results_to_json(results, scenario.name);
+    serialized = batch_report_to_json(report);
   } else if (format != "table") {
     std::fprintf(stderr, "unknown --format %s\n", format.c_str());
     return 2;
   }
+
   if (format == "table") {
-    print_table(scenario, results);
+    for (const BatchItemReport& item : report.items) print_item_table(item);
+    std::printf(
+        "batch: %zu scenario(s) in %.1f ms; tiling cache: %llu hit(s), "
+        "%llu miss(es)\n",
+        report.items.size(), report.wall_seconds * 1e3,
+        static_cast<unsigned long long>(report.cache_hits),
+        static_cast<unsigned long long>(report.cache_misses));
   } else {
-    std::printf("%s", report.c_str());
+    std::printf("%s", serialized.c_str());
+    // Keep the machine-readable stream clean; counters also live inside
+    // the JSON form.
+    std::fprintf(stderr, "tiling cache: %llu hit(s), %llu miss(es)\n",
+                 static_cast<unsigned long long>(report.cache_hits),
+                 static_cast<unsigned long long>(report.cache_misses));
   }
   if (const std::string out = cli.get_string("out"); !out.empty()) {
     const std::string payload =
-        !report.empty() ? report : plan_results_to_csv(results, scenario.name);
+        !serialized.empty() ? serialized : batch_report_to_csv(report);
     std::ofstream os(out);
     if (!os) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -239,19 +263,8 @@ int run(int argc, char** argv) {
     os << payload;
     std::fprintf(stderr, "report written to %s\n", out.c_str());
   }
-  bool multichannel_free = true;
-  if (cli.get_string("scenario") == "multichannel") {
-    multichannel_free = print_multichannel(
-        scenario, results,
-        static_cast<std::uint32_t>(cli.get_int("channels")),
-        format == "table" ? stdout : stderr);
-  }
 
-  if (!multichannel_free) return 1;
-  for (const PlanResult& r : results) {
-    if (!r.ok || !r.collision_free) return 1;
-  }
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <stdexcept>
 
@@ -110,7 +111,13 @@ std::vector<Tiling> run_search_legacy(
   st.result_limit = limit;
   st.results = &results;
   search_legacy(st);
-  if (config.stats != nullptr) config.stats->nodes = st.nodes;
+  // node_limit is a per-torus budget: one serial search may overshoot by
+  // at most the final (budget-exhausting) increment.
+  assert(st.nodes <= config.node_limit + 1);
+  if (config.stats != nullptr) {
+    config.stats->nodes = st.nodes;
+    config.stats->budget_exhausted = st.nodes > config.node_limit;
+  }
   return results;
 }
 
@@ -318,7 +325,11 @@ std::vector<Tiling> run_search_dense(
   st.result_limit = limit;
   st.results = &results;
   search_dense(st, 0);
-  if (config.stats != nullptr) config.stats->nodes = st.nodes;
+  assert(st.nodes <= config.node_limit + 1);
+  if (config.stats != nullptr) {
+    config.stats->nodes = st.nodes;
+    config.stats->budget_exhausted = st.nodes > config.node_limit;
+  }
   return results;
 }
 
@@ -340,6 +351,7 @@ std::vector<Tiling> run_search_dense_parallel(
   std::atomic<std::uint32_t> satisfied{~std::uint32_t{0}};
   std::vector<std::vector<Tiling>> results(tables.cand_stride);
   std::vector<std::uint64_t> nodes(tables.cand_stride, 0);
+  std::vector<char> exhausted(tables.cand_stride, 0);
 
   parallel_for(0, tables.cand_stride, [&](std::size_t s) {
     nodes[s] = 1;  // the root trial itself, as the serial loop counts it
@@ -371,7 +383,13 @@ std::vector<Tiling> run_search_dense_parallel(
     st.satisfied = &satisfied;
     st.subtree_index = static_cast<std::uint32_t>(s);
     search_dense(st, 1);
+    // The documented semantics of TorusSearchConfig::node_limit: under
+    // the root fan-out the budget applies to EACH subtree, so a
+    // truncated parallel search can explore more nodes in total than a
+    // truncated serial one (never fewer).
+    assert(st.nodes <= config.node_limit + 1);
     nodes[s] += st.nodes;
+    exhausted[s] = st.nodes > config.node_limit ? 1 : 0;
     if (results[s].size() >= limit) {
       std::uint32_t cur = satisfied.load(std::memory_order_relaxed);
       const std::uint32_t mine = static_cast<std::uint32_t>(s);
@@ -384,15 +402,20 @@ std::vector<Tiling> run_search_dense_parallel(
 
   std::vector<Tiling> out;
   std::uint64_t total_nodes = 0;
+  bool any_exhausted = false;
   for (std::uint32_t s = 0; s < tables.cand_stride; ++s) {
     total_nodes += nodes[s];
+    any_exhausted = any_exhausted || exhausted[s] != 0;
     for (Tiling& t : results[s]) {
       if (out.size() >= limit) break;
       out.push_back(std::move(t));
     }
     if (out.size() >= limit) break;
   }
-  if (config.stats != nullptr) config.stats->nodes = total_nodes;
+  if (config.stats != nullptr) {
+    config.stats->nodes = total_nodes;
+    config.stats->budget_exhausted = any_exhausted;
+  }
   return out;
 }
 
@@ -400,6 +423,7 @@ std::vector<Tiling> run_search(const std::vector<Prototile>& prototiles,
                                const Sublattice& period,
                                const TorusSearchConfig& config,
                                std::size_t limit) {
+  config.validate();
   if (prototiles.empty()) {
     throw std::invalid_argument("torus search: no prototiles");
   }
@@ -426,6 +450,18 @@ std::vector<Tiling> run_search(const std::vector<Prototile>& prototiles,
 
 }  // namespace
 
+void TorusSearchConfig::validate() const {
+  if (node_limit == 0) {
+    throw std::invalid_argument(
+        "TorusSearchConfig: node_limit must be >= 1 (the budget applies "
+        "per torus/subtree, never globally)");
+  }
+  if (max_period_cells <= 0) {
+    throw std::invalid_argument(
+        "TorusSearchConfig: max_period_cells must be positive");
+  }
+}
+
 std::optional<Tiling> find_tiling_on_torus(
     const std::vector<Prototile>& prototiles, const Sublattice& period,
     const TorusSearchConfig& config) {
@@ -443,6 +479,7 @@ std::vector<Tiling> all_tilings_on_torus(
 std::optional<Tiling> search_periodic_tiling(
     const std::vector<Prototile>& prototiles,
     const TorusSearchConfig& config) {
+  config.validate();
   if (prototiles.empty()) {
     throw std::invalid_argument("search_periodic_tiling: no prototiles");
   }
@@ -537,12 +574,29 @@ std::optional<Tiling> search_periodic_tiling(
   }
   const std::size_t winner = best.load(std::memory_order_relaxed);
   if (winner < tori.size()) {
-    if (config.stats != nullptr) *config.stats = stats[winner];
+    if (config.stats != nullptr) {
+      *config.stats = stats[winner];
+      // Every torus below the winner was searched and failed; if any of
+      // them hit the budget, the choice of winner itself is
+      // budget-dependent.
+      for (std::size_t i = 0; i < winner; ++i) {
+        config.stats->budget_exhausted =
+            config.stats->budget_exhausted || stats[i].budget_exhausted;
+      }
+    }
     return std::move(found[winner]);
   }
   // No torus admits a tiling; report the last searched torus's counters,
-  // matching the serial sweep's overwrite-per-torus behavior.
-  if (config.stats != nullptr) *config.stats = stats[tori.size() - 1];
+  // matching the serial sweep's overwrite-per-torus behavior (the
+  // exhaustion flag ORs over the whole sweep — a failure is only
+  // budget-independent if no torus truncated).
+  if (config.stats != nullptr) {
+    *config.stats = stats[tori.size() - 1];
+    for (const TorusSearchStats& s : stats) {
+      config.stats->budget_exhausted =
+          config.stats->budget_exhausted || s.budget_exhausted;
+    }
+  }
   return std::nullopt;
 }
 

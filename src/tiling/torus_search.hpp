@@ -32,12 +32,25 @@ namespace latticesched {
 struct TorusSearchStats {
   /// Placements tried (the budget unit of node_limit).
   std::uint64_t nodes = 0;
+  /// Whether any searched torus/subtree hit the node budget.  A search
+  /// that exhausted its budget is engine- and parallelism-dependent
+  /// (see TorusSearchConfig::node_limit), so e.g. the TilingCache
+  /// refuses to memoize a budget-truncated failure.  For a sweep this
+  /// ORs over every torus whose outcome influenced the result.
+  bool budget_exhausted = false;
 };
 
 struct TorusSearchConfig {
   /// Upper bound on period cells for the period sweep.
   std::int64_t max_period_cells = 256;
-  /// Backtracking node budget (placements tried) per torus.
+  /// Backtracking node budget (placements tried).  The budget's scope is
+  /// per torus AND, under the parallel root fan-out, per root subtree —
+  /// never global across a sweep: the serial sweep resets the counter
+  /// for every torus it tries, and the parallel engine gives each root
+  /// subtree its own budget (asserted in the engine; pinned by
+  /// tests/test_node_budget.cpp).  Consequently a budget-truncated
+  /// parallel search may explore MORE nodes than a serial one — with an
+  /// ample budget both explore exactly the same nodes.
   std::uint64_t node_limit = 20'000'000;
   /// Require every prototile to appear at least once (used to force
   /// genuinely mixed tilings like Figure 5 left).
@@ -61,6 +74,11 @@ struct TorusSearchConfig {
   /// When non-null, receives search counters (overwritten per torus; the
   /// parallel sweep reports the winning torus's counters).
   TorusSearchStats* stats = nullptr;
+
+  /// Sanity-checks the budget knobs (throws std::invalid_argument): a
+  /// zero node_limit or non-positive max_period_cells would silently
+  /// search nothing.  Every search entry point validates.
+  void validate() const;
 };
 
 /// Exact-cover search on the torus Z^d / period; returns a Tiling whose

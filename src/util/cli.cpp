@@ -5,6 +5,16 @@
 
 namespace latticesched {
 
+std::vector<std::string> split_csv_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream is(csv);
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
 
@@ -53,9 +63,14 @@ void CliParser::parse(int argc, const char* const* argv) {
       const bool is_boolean = dflt == "true" || dflt == "false";
       if (is_boolean) {
         value = "true";
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
       } else {
+        // Refusing a `--`-prefixed token as the value turns
+        // `--out --format json` into an error instead of silently
+        // binding "--format" as the output path (values never start
+        // with "--"; negative numbers are a single dash).
         throw std::invalid_argument("flag --" + name + " expects a value");
       }
     }

@@ -16,6 +16,10 @@
 
 namespace latticesched {
 
+/// Splits "a,b,c" on commas into non-empty tokens ("" -> {}); the one
+/// tokenizer behind backend lists and the driver's sweep flags.
+std::vector<std::string> split_csv_list(const std::string& csv);
+
 class CliParser {
  public:
   CliParser(std::string program_description);

@@ -1,0 +1,151 @@
+// Scenario library tests: registry inventory, parameterized generators,
+// sweep expanders, and cache-aware scenario builds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenario.hpp"
+#include "core/tiling_cache.hpp"
+
+namespace latticesched {
+namespace {
+
+TEST(Scenario, RegistryListsBuiltinScenarios) {
+  const auto names = ScenarioRegistry::global().names();
+  for (const std::string& name :
+       {"grid", "hex", "cube3d", "mobile", "figure5", "antennas",
+        "multichannel", "random-subset"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name;
+    ASSERT_NE(ScenarioRegistry::global().find(name), nullptr) << name;
+  }
+  EXPECT_EQ(ScenarioRegistry::global().find("no-such-scenario"), nullptr);
+  EXPECT_THROW(ScenarioRegistry::global().build("no-such-scenario"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, EveryScenarioBuildsWithDefaults) {
+  for (const std::string& name : ScenarioRegistry::global().names()) {
+    const ScenarioInstance inst = ScenarioRegistry::global().build(name);
+    EXPECT_EQ(inst.scenario, name);
+    EXPECT_GT(inst.deployment.size(), 0u) << name;
+    EXPECT_NE(inst.label.find(name), std::string::npos) << inst.label;
+    EXPECT_GE(inst.channels, 1u) << name;
+  }
+}
+
+TEST(Scenario, ParamsShapeTheInstance) {
+  ScenarioParams params;
+  params.n = 5;
+  params.radius = 2;
+  const ScenarioInstance grid =
+      ScenarioRegistry::global().build("grid", params);
+  EXPECT_EQ(grid.deployment.size(), 25u);
+  EXPECT_EQ(grid.deployment.prototiles().front().size(), 25u);  // (2r+1)^2
+
+  params.n = 10;
+  params.density = 0.5;
+  const ScenarioInstance subset =
+      ScenarioRegistry::global().build("random-subset", params);
+  EXPECT_EQ(subset.deployment.size(), 50u);  // 100 cells at density 0.5
+
+  // Different seeds scatter differently (same size, same window).
+  ScenarioParams other = params;
+  other.seed = params.seed + 17;
+  const ScenarioInstance subset2 =
+      ScenarioRegistry::global().build("random-subset", other);
+  ASSERT_EQ(subset.deployment.size(), subset2.deployment.size());
+  EXPECT_NE(subset.deployment.positions(), subset2.deployment.positions());
+
+  params.density = 1.5;
+  EXPECT_THROW(ScenarioRegistry::global().build("random-subset", params),
+               std::invalid_argument);
+}
+
+TEST(Scenario, TilingScenariosCarryTheirTiling) {
+  for (const std::string& name : {"figure5", "antennas"}) {
+    const ScenarioInstance inst = ScenarioRegistry::global().build(name);
+    ASSERT_TRUE(inst.tiling.has_value()) << name;
+    EXPECT_GT(inst.tiling->prototiles().size(), 1u) << name;
+  }
+  const ScenarioInstance mc =
+      ScenarioRegistry::global().build("multichannel");
+  EXPECT_GE(mc.channels, 2u);
+}
+
+TEST(Scenario, Figure5BuildUsesTheTilingCache) {
+  TilingCache cache;
+  (void)ScenarioRegistry::global().build("figure5", {}, &cache);
+  const TilingCache::Stats cold = cache.stats();
+  EXPECT_EQ(cold.misses, 1u);
+  EXPECT_EQ(cold.hits, 0u);
+  (void)ScenarioRegistry::global().build("figure5", {}, &cache);
+  const TilingCache::Stats warm = cache.stats();
+  EXPECT_EQ(warm.misses, 1u);
+  EXPECT_EQ(warm.hits, 1u);
+}
+
+TEST(Scenario, HexScenarioCarriesItsLattice) {
+  const ScenarioInstance hex = ScenarioRegistry::global().build("hex");
+  ASSERT_TRUE(hex.lattice.has_value());
+  EXPECT_EQ(hex.lattice->name(), "hexagonal");
+  // Square-lattice scenarios leave it empty (the planner defaults).
+  EXPECT_FALSE(ScenarioRegistry::global().build("grid").lattice.has_value());
+}
+
+TEST(Scenario, TilingCacheDoesNotMemoizeTruncatedFailures) {
+  // A budget-truncated failure is engine/parallelism-dependent, so the
+  // cache must re-run it; an exhaustive (ample-budget) failure is a
+  // stable answer and caches normally.
+  const Prototile f(PointVec{{0, 0}, {1, 0}, {-1, 1}, {0, 1}, {0, 2}}, "F");
+  TilingCache cache;
+  TorusSearchConfig truncated;
+  truncated.max_period_cells = 30;
+  truncated.node_limit = 5;
+  EXPECT_FALSE(cache.find_or_search({f}, truncated).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.find_or_search({f}, truncated).has_value());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  TorusSearchConfig ample;
+  ample.max_period_cells = 30;  // F-pentomino is not exact: full failure
+  EXPECT_FALSE(cache.find_or_search({f}, ample).has_value());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_FALSE(cache.find_or_search({f}, ample).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Scenario, DescribeDocumentsEveryScenario) {
+  const std::string text = ScenarioRegistry::global().describe();
+  for (const std::string& name : ScenarioRegistry::global().names()) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("--density"), std::string::npos);
+}
+
+TEST(Scenario, SweepExpanders) {
+  ScenarioParams base;
+  base.n = 9;
+
+  const auto radii = radius_sweep("grid", base, {1, 2, 3});
+  ASSERT_EQ(radii.size(), 3u);
+  EXPECT_EQ(radii[1].params.radius, 2);
+  EXPECT_EQ(radii[1].params.n, 9);
+  EXPECT_EQ(radii[2].scenario, "grid");
+
+  const auto densities = density_sweep("random-subset", base, {0.2, 0.8});
+  ASSERT_EQ(densities.size(), 2u);
+  EXPECT_DOUBLE_EQ(densities[1].params.density, 0.8);
+
+  const auto sizes = size_sweep("cube3d", base, {4, 6});
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0].params.n, 4);
+
+  const auto seeds = seed_sweep("mobile", base, 4);
+  ASSERT_EQ(seeds.size(), 4u);
+  EXPECT_EQ(seeds[3].params.seed, base.seed + 3);
+}
+
+}  // namespace
+}  // namespace latticesched

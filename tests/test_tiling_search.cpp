@@ -112,11 +112,32 @@ TEST(TorusSearch, EnumeratesManyMixedTilings) {
 }
 
 TEST(TorusSearch, RespectsNodeBudget) {
+  // A mixed S+Z tiling of the 4x4 torus needs four placements; a
+  // one-node budget (per torus/subtree) can never complete one.
   TorusSearchConfig cfg;
-  cfg.node_limit = 0;  // no search allowed at all
-  cfg.max_period_cells = 16;
-  const auto t = search_periodic_tiling({shapes::s_tetromino()}, cfg);
+  cfg.node_limit = 1;
+  cfg.require_all_prototiles = true;
+  const auto t =
+      find_tiling_on_torus({shapes::s_tetromino(), shapes::z_tetromino()},
+                           Sublattice::diagonal({4, 4}), cfg);
   EXPECT_FALSE(t.has_value());
+}
+
+TEST(TorusSearch, ZeroNodeBudgetIsRejected) {
+  // node_limit = 0 used to mean "search nothing"; the validated config
+  // now rejects it so a zero budget can never silently report "no
+  // tiling" for an exact prototile.
+  TorusSearchConfig cfg;
+  cfg.node_limit = 0;
+  EXPECT_THROW(search_periodic_tiling({shapes::s_tetromino()}, cfg),
+               std::invalid_argument);
+  EXPECT_THROW(find_tiling_on_torus({shapes::s_tetromino()},
+                                    Sublattice::diagonal({2, 2}), cfg),
+               std::invalid_argument);
+  cfg.node_limit = 1;
+  cfg.max_period_cells = 0;
+  EXPECT_THROW(search_periodic_tiling({shapes::s_tetromino()}, cfg),
+               std::invalid_argument);
 }
 
 TEST(TorusSearch, STetrominoTilesTinyTorus) {
