@@ -50,6 +50,11 @@ struct BatchReport {
   std::vector<BatchItemReport> items;  ///< in request order
   std::uint64_t cache_hits = 0;        ///< TilingCache hits of THIS run
   std::uint64_t cache_misses = 0;      ///< TilingCache misses of THIS run
+  /// Worker processes that died (or exited nonzero) during a distributed
+  /// run (src/dist); their shards were reassigned, so a nonzero count
+  /// with all_ok() means the sweep survived the failures.  Always 0 for
+  /// in-process PlanService runs.
+  std::uint64_t worker_failures = 0;
   double wall_seconds = 0.0;
 
   bool all_ok() const;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/cli.hpp"
+
 namespace latticesched {
 
 namespace {
@@ -59,6 +61,15 @@ std::string json_unescape(const std::string& s) {
 std::string format_double(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Round-trip-exact double form for the wire (shard assignments must
+/// reproduce the coordinator's instances bit-for-bit; %.6g would round
+/// a swept density into a different deployment).
+std::string format_double_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
 
@@ -298,9 +309,155 @@ std::string batch_report_to_json(const BatchReport& report) {
   os << "  ],\n";
   os << "  \"cache\": {\"hits\": " << report.cache_hits
      << ", \"misses\": " << report.cache_misses << "},\n";
+  os << "  \"worker_failures\": " << report.worker_failures << ",\n";
   os << "  \"wall_ms\": " << format_double(report.wall_seconds * 1e3)
      << "\n}\n";
   return os.str();
+}
+
+PlanResult result_from_row(const PlanResultRow& row) {
+  PlanResult result;
+  result.backend = row.backend;
+  result.ok = row.ok;
+  result.error = row.error;
+  result.detail = row.detail;
+  result.collision_free = row.collision_free;
+  result.verified = row.verified;
+  result.lower_bound = row.lower_bound;
+  result.optimality_gap = row.optimality_gap;
+  result.slot_balance = row.slot_balance;
+  result.duty_cycle = row.duty_cycle;
+  result.wall_seconds = row.wall_ms / 1e3;
+  result.channels = row.channels;
+  result.slots.period = row.period;
+  // The row stores the sensor count as the slot-table size; a
+  // placeholder table keeps that invariant without shipping the slots.
+  result.slots.slot.assign(row.sensors, 0);
+  // A successful multichannel plan carries its folded period through
+  // channel_slots (effective_period() reads it); failures record the
+  // channel count only, exactly like the live pipeline.
+  if (row.channels > 1 && row.ok) {
+    MultiChannelSlots folded;
+    folded.period = row.effective_period;
+    folded.channels = row.channels;
+    result.channel_slots = std::move(folded);
+  }
+  return result;
+}
+
+BatchReport parse_batch_report_json(const std::string& json) {
+  BatchReport report;
+  std::istringstream is(json);
+  std::string line;
+  bool saw_cache = false;
+  bool saw_wall = false;
+  while (std::getline(is, line)) {
+    if (line.find("\"label\": ") != std::string::npos) {
+      BatchItemReport item;
+      item.scenario = json_field(line, "scenario");
+      item.label = json_field(line, "label");
+      item.sensors = std::stoull(json_field(line, "sensors"));
+      item.channels = static_cast<std::uint32_t>(
+          std::stoul(json_field(line, "channels")));
+      item.built = json_field(line, "built") == "true";
+      item.error = json_field(line, "error");
+      report.items.push_back(std::move(item));
+    } else if (line.find("\"backend\": ") != std::string::npos) {
+      if (report.items.empty()) {
+        throw std::invalid_argument(
+            "batch JSON: result row before any item");
+      }
+      report.items.back().results.push_back(
+          result_from_row(row_from_json_object(line)));
+    } else if (line.find("\"cache\": ") != std::string::npos) {
+      report.cache_hits = std::stoull(json_field(line, "hits"));
+      report.cache_misses = std::stoull(json_field(line, "misses"));
+      saw_cache = true;
+    } else if (line.find("\"worker_failures\": ") != std::string::npos) {
+      report.worker_failures =
+          std::stoull(json_field(line, "worker_failures"));
+    } else if (line.find("\"wall_ms\": ") != std::string::npos) {
+      report.wall_seconds = std::stod(json_field(line, "wall_ms")) / 1e3;
+      saw_wall = true;
+    }
+  }
+  if (!saw_cache || !saw_wall) {
+    throw std::invalid_argument("batch JSON: missing cache/wall_ms footer");
+  }
+  return report;
+}
+
+std::string batch_items_to_json(const std::vector<BatchItem>& items) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    std::string backends;
+    for (std::size_t b = 0; b < item.backends.size(); ++b) {
+      if (b > 0) backends += ',';
+      backends += item.backends[b];
+    }
+    os << "  {\"scenario\": \"" << json_escape(item.query.scenario)
+       << "\", \"n\": " << item.query.params.n
+       << ", \"radius\": " << item.query.params.radius
+       << ", \"seed\": " << item.query.params.seed
+       << ", \"channels\": " << item.query.params.channels
+       << ", \"density\": " << format_double_exact(item.query.params.density)
+       << ", \"backends\": \"" << json_escape(backends)
+       << "\", \"verify\": " << (item.verify ? "true" : "false")
+       << ", \"max_period_cells\": " << item.search.max_period_cells
+       << ", \"node_limit\": " << item.search.node_limit
+       << ", \"require_all_prototiles\": "
+       << (item.search.require_all_prototiles ? "true" : "false")
+       << ", \"use_dense_engine\": "
+       << (item.search.use_dense_engine ? "true" : "false")
+       << ", \"use_parallel\": "
+       << (item.search.use_parallel ? "true" : "false")
+       << ", \"sa_max_iters\": " << item.sa.max_iters
+       << ", \"sa_initial_temperature\": "
+       << format_double_exact(item.sa.initial_temperature)
+       << ", \"sa_cooling\": " << format_double_exact(item.sa.cooling)
+       << ", \"sa_seed\": " << item.sa.seed
+       << ", \"sa_restarts\": " << item.sa.restarts << "}"
+       << (i + 1 < items.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::vector<BatchItem> parse_batch_items_json(const std::string& json) {
+  std::vector<BatchItem> items;
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"scenario\": ") == std::string::npos) continue;
+    BatchItem item;
+    item.query.scenario = json_field(line, "scenario");
+    item.query.params.n = std::stoll(json_field(line, "n"));
+    item.query.params.radius = std::stoll(json_field(line, "radius"));
+    item.query.params.seed = std::stoull(json_field(line, "seed"));
+    item.query.params.channels = static_cast<std::uint32_t>(
+        std::stoul(json_field(line, "channels")));
+    item.query.params.density = std::stod(json_field(line, "density"));
+    item.backends = split_csv_list(json_field(line, "backends"));
+    item.verify = json_field(line, "verify") == "true";
+    item.search.max_period_cells =
+        std::stoll(json_field(line, "max_period_cells"));
+    item.search.node_limit = std::stoull(json_field(line, "node_limit"));
+    item.search.require_all_prototiles =
+        json_field(line, "require_all_prototiles") == "true";
+    item.search.use_dense_engine =
+        json_field(line, "use_dense_engine") == "true";
+    item.search.use_parallel = json_field(line, "use_parallel") == "true";
+    item.sa.max_iters = std::stoull(json_field(line, "sa_max_iters"));
+    item.sa.initial_temperature =
+        std::stod(json_field(line, "sa_initial_temperature"));
+    item.sa.cooling = std::stod(json_field(line, "sa_cooling"));
+    item.sa.seed = std::stoull(json_field(line, "sa_seed"));
+    item.sa.restarts = std::stoull(json_field(line, "sa_restarts"));
+    items.push_back(std::move(item));
+  }
+  return items;
 }
 
 }  // namespace latticesched

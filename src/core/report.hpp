@@ -55,8 +55,32 @@ std::vector<PlanResultRow> parse_plan_results_json(const std::string& json);
 /// Batch reports: CSV is the per-result rows of every item (labelled by
 /// the item's scenario label) — cache counters don't fit a row stream
 /// and are surfaced by the JSON form and the driver's footer.  JSON is
-/// one object: {"items": [...], "cache": {...}, "wall_ms": ...}.
+/// one object: {"items": [...], "cache": {...}, "worker_failures": ...,
+/// "wall_ms": ...}.
 std::string batch_report_to_csv(const BatchReport& report);
 std::string batch_report_to_json(const BatchReport& report);
+
+/// Inverse of to_row: a PlanResult carrying the row's serialized surface.
+/// Only what a report row ships comes back — the slot table is a
+/// placeholder of the right size/period, and live objects (tiling,
+/// mobile scheduler, per-sensor channel assignments, collision witness)
+/// stay empty — but to_row(result_from_row(r)) == r, which is what the
+/// distributed merge needs to reproduce a single-process report
+/// byte-for-byte.
+PlanResult result_from_row(const PlanResultRow& row);
+
+/// Parses batch_report_to_json output back into a BatchReport whose
+/// results are result_from_row reconstructions; throws
+/// std::invalid_argument on malformed input.  Emit ∘ parse ∘ emit is the
+/// identity on serialized reports — pinned by test and relied on by the
+/// distributed wire protocol (src/dist).
+BatchReport parse_batch_report_json(const std::string& json);
+
+/// Wire form of a shard assignment: the BatchItems themselves (scenario
+/// query, backend list, search/SA budgets, verify flag), one JSON object
+/// per line.  Doubles are emitted with full precision so a worker plans
+/// EXACTLY the instance the coordinator sharded.
+std::string batch_items_to_json(const std::vector<BatchItem>& items);
+std::vector<BatchItem> parse_batch_items_json(const std::string& json);
 
 }  // namespace latticesched

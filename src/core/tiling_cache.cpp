@@ -1,5 +1,12 @@
 #include "core/tiling_cache.hpp"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <unistd.h>
+#include <utility>
+
 namespace latticesched {
 
 namespace {
@@ -77,6 +84,33 @@ std::optional<Tiling> TilingCache::lookup_or_run(
         }
       }
     }
+  }
+
+  // Memory miss: consult the persisted entry (outside the lock — file IO
+  // must not serialize the whole cache; racing loaders insert the same
+  // result and the duplicate is dropped).  A disk load is a HIT — the
+  // search it memoized ran in some earlier process.
+  if (!persist_dir_.empty()) {
+    if (std::optional<std::optional<Tiling>> loaded =
+            load_from_disk(key, hash)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::vector<Entry>& bucket = entries_[hash];
+      bool present = false;
+      for (const Entry& entry : bucket) {
+        if (entry.key == key) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) bucket.push_back(Entry{std::move(key), *loaded});
+      ++hits_;
+      ++disk_hits_;
+      return *loaded;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
   }
 
@@ -98,6 +132,7 @@ std::optional<Tiling> TilingCache::lookup_or_run(
   // differently-shaped search would find.
   const bool cacheable = tiling.has_value() || !stats.budget_exhausted;
   if (cacheable) {
+    if (!persist_dir_.empty()) store_to_disk(key, hash, tiling);
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<Entry>& bucket = entries_[hash];
     bool present = false;
@@ -124,11 +159,246 @@ std::optional<Tiling> TilingCache::find_or_search_on_torus(
   return lookup_or_run(prototiles, &period, config);
 }
 
+void TilingCache::set_persist_dir(const std::string& dir) {
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      throw std::runtime_error("tiling-cache: cannot create persist dir '" +
+                               dir + "': " + ec.message());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  persist_dir_ = dir;
+}
+
+std::string TilingCache::entry_path(std::uint64_t hash) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "tc_%016llx.entry",
+                static_cast<unsigned long long>(hash));
+  return persist_dir_ + "/" + name;
+}
+
+namespace {
+
+constexpr const char* kDiskMagic = "latticesched-tiling-cache";
+
+void write_matrix(std::ostream& os, const IntMatrix& m) {
+  os << m.rows();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) os << ' ' << m.at(r, c);
+  }
+  os << '\n';
+}
+
+IntMatrix read_matrix(std::istream& is) {
+  std::size_t dim = 0;
+  if (!(is >> dim) || dim == 0 || dim > kMaxDim) {
+    throw std::invalid_argument("bad matrix dimension");
+  }
+  IntMatrix m(dim, dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      if (!(is >> m.at(r, c))) {
+        throw std::invalid_argument("truncated matrix");
+      }
+    }
+  }
+  return m;
+}
+
+Point read_point(std::istream& is, std::size_t dim) {
+  std::vector<std::int64_t> coords(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (!(is >> coords[i])) throw std::invalid_argument("truncated point");
+  }
+  return Point(coords);
+}
+
+}  // namespace
+
+std::optional<std::optional<Tiling>> TilingCache::load_from_disk(
+    const Key& key, std::uint64_t hash) const {
+  const std::string path = entry_path(hash);
+  std::ifstream is(path);
+  if (!is) return std::nullopt;  // no entry; not worth a warning
+  try {
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != kDiskMagic) {
+      throw std::invalid_argument("bad magic");
+    }
+    if (version != kDiskFormatVersion) {
+      std::fprintf(stderr,
+                   "tiling-cache: skipping %s (format v%d, expected v%d)\n",
+                   path.c_str(), version, kDiskFormatVersion);
+      return std::nullopt;
+    }
+
+    // Reconstruct the stored key and require it to match the request —
+    // a hash collision or a stale file for a re-hashed key is a miss.
+    Key stored;
+    std::string tag;
+    if (!(is >> tag >> stored.max_period_cells >> stored.node_limit >>
+          stored.require_all_prototiles) ||
+        tag != "budget") {
+      throw std::invalid_argument("bad budget line");
+    }
+    std::string period_kind;
+    if (!(is >> tag >> period_kind) || tag != "key-period" ||
+        (period_kind != "sweep" && period_kind != "matrix")) {
+      throw std::invalid_argument("bad key-period line");
+    }
+    if (period_kind == "matrix") {
+      stored.period = Sublattice(read_matrix(is));
+    }
+    std::size_t tile_count = 0;
+    if (!(is >> tag >> tile_count) || tag != "prototiles" ||
+        tile_count == 0 || tile_count > 1024) {
+      throw std::invalid_argument("bad prototile count");
+    }
+    for (std::size_t t = 0; t < tile_count; ++t) {
+      std::size_t dim = 0, size = 0;
+      if (!(is >> tag >> dim >> size) || tag != "tile" || dim == 0 ||
+          dim > kMaxDim || size == 0) {
+        throw std::invalid_argument("bad tile header");
+      }
+      PointVec points;
+      points.reserve(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        points.push_back(read_point(is, dim));
+      }
+      stored.prototiles.emplace_back(std::move(points));
+    }
+    if (!(stored == key)) {
+      std::fprintf(stderr,
+                   "tiling-cache: skipping %s (key mismatch — hash "
+                   "collision or stale entry)\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+
+    std::string outcome;
+    if (!(is >> tag >> outcome) || tag != "result") {
+      throw std::invalid_argument("bad result line");
+    }
+    if (outcome == "none") {
+      if (!(is >> tag) || tag != "end") {
+        throw std::invalid_argument("truncated entry");
+      }
+      // Engaged outer optional holding a cached FAILURE (empty inner).
+      return std::optional<std::optional<Tiling>>{std::in_place};
+    }
+    if (outcome != "found") throw std::invalid_argument("bad outcome");
+
+    if (!(is >> tag) || tag != "period") {
+      throw std::invalid_argument("bad period line");
+    }
+    const Sublattice result_period(read_matrix(is));
+    std::size_t placement_count = 0;
+    if (!(is >> tag >> placement_count) || tag != "placements" ||
+        placement_count == 0 ||
+        placement_count >
+            static_cast<std::size_t>(result_period.index())) {
+      throw std::invalid_argument("bad placement count");
+    }
+    std::vector<std::pair<Point, std::uint32_t>> placements;
+    placements.reserve(placement_count);
+    for (std::size_t i = 0; i < placement_count; ++i) {
+      std::uint32_t tile_index = 0;
+      if (!(is >> tag >> tile_index) || tag != "place" ||
+          tile_index >= key.prototiles.size()) {
+        throw std::invalid_argument("bad placement");
+      }
+      placements.emplace_back(read_point(is, result_period.dim()),
+                              tile_index);
+    }
+    if (!(is >> tag) || tag != "end") {
+      throw std::invalid_argument("truncated entry");
+    }
+    // Rebuild through the validating constructor with the CALLER's
+    // prototiles (names survive; the stored ones only verified the key).
+    // Invalid placements — a corrupt but parseable file — throw here and
+    // fall through to the recompute path like any other corruption.
+    return std::optional<std::optional<Tiling>>{
+        Tiling::periodic(key.prototiles, result_period,
+                         std::move(placements))};
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "tiling-cache: skipping corrupt entry %s (%s); "
+                 "recomputing\n",
+                 path.c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+void TilingCache::store_to_disk(const Key& key, std::uint64_t hash,
+                                const std::optional<Tiling>& tiling) const {
+  const std::string path = entry_path(hash);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp);
+    if (!os) {
+      std::fprintf(stderr, "tiling-cache: cannot write %s\n", tmp.c_str());
+      return;
+    }
+    os << kDiskMagic << ' ' << kDiskFormatVersion << '\n';
+    os << "budget " << key.max_period_cells << ' ' << key.node_limit << ' '
+       << (key.require_all_prototiles ? 1 : 0) << '\n';
+    if (key.period.has_value()) {
+      os << "key-period matrix ";
+      write_matrix(os, key.period->basis());
+    } else {
+      os << "key-period sweep\n";
+    }
+    os << "prototiles " << key.prototiles.size() << '\n';
+    for (const Prototile& tile : key.prototiles) {
+      os << "tile " << tile.dim() << ' ' << tile.size();
+      for (const Point& p : tile.points()) {
+        for (std::size_t i = 0; i < p.dim(); ++i) os << ' ' << p[i];
+      }
+      os << '\n';
+    }
+    if (tiling.has_value()) {
+      os << "result found\n";
+      os << "period ";
+      write_matrix(os, tiling->period().basis());
+      os << "placements " << tiling->placements().size() << '\n';
+      for (const auto& [translate, tile_index] : tiling->placements()) {
+        os << "place " << tile_index;
+        for (std::size_t i = 0; i < translate.dim(); ++i) {
+          os << ' ' << translate[i];
+        }
+        os << '\n';
+      }
+    } else {
+      os << "result none\n";
+    }
+    os << "end\n";
+    // Close (flushing the tail) BEFORE checking: a buffered flush that
+    // fails at scope exit would otherwise publish a truncated entry.
+    os.close();
+    if (os.fail()) {
+      std::fprintf(stderr, "tiling-cache: short write to %s\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  // Atomic publish: racing writers of the same key rename identical
+  // content, so whichever rename lands last is equally valid.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "tiling-cache: cannot publish %s\n", path.c_str());
+    std::remove(tmp.c_str());
+  }
+}
+
 TilingCache::Stats TilingCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.disk_hits = disk_hits_;
   for (const auto& [hash, bucket] : entries_) s.entries += bucket.size();
   return s;
 }
@@ -138,6 +408,7 @@ void TilingCache::clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  disk_hits_ = 0;
 }
 
 }  // namespace latticesched

@@ -18,11 +18,23 @@
 // runs outside the lock, so two threads racing on the same cold key may
 // both search (deterministically producing the same tiling — the second
 // insert is a no-op).  Hit/miss counters are surfaced in batch reports.
+//
+// Persistence: set_persist_dir() spills every cacheable entry to a
+// directory (one versioned text file per key, named by the canonical
+// key hash) and consults it on an in-memory miss before searching — so
+// cold driver invocations and freshly spawned distributed workers
+// warm-start from a shared cache.  A disk load counts as a HIT (plus
+// Stats::disk_hits); only a genuine search counts as a miss.  Disk
+// files are written atomically (temp file + rename), so concurrent
+// workers sharing one directory never observe torn entries; a
+// truncated, corrupt, stale-versioned or hash-colliding file is
+// skipped with a stderr warning and recomputed, never a crash.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -38,7 +50,9 @@ class TilingCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::size_t entries = 0;
+    /// Subset of `hits` served by loading a persisted entry from disk.
+    std::uint64_t disk_hits = 0;
+    std::size_t entries = 0;  ///< in-memory entries only
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
       return total == 0 ? 0.0
@@ -66,6 +80,18 @@ class TilingCache {
   Stats stats() const;
   void clear();
 
+  /// Enables disk persistence under `dir` (created if missing; "" turns
+  /// persistence off).  Throws std::runtime_error when the directory
+  /// cannot be created.  clear() does not touch persisted entries.
+  /// Call before the cache is shared across threads (configuration, not
+  /// a per-lookup toggle).
+  void set_persist_dir(const std::string& dir);
+  const std::string& persist_dir() const { return persist_dir_; }
+
+  /// On-disk entry format version; files carrying any other version are
+  /// skipped (and rewritten on the next store for that key).
+  static constexpr int kDiskFormatVersion = 1;
+
  private:
   struct Key {
     std::vector<Prototile> prototiles;
@@ -87,12 +113,26 @@ class TilingCache {
 
   static std::uint64_t hash_key(const Key& key);
 
+  /// Path of the persisted entry for `hash` (persist_dir_ must be set).
+  std::string entry_path(std::uint64_t hash) const;
+  /// Loads the persisted entry for (key, hash): outer nullopt = no
+  /// usable entry (missing / corrupt / stale version / key mismatch);
+  /// inner optional is the cached search result (possibly a failure).
+  std::optional<std::optional<Tiling>> load_from_disk(
+      const Key& key, std::uint64_t hash) const;
+  /// Atomically writes the entry for (key, hash); IO failures warn and
+  /// are otherwise ignored (the cache stays correct, just colder).
+  void store_to_disk(const Key& key, std::uint64_t hash,
+                     const std::optional<Tiling>& tiling) const;
+
   mutable std::mutex mu_;
   /// Buckets by key hash; each bucket holds full keys to survive hash
   /// collisions.
   std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t disk_hits_ = 0;
+  std::string persist_dir_;  ///< "" = persistence disabled
 };
 
 }  // namespace latticesched

@@ -1,0 +1,356 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <optional>
+#include <poll.h>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/planner.hpp"
+#include "core/report.hpp"
+#include "dist/process.hpp"
+#include "dist/wire.hpp"
+
+namespace latticesched::dist {
+
+namespace {
+
+/// Relative cost estimate of planning one item: window area times
+/// neighborhood area.  Only the RATIO between items matters (LPT bin
+/// packing), so a crude geometric proxy beats no estimate without
+/// needing to build the scenario.
+std::uint64_t item_weight(const BatchItem& item) {
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(1, item.query.params.n));
+  const std::uint64_t ball = static_cast<std::uint64_t>(
+      2 * std::max<std::int64_t>(0, item.query.params.radius) + 1);
+  return std::max<std::uint64_t>(1, n * n * ball * ball);
+}
+
+}  // namespace
+
+ShardStrategy parse_shard_strategy(const std::string& name) {
+  if (name == "block") return ShardStrategy::kBlock;
+  if (name == "weighted") return ShardStrategy::kSizeWeighted;
+  throw std::invalid_argument("unknown shard strategy '" + name +
+                              "' (block | weighted)");
+}
+
+ShardCoordinator::ShardCoordinator(CoordinatorConfig config)
+    : config_(std::move(config)) {
+  if (config_.workers == 0) {
+    throw std::invalid_argument("ShardCoordinator: workers must be >= 1");
+  }
+  if (config_.worker_exe.empty()) {
+    throw std::invalid_argument("ShardCoordinator: worker_exe is required");
+  }
+}
+
+std::vector<std::vector<std::size_t>> ShardCoordinator::partition(
+    const std::vector<BatchItem>& items, std::size_t shard_count,
+    ShardStrategy strategy) {
+  const std::size_t n = items.size();
+  shard_count = std::min(std::max<std::size_t>(1, shard_count), n);
+  std::vector<std::vector<std::size_t>> shards;
+  if (n == 0) return shards;
+  shards.resize(shard_count);
+
+  if (strategy == ShardStrategy::kBlock) {
+    // Balanced contiguous blocks: the first n % shard_count shards get
+    // one extra item.
+    const std::size_t base = n / shard_count;
+    const std::size_t extra = n % shard_count;
+    std::size_t next = 0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const std::size_t take = base + (s < extra ? 1 : 0);
+      for (std::size_t k = 0; k < take; ++k) shards[s].push_back(next++);
+    }
+    return shards;
+  }
+
+  // Size-weighted LPT: heaviest item first onto the lightest shard
+  // (ties by index / lowest shard id keep the result deterministic).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&items](std::size_t a, std::size_t b) {
+                     return item_weight(items[a]) > item_weight(items[b]);
+                   });
+  std::vector<std::uint64_t> load(shard_count, 0);
+  for (std::size_t idx : order) {
+    std::size_t target = 0;
+    for (std::size_t s = 1; s < shard_count; ++s) {
+      if (load[s] < load[target]) target = s;
+    }
+    shards[target].push_back(idx);
+    load[target] += item_weight(items[idx]);
+  }
+  // Request order within each shard (stable wire bytes, stable merges).
+  for (std::vector<std::size_t>& shard : shards) {
+    std::sort(shard.begin(), shard.end());
+  }
+  return shards;
+}
+
+std::vector<std::string> ShardCoordinator::worker_argv(
+    std::size_t fleet_size) const {
+  std::vector<std::string> argv = {config_.worker_exe, "--worker",
+                                   "--worker-fd",
+                                   std::to_string(kWorkerChannelFd)};
+  if (!config_.cache_dir.empty()) {
+    argv.push_back("--cache-dir");
+    argv.push_back(config_.cache_dir);
+  }
+  // Default: split the machine across the fleet ACTUALLY spawned (small
+  // batches cap it below config_.workers).  Letting every worker
+  // auto-size to hardware_concurrency would oversubscribe the box
+  // workers-fold and can make the fleet slower than a serial run.
+  std::size_t threads = config_.worker_threads;
+  if (threads == 0) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::max<std::size_t>(1, hw / std::max<std::size_t>(
+                                             1, fleet_size));
+  }
+  argv.push_back("--threads");
+  argv.push_back(std::to_string(threads));
+  return argv;
+}
+
+BatchReport ShardCoordinator::run(const std::vector<BatchItem>& items) {
+  // Fail fast on unknown backend names — same contract as
+  // PlanService::run, checked before a single process is spawned.
+  for (const BatchItem& item : items) {
+    for (const std::string& name : item.backends) {
+      if (PlannerRegistry::global().find(name) == nullptr) {
+        throw std::invalid_argument("ShardCoordinator: unknown backend '" +
+                                    name + "'");
+      }
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  worker_stats_.clear();
+  BatchReport merged;
+  merged.items.resize(items.size());
+  if (items.empty()) {
+    merged.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    return merged;
+  }
+
+  const std::vector<std::vector<std::size_t>> shards =
+      partition(items, config_.workers, config_.strategy);
+
+  struct WorkerState {
+    WorkerProcess proc;
+    std::deque<std::size_t> queue;  ///< shards assigned, oldest first
+    bool alive = false;
+  };
+  std::vector<WorkerState> workers(shards.size());
+  worker_stats_.resize(shards.size());
+
+  std::vector<std::optional<BatchReport>> shard_reports(shards.size());
+  std::size_t completed = 0;
+
+  const auto cleanup = [&]() {
+    for (WorkerState& w : workers) {
+      if (w.proc.pid > 0) kill_worker(w.proc);
+      (void)close_and_reap(w.proc);
+      w.alive = false;
+    }
+  };
+
+  try {
+    const std::vector<std::string> argv = worker_argv(workers.size());
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      workers[w].proc = spawn_worker_process(argv);
+      workers[w].alive = true;
+      worker_stats_[w].pid = workers[w].proc.pid;
+    }
+
+    // Shards waiting for a worker; seeded with every shard, refilled by
+    // worker deaths.  Assignment picks the live worker with the
+    // shortest queue (lowest index on ties), which hands the initial
+    // shards out round-robin.
+    std::deque<std::size_t> pending;
+    for (std::size_t s = 0; s < shards.size(); ++s) pending.push_back(s);
+
+    const auto fail_worker = [&](std::size_t w) {
+      WorkerState& state = workers[w];
+      state.alive = false;
+      kill_worker(state.proc);  // no-op if already dead
+      (void)close_and_reap(state.proc);
+      worker_stats_[w].failed = true;
+      ++merged.worker_failures;
+      while (!state.queue.empty()) {
+        pending.push_back(state.queue.front());
+        state.queue.pop_front();
+      }
+    };
+
+    // Assigns pending shards to IDLE live workers only (empty queue =
+    // parked in read_frame, actively draining its socket, so the
+    // blocking write below cannot deadlock against a worker that is
+    // itself blocked writing a RESULT we are not reading).  Shards left
+    // over wait for the next RESULT to free a worker.
+    const auto drain_pending = [&]() {
+      while (!pending.empty()) {
+        bool any_alive = false;
+        std::size_t target = workers.size();
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+          if (!workers[w].alive) continue;
+          any_alive = true;
+          if (workers[w].queue.empty()) {
+            target = w;
+            break;
+          }
+        }
+        if (!any_alive) {
+          throw std::runtime_error(
+              "ShardCoordinator: every worker process died");
+        }
+        if (target == workers.size()) return;  // all live workers busy
+        const std::size_t shard = pending.front();
+        std::vector<BatchItem> shard_items;
+        shard_items.reserve(shards[shard].size());
+        for (std::size_t idx : shards[shard]) {
+          shard_items.push_back(items[idx]);
+        }
+        if (write_frame(workers[target].proc.fd,
+                        {"ASSIGN", std::to_string(shard) + "\n" +
+                                       batch_items_to_json(shard_items)})) {
+          pending.pop_front();
+          workers[target].queue.push_back(shard);
+          if (static_cast<int>(target) == config_.kill_worker_after_assign) {
+            // TEST HOOK: simulate a mid-sweep crash exactly once.
+            config_.kill_worker_after_assign = -1;
+            kill_worker(workers[target].proc);
+          }
+        } else {
+          fail_worker(target);  // EPIPE: requeues target's shards too
+        }
+      }
+    };
+
+    drain_pending();
+
+    while (completed < shards.size()) {
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> fd_worker;
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        if (!workers[w].alive) continue;
+        fds.push_back(pollfd{workers[w].proc.fd, POLLIN, 0});
+        fd_worker.push_back(w);
+      }
+      if (fds.empty()) {
+        throw std::runtime_error(
+            "ShardCoordinator: every worker process died");
+      }
+      int rc;
+      do {
+        rc = ::poll(fds.data(), fds.size(), -1);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        throw std::runtime_error("ShardCoordinator: poll failed");
+      }
+
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const std::size_t w = fd_worker[i];
+        if (!workers[w].alive) continue;  // failed earlier this sweep
+        WireMessage message;
+        if (!read_frame(workers[w].proc.fd, &message)) {
+          fail_worker(w);
+          drain_pending();
+          continue;
+        }
+        if (message.verb == "HELLO") {
+          // Exact-body match: a substring test would accept version 10
+          // as version 1 — the opposite of a fail-fast handshake.
+          if (message.body !=
+              "{\"protocol\": " + std::to_string(kProtocolVersion) + "}") {
+            throw std::runtime_error(
+                "ShardCoordinator: worker protocol mismatch: " +
+                message.body);
+          }
+          continue;
+        }
+        if (message.verb == "ERROR") {
+          throw std::runtime_error("ShardCoordinator: worker error: " +
+                                   message.body);
+        }
+        if (message.verb != "RESULT") {
+          throw std::runtime_error(
+              "ShardCoordinator: unexpected worker frame '" + message.verb +
+              "'");
+        }
+        std::string shard_id, report_json;
+        split_body(message.body, &shard_id, &report_json);
+        const std::size_t shard = std::stoull(shard_id);
+        if (shard >= shards.size() || shard_reports[shard].has_value()) {
+          throw std::runtime_error(
+              "ShardCoordinator: worker answered unknown shard " + shard_id);
+        }
+        BatchReport report = parse_batch_report_json(report_json);
+        if (report.items.size() != shards[shard].size()) {
+          throw std::runtime_error(
+              "ShardCoordinator: shard " + shard_id + " returned " +
+              std::to_string(report.items.size()) + " items, expected " +
+              std::to_string(shards[shard].size()));
+        }
+        merged.cache_hits += report.cache_hits;
+        merged.cache_misses += report.cache_misses;
+        worker_stats_[w].cache_hits += report.cache_hits;
+        worker_stats_[w].cache_misses += report.cache_misses;
+        ++worker_stats_[w].shards_completed;
+        auto& queue = workers[w].queue;
+        const auto owned = std::find(queue.begin(), queue.end(), shard);
+        if (owned == queue.end()) {
+          throw std::runtime_error(
+              "ShardCoordinator: worker answered shard " + shard_id +
+              " it does not own");
+        }
+        queue.erase(owned);
+        shard_reports[shard] = std::move(report);
+        ++completed;
+        drain_pending();  // this worker is idle again; hand it a shard
+      }
+    }
+
+    // Orderly shutdown; a worker that dies with a nonzero status even
+    // here is still a failure worth surfacing.
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (!workers[w].alive) continue;
+      (void)write_frame(workers[w].proc.fd, {"SHUTDOWN", ""});
+      if (close_and_reap(workers[w].proc) != 0) {
+        worker_stats_[w].failed = true;
+        ++merged.worker_failures;
+      }
+      workers[w].alive = false;
+    }
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    BatchReport& report = *shard_reports[s];
+    for (std::size_t k = 0; k < shards[s].size(); ++k) {
+      merged.items[shards[s][k]] = std::move(report.items[k]);
+    }
+  }
+  merged.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  return merged;
+}
+
+}  // namespace latticesched::dist

@@ -1,0 +1,108 @@
+// Multi-process shard coordinator for batch planning sweeps.
+//
+// The ROADMAP's sharding seam: a `std::vector<BatchItem>` is the unit of
+// distribution (each item is an independent (scenario, backend-set)
+// plan), so the coordinator partitions the batch into shards, spawns N
+// `latticesched --worker` child processes connected by socketpairs,
+// streams each worker its shard over the wire protocol (dist/wire.hpp),
+// and merges the returned BatchReports — items restored to request
+// order, cache counters summed across workers — into one report
+// indistinguishable from a single-process PlanService::run (pinned
+// byte-for-byte, modulo wall times, by tests/test_dist.cpp).
+//
+// Fault tolerance: a worker that dies (EOF/EPIPE on its channel) or
+// exits nonzero has its unfinished shards reassigned to live workers
+// and is counted in BatchReport::worker_failures; the sweep only fails
+// when EVERY worker is gone.  With a shared --cache-dir the reassigned
+// work re-reads the dead worker's persisted torus searches instead of
+// repeating them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "core/plan_service.hpp"
+
+namespace latticesched::dist {
+
+enum class ShardStrategy {
+  /// Contiguous blocks of near-equal item count (default: preserves
+  /// request locality, trivially predictable).
+  kBlock,
+  /// Longest-processing-time greedy on a per-item cost estimate
+  /// (~ window area x neighborhood size), so one huge scenario does not
+  /// serialize the sweep behind it.
+  kSizeWeighted,
+};
+
+/// Parses "block" / "weighted" (the driver's --shard flag); throws
+/// std::invalid_argument otherwise.
+ShardStrategy parse_shard_strategy(const std::string& name);
+
+struct CoordinatorConfig {
+  /// Worker processes to spawn (>= 1; capped at the shard count, so a
+  /// two-item batch never pays for eight processes).
+  std::size_t workers = 2;
+  ShardStrategy strategy = ShardStrategy::kBlock;
+  /// Shared persistent TilingCache directory, forwarded to every worker
+  /// as --cache-dir ("" = per-worker in-memory caches only).
+  std::string cache_dir;
+  /// Worker executable (the latticesched CLI); must understand
+  /// --worker.  Required — the driver passes self_exe_path().
+  std::string worker_exe;
+  /// Forwarded to workers as --threads.  0 = divide the machine:
+  /// max(1, hardware_concurrency / workers) per worker, so the fleet
+  /// never oversubscribes the box.
+  std::size_t worker_threads = 0;
+  /// TEST HOOK: SIGKILL this worker index right after its first shard
+  /// assignment is sent (-1 = never) — the deterministic stand-in for a
+  /// mid-sweep crash in the failure-handling regression test.
+  int kill_worker_after_assign = -1;
+};
+
+/// Per-worker accounting surfaced by the driver's --cache-stats footer.
+struct WorkerCacheStats {
+  pid_t pid = -1;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t shards_completed = 0;
+  bool failed = false;
+};
+
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(CoordinatorConfig config);
+
+  /// Plans the batch across the worker fleet and returns the merged
+  /// report (items in request order).  Unknown backend names throw
+  /// std::invalid_argument before any process is spawned, exactly like
+  /// PlanService::run; a fleet-wide failure (every worker dead, or a
+  /// worker reporting a protocol error) throws std::runtime_error after
+  /// reaping all children.  An empty batch returns an empty report
+  /// without spawning anything.
+  BatchReport run(const std::vector<BatchItem>& items);
+
+  /// Accounting for the run() that most recently finished.
+  const std::vector<WorkerCacheStats>& worker_stats() const {
+    return worker_stats_;
+  }
+
+  /// Shard s -> indices into `items`, every index exactly once.  Shards
+  /// are never empty; at most min(shard_count, items.size()) of them.
+  /// Deterministic for a given (items, shard_count, strategy).
+  static std::vector<std::vector<std::size_t>> partition(
+      const std::vector<BatchItem>& items, std::size_t shard_count,
+      ShardStrategy strategy);
+
+ private:
+  /// argv of one worker child; `fleet_size` (the spawned worker count,
+  /// <= config workers) sizes the default per-worker thread split.
+  std::vector<std::string> worker_argv(std::size_t fleet_size) const;
+
+  CoordinatorConfig config_;
+  std::vector<WorkerCacheStats> worker_stats_;
+};
+
+}  // namespace latticesched::dist

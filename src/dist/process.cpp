@@ -1,0 +1,93 @@
+#include "dist/process.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace latticesched::dist {
+
+WorkerProcess spawn_worker_process(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    throw std::runtime_error("spawn_worker_process: empty argv");
+  }
+  // Both ends close-on-exec: the child's end is re-armed for the exec by
+  // the dup2 below (dup2 clears FD_CLOEXEC on the new descriptor), and
+  // the parent's end never leaks into any child.
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+    throw std::runtime_error(std::string("socketpair: ") +
+                             std::strerror(errno));
+  }
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw std::runtime_error(std::string("fork: ") + std::strerror(err));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.  The
+    // parent's end is closed FIRST — it often sits on the very fd
+    // number (3) the dup2 below targets.
+    if (sv[1] == kWorkerChannelFd) {
+      ::close(sv[0]);
+      int flags = ::fcntl(sv[1], F_GETFD);
+      if (flags >= 0) ::fcntl(sv[1], F_SETFD, flags & ~FD_CLOEXEC);
+    } else {
+      ::close(sv[0]);
+      if (::dup2(sv[1], kWorkerChannelFd) < 0) ::_exit(127);
+      ::close(sv[1]);
+    }
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  ::close(sv[1]);
+  return WorkerProcess{pid, sv[0]};
+}
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 != nullptr ? argv0 : "";
+}
+
+int close_and_reap(WorkerProcess& worker) {
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+  if (worker.pid < 0) return -1;
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(worker.pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  worker.pid = -1;
+  if (reaped < 0) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+void kill_worker(const WorkerProcess& worker) {
+  if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
+}
+
+}  // namespace latticesched::dist

@@ -1,0 +1,44 @@
+// Worker process lifecycle: spawn `latticesched --worker` children
+// connected by a socketpair, reap them, kill them.
+//
+// The coordinator end of every socketpair is close-on-exec, so a worker
+// never inherits its siblings' channels — when a worker dies, the
+// coordinator's read on THAT fd sees EOF immediately instead of being
+// kept alive by a stray duplicate in another child.
+#pragma once
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace latticesched::dist {
+
+/// The fd number the worker child finds its channel on (the driver's
+/// --worker-fd default).
+inline constexpr int kWorkerChannelFd = 3;
+
+struct WorkerProcess {
+  pid_t pid = -1;
+  int fd = -1;  ///< coordinator's end of the socketpair; -1 once closed
+};
+
+/// Forks and execs `argv` (argv[0] = executable path) with a socketpair:
+/// the child's end is dup'd onto kWorkerChannelFd, the parent's end is
+/// returned in WorkerProcess::fd.  Throws std::runtime_error when the
+/// socketpair or fork fails; an exec failure surfaces as an immediate
+/// child exit (code 127), i.e. EOF on the channel.
+WorkerProcess spawn_worker_process(const std::vector<std::string>& argv);
+
+/// Absolute path of the running executable (/proc/self/exe), falling
+/// back to `argv0` when the proc link is unreadable.
+std::string self_exe_path(const char* argv0);
+
+/// Closes the channel (if open), waits for the child, and returns its
+/// exit code (or 128+signal for a signalled death; -1 when waitpid
+/// itself fails).
+int close_and_reap(WorkerProcess& worker);
+
+/// SIGKILLs the child (channel left open for the EOF to propagate).
+void kill_worker(const WorkerProcess& worker);
+
+}  // namespace latticesched::dist

@@ -1,0 +1,101 @@
+#include "dist/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace latticesched::dist {
+
+namespace {
+
+/// send() with MSG_NOSIGNAL so a dead peer surfaces as EPIPE instead of
+/// killing the process; falls back to write() for non-socket fds (the
+/// worker end may be a plain pipe in tests).
+ssize_t write_some(int fd, const char* data, std::size_t len) {
+  ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data, len);
+  return n;
+}
+
+bool write_full(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = write_some(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_full(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame (or before one)
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const WireMessage& message) {
+  std::string payload = message.verb;
+  payload += '\n';
+  payload += message.body;
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  return write_full(fd, prefix, sizeof prefix) &&
+         write_full(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, WireMessage* out) {
+  char prefix[4];
+  if (!read_full(fd, prefix, sizeof prefix)) return false;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
+       << 24);
+  if (len == 0 || len > kMaxFrameBytes) return false;
+  std::string payload(len, '\0');
+  if (!read_full(fd, payload.data(), payload.size())) return false;
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string::npos) {
+    out->verb = std::move(payload);
+    out->body.clear();
+  } else {
+    out->verb = payload.substr(0, newline);
+    out->body = payload.substr(newline + 1);
+  }
+  return !out->verb.empty();
+}
+
+void split_body(const std::string& body, std::string* first_line,
+                std::string* rest) {
+  const std::size_t newline = body.find('\n');
+  if (newline == std::string::npos) {
+    *first_line = body;
+    rest->clear();
+  } else {
+    *first_line = body.substr(0, newline);
+    *rest = body.substr(newline + 1);
+  }
+}
+
+}  // namespace latticesched::dist

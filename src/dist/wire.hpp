@@ -1,0 +1,46 @@
+// Wire protocol of the distributed planning service.
+//
+// Coordinator and workers exchange length-prefixed frames over a
+// socketpair: a 4-byte little-endian payload length, then the payload —
+// a verb line ("HELLO", "ASSIGN", "RESULT", "ERROR", "SHUTDOWN")
+// followed by a body whose content is the existing report JSON
+// (core/report.hpp): ASSIGN bodies are a shard id line plus
+// batch_items_to_json, RESULT bodies a shard id line plus
+// batch_report_to_json.  Text-over-frames keeps the protocol
+// debuggable (dump any frame and read it) while the length prefix
+// makes framing unambiguous regardless of payload content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace latticesched::dist {
+
+/// Protocol version carried in the HELLO frame; a coordinator refuses a
+/// worker speaking any other version (mixed-build deployments fail fast
+/// instead of mis-parsing each other).
+inline constexpr int kProtocolVersion = 1;
+
+/// Frames larger than this are a protocol error, not an allocation —
+/// guards the reader against garbage length prefixes.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+struct WireMessage {
+  std::string verb;  ///< HELLO | ASSIGN | RESULT | ERROR | SHUTDOWN
+  std::string body;  ///< verb-specific payload (may be empty)
+};
+
+/// Writes one frame; returns false on any write error (notably EPIPE
+/// from a dead peer — writes never raise SIGPIPE).
+bool write_frame(int fd, const WireMessage& message);
+
+/// Reads one full frame (blocking); returns false on EOF, a read error,
+/// or a malformed frame.  Restarts interrupted reads.
+bool read_frame(int fd, WireMessage* out);
+
+/// Splits "<first line>\n<rest>" — the shape of ASSIGN/RESULT bodies.
+/// Missing newline leaves `rest` empty.
+void split_body(const std::string& body, std::string* first_line,
+                std::string* rest);
+
+}  // namespace latticesched::dist

@@ -1,0 +1,58 @@
+#include "dist/worker.hpp"
+
+#include <exception>
+#include <string>
+
+#include "core/plan_service.hpp"
+#include "core/report.hpp"
+#include "dist/wire.hpp"
+
+namespace latticesched::dist {
+
+int run_worker(int fd, const WorkerOptions& options) {
+  PlanService service;
+  if (!options.cache_dir.empty()) {
+    try {
+      service.tiling_cache().set_persist_dir(options.cache_dir);
+    } catch (const std::exception& e) {
+      (void)write_frame(fd, {"ERROR", e.what()});
+      return 1;
+    }
+  }
+
+  if (!write_frame(
+          fd, {"HELLO",
+               "{\"protocol\": " + std::to_string(kProtocolVersion) + "}"})) {
+    return 1;  // coordinator already gone
+  }
+
+  WireMessage message;
+  while (read_frame(fd, &message)) {
+    if (message.verb == "SHUTDOWN") return 0;
+    if (message.verb != "ASSIGN") {
+      (void)write_frame(fd,
+                        {"ERROR", "unexpected verb '" + message.verb + "'"});
+      return 1;
+    }
+    std::string shard_id, items_json;
+    split_body(message.body, &shard_id, &items_json);
+    try {
+      const std::vector<BatchItem> items = parse_batch_items_json(items_json);
+      const BatchReport report = service.run(items);
+      if (!write_frame(
+              fd, {"RESULT", shard_id + "\n" + batch_report_to_json(report)})) {
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      // Unknown backends and malformed assignments are coordinator bugs,
+      // not per-item failures (PlanService reports those inside the
+      // BatchReport); surface them and stop.
+      (void)write_frame(fd, {"ERROR", e.what()});
+      return 1;
+    }
+  }
+  // EOF without SHUTDOWN: coordinator died; exiting is the cleanup.
+  return 0;
+}
+
+}  // namespace latticesched::dist

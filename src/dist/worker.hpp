@@ -1,0 +1,26 @@
+// Worker side of the distributed planning service.
+//
+// A worker process (`latticesched --worker`) owns one PlanService —
+// so its TilingCache stays warm across every shard it is assigned, and
+// with a --cache-dir it warm-starts from (and feeds) the persistent
+// cache shared by the whole fleet.  The loop is strictly
+// request/response: read a frame, answer it, repeat until SHUTDOWN or
+// EOF (a vanished coordinator must not leave orphan workers planning).
+#pragma once
+
+#include <string>
+
+namespace latticesched::dist {
+
+struct WorkerOptions {
+  /// Persistent TilingCache directory shared with the coordinator's
+  /// fleet ("" = in-memory cache only).
+  std::string cache_dir;
+};
+
+/// Runs the worker protocol over `fd` until SHUTDOWN/EOF; returns the
+/// process exit code (0 = clean shutdown, 1 = protocol or internal
+/// error, reported to the coordinator in an ERROR frame first).
+int run_worker(int fd, const WorkerOptions& options);
+
+}  // namespace latticesched::dist

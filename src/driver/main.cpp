@@ -13,13 +13,22 @@
 //   $ latticesched --scenario grid,hex --radius 1,2,3      # sweep batch
 //   $ latticesched --scenario multichannel --channels 4
 //   $ latticesched --scenario cube3d --backends tiling,dsatur,tdma
+//   $ latticesched --scenario all --workers 4 --cache-dir /var/cache/ls
 //
 // Comma lists in --scenario / --n / --radius / --density expand to the
 // cross-product batch, so a whole sweep is one invocation (and, thanks
 // to the cache, one torus search per distinct neighborhood).
+//
+// --workers N (N >= 2) runs the batch through the distributed shard
+// coordinator (src/dist): N `latticesched --worker` child processes,
+// shards streamed over socketpairs, reports merged back into the same
+// BatchReport a serial run produces.  --cache-dir persists the tiling
+// cache on disk — shared by all workers and across invocations.
+// --worker is the internal worker-process entry point.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,6 +37,9 @@
 #include "core/planner.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/process.hpp"
+#include "dist/worker.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -120,6 +132,23 @@ int run(int argc, char** argv) {
   cli.add_flag("channels", "2", "channels for the multichannel scenario");
   cli.add_flag("sa-iters", "60000", "annealing iteration budget");
   cli.add_flag("no-verify", "false", "skip the collision checker");
+  cli.add_int_flag("workers", 1, 1,
+                   "worker processes for the batch (1 = in-process; >= 2 "
+                   "spawns the distributed shard coordinator)");
+  cli.add_flag("shard", "block",
+               "shard partition strategy for --workers >= 2: block | "
+               "weighted");
+  cli.add_flag("cache-dir", "",
+               "persist the tiling cache in this directory (shared by "
+               "workers and across invocations)");
+  cli.add_flag("cache-stats", "false",
+               "print the cache counter footer, per worker when "
+               "distributed");
+  cli.add_flag("worker", "false",
+               "internal: run as a distributed worker process over "
+               "--worker-fd");
+  cli.add_int_flag("worker-fd", dist::kWorkerChannelFd, 0,
+                   "internal: fd of the coordinator channel (--worker)");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -138,6 +167,15 @@ int run(int argc, char** argv) {
   const std::int64_t threads = cli.get_int("threads");
   if (threads > 0) {
     set_parallel_threads(static_cast<std::size_t>(threads));
+  }
+
+  if (cli.get_bool("worker")) {
+    // Distributed worker process: speak the wire protocol over
+    // --worker-fd until the coordinator shuts us down.
+    dist::WorkerOptions options;
+    options.cache_dir = cli.get_string("cache-dir");
+    return dist::run_worker(static_cast<int>(cli.get_int("worker-fd")),
+                            options);
   }
 
   // Scenario selection (a name, a comma list, or the whole registry),
@@ -216,10 +254,29 @@ int run(int argc, char** argv) {
     return 2;
   }
 
+  const std::int64_t workers = cli.get_int("workers");
+  const std::string cache_dir = cli.get_string("cache-dir");
   PlanService service;
+  std::optional<dist::ShardCoordinator> coordinator;
   BatchReport report;
   try {
-    report = service.run(items);
+    if (workers >= 2) {
+      dist::CoordinatorConfig config;
+      config.workers = static_cast<std::size_t>(workers);
+      config.strategy = dist::parse_shard_strategy(cli.get_string("shard"));
+      config.cache_dir = cache_dir;
+      config.worker_exe = dist::self_exe_path(argv[0]);
+      if (threads > 0) {
+        config.worker_threads = static_cast<std::size_t>(threads);
+      }
+      coordinator.emplace(std::move(config));
+      report = coordinator->run(items);
+    } else {
+      if (!cache_dir.empty()) {
+        service.tiling_cache().set_persist_dir(cache_dir);
+      }
+      report = service.run(items);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "latticesched: %s\n", e.what());
     return 2;
@@ -236,6 +293,38 @@ int run(int argc, char** argv) {
     return 2;
   }
 
+  // --cache-stats: per-worker counter breakdown when distributed, the
+  // service cache (including disk warm-start hits) when in-process.
+  const auto print_cache_stats = [&](std::FILE* out) {
+    if (coordinator.has_value()) {
+      for (std::size_t w = 0; w < coordinator->worker_stats().size(); ++w) {
+        const dist::WorkerCacheStats& s = coordinator->worker_stats()[w];
+        std::fprintf(
+            out,
+            "cache-stats: worker %zu (pid %lld): %llu hit(s), %llu "
+            "miss(es), %zu shard(s)%s\n",
+            w, static_cast<long long>(s.pid),
+            static_cast<unsigned long long>(s.cache_hits),
+            static_cast<unsigned long long>(s.cache_misses),
+            s.shards_completed, s.failed ? " [FAILED]" : "");
+      }
+      std::fprintf(out,
+                   "cache-stats: total: %llu hit(s), %llu miss(es), %llu "
+                   "worker failure(s)\n",
+                   static_cast<unsigned long long>(report.cache_hits),
+                   static_cast<unsigned long long>(report.cache_misses),
+                   static_cast<unsigned long long>(report.worker_failures));
+    } else {
+      const TilingCache::Stats s = service.tiling_cache().stats();
+      std::fprintf(out,
+                   "cache-stats: %llu hit(s) (%llu from disk), %llu "
+                   "miss(es), %zu entrie(s)\n",
+                   static_cast<unsigned long long>(s.hits),
+                   static_cast<unsigned long long>(s.disk_hits),
+                   static_cast<unsigned long long>(s.misses), s.entries);
+    }
+  };
+
   if (format == "table") {
     for (const BatchItemReport& item : report.items) print_item_table(item);
     std::printf(
@@ -244,6 +333,12 @@ int run(int argc, char** argv) {
         report.items.size(), report.wall_seconds * 1e3,
         static_cast<unsigned long long>(report.cache_hits),
         static_cast<unsigned long long>(report.cache_misses));
+    if (report.worker_failures > 0) {
+      std::printf("WARNING: %llu worker failure(s); shards were "
+                  "reassigned\n",
+                  static_cast<unsigned long long>(report.worker_failures));
+    }
+    if (cli.get_bool("cache-stats")) print_cache_stats(stdout);
   } else {
     std::printf("%s", serialized.c_str());
     // Keep the machine-readable stream clean; counters also live inside
@@ -251,6 +346,7 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "tiling cache: %llu hit(s), %llu miss(es)\n",
                  static_cast<unsigned long long>(report.cache_hits),
                  static_cast<unsigned long long>(report.cache_misses));
+    if (cli.get_bool("cache-stats")) print_cache_stats(stderr);
   }
   if (const std::string out = cli.get_string("out"); !out.empty()) {
     const std::string payload =

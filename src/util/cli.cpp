@@ -24,7 +24,15 @@ void CliParser::add_flag(const std::string& name,
   if (flags_.count(name) != 0) {
     throw std::invalid_argument("CliParser: duplicate flag --" + name);
   }
-  flags_[name] = Flag{default_value, default_value, help};
+  flags_[name] = Flag{default_value, default_value, help, std::nullopt};
+}
+
+void CliParser::add_int_flag(const std::string& name,
+                             std::int64_t default_value,
+                             std::int64_t min_value,
+                             const std::string& help) {
+  add_flag(name, std::to_string(default_value), help);
+  flags_[name].min_value = min_value;
 }
 
 void CliParser::parse(int argc, const char* const* argv) {
@@ -76,12 +84,43 @@ void CliParser::parse(int argc, const char* const* argv) {
     }
     it->second.value = value;
   }
+  // Range-constrained integer flags (add_int_flag) are validated here so
+  // their violations land in the SAME single error as the unknown flags.
+  std::vector<std::string> problems;
   if (!unknown.empty()) {
     std::string msg =
         unknown.size() == 1 ? "unknown flag " : "unknown flags: ";
     for (std::size_t i = 0; i < unknown.size(); ++i) {
       if (i > 0) msg += ", ";
       msg += unknown[i];
+    }
+    problems.push_back(std::move(msg));
+  }
+  for (const auto& [name, flag] : flags_) {
+    if (!flag.min_value.has_value()) continue;
+    bool ok = true;
+    std::int64_t parsed = 0;
+    try {
+      std::size_t pos = 0;
+      parsed = std::stoll(flag.value, &pos);
+      ok = pos == flag.value.size();
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (!ok) {
+      problems.push_back("flag --" + name +
+                         ": not an integer: " + flag.value);
+    } else if (parsed < *flag.min_value) {
+      problems.push_back("flag --" + name + ": must be >= " +
+                         std::to_string(*flag.min_value) + ", got " +
+                         flag.value);
+    }
+  }
+  if (!problems.empty()) {
+    std::string msg;
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      if (i > 0) msg += "; ";
+      msg += problems[i];
     }
     throw std::invalid_argument(msg);
   }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ class CliParser {
   /// Registers a flag with a default value and help text.
   void add_flag(const std::string& name, const std::string& default_value,
                 const std::string& help);
+
+  /// Registers an integer flag with an inclusive minimum.  parse()
+  /// validates the supplied value and reports a violation (non-integer
+  /// or below `min_value`) in the same single error that lists unknown
+  /// flags, so `--workers 0 --bogys` is fixed in one round trip.
+  void add_int_flag(const std::string& name, std::int64_t default_value,
+                    std::int64_t min_value, const std::string& help);
 
   /// Parses argv; throws std::invalid_argument on unknown flags or
   /// malformed input.  Recognizes --help and sets help_requested().
@@ -48,6 +56,8 @@ class CliParser {
     std::string value;
     std::string default_value;
     std::string help;
+    /// Inclusive lower bound enforced at parse() time (add_int_flag).
+    std::optional<std::int64_t> min_value;
   };
   std::string description_;
   std::map<std::string, Flag> flags_;

@@ -1,6 +1,9 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "lattice/point.hpp"
@@ -9,6 +12,21 @@
 
 namespace latticesched {
 namespace test_helpers {
+
+/// Scratch directory, created by mkdtemp and removed (recursively) at
+/// scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/latticesched_test_XXXXXX";
+    if (char* made = ::mkdtemp(tmpl); made != nullptr) path = made;
+  }
+  ~TempDir() {
+    if (!path.empty()) std::filesystem::remove_all(path);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
 
 /// Grows a random polyomino of `cells` cells by repeatedly attaching a
 /// uniformly random empty 4-neighbor; the result is connected and

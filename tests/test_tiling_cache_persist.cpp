@@ -1,0 +1,236 @@
+// Persistent TilingCache tests: disk round trips (successes, cached
+// failures, explicit-torus keys), warm-start accounting (a disk load is
+// a hit, never a miss), format versioning, and corrupt-entry tolerance
+// — a truncated or garbage file is skipped and recomputed, never a
+// crash.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/tiling_cache.hpp"
+#include "test_helpers.hpp"
+#include "tiling/shapes.hpp"
+
+namespace latticesched {
+namespace {
+
+namespace fs = std::filesystem;
+using test_helpers::TempDir;
+
+std::vector<fs::path> entry_files(const std::string& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".entry") files.push_back(entry.path());
+  }
+  return files;
+}
+
+void expect_same_tiling(const Tiling& a, const Tiling& b) {
+  EXPECT_EQ(a.period().basis(), b.period().basis());
+  EXPECT_EQ(a.placements(), b.placements());
+}
+
+TEST(TilingCachePersist, WarmStartsAcrossCacheInstances) {
+  TempDir dir;
+  const std::vector<Prototile> tiles = {shapes::chebyshev_ball(2, 1)};
+
+  TilingCache first;
+  first.set_persist_dir(dir.path);
+  const auto cold = first.find_or_search(tiles);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_EQ(first.stats().misses, 1u);
+  EXPECT_EQ(first.stats().disk_hits, 0u);
+  EXPECT_EQ(entry_files(dir.path).size(), 1u);
+
+  // A brand-new cache (a fresh process, conceptually) must serve the
+  // same search from disk: zero misses, an identical tiling.
+  TilingCache second;
+  second.set_persist_dir(dir.path);
+  const auto warm = second.find_or_search(tiles);
+  ASSERT_TRUE(warm.has_value());
+  expect_same_tiling(*warm, *cold);
+  EXPECT_EQ(second.stats().misses, 0u);
+  EXPECT_EQ(second.stats().hits, 1u);
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+
+  // Once loaded it lives in memory: the next lookup never touches disk.
+  (void)second.find_or_search(tiles);
+  EXPECT_EQ(second.stats().hits, 2u);
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+}
+
+TEST(TilingCachePersist, PersistsSearchFailures) {
+  TempDir dir;
+  // The F-pentomino admits no tiling within a 40-cell period budget and
+  // the search completes well under the node budget, so the failure is
+  // cacheable (a budget-truncated failure would not be).
+  const std::vector<Prototile> tiles = {
+      Prototile(PointVec{{0, 0}, {1, 0}, {-1, 1}, {0, 1}, {0, 2}}, "F")};
+  TorusSearchConfig config;
+  config.max_period_cells = 40;
+
+  TilingCache first;
+  first.set_persist_dir(dir.path);
+  EXPECT_FALSE(first.find_or_search(tiles, config).has_value());
+  EXPECT_EQ(first.stats().misses, 1u);
+  ASSERT_EQ(entry_files(dir.path).size(), 1u);
+
+  TilingCache second;
+  second.set_persist_dir(dir.path);
+  EXPECT_FALSE(second.find_or_search(tiles, config).has_value());
+  EXPECT_EQ(second.stats().misses, 0u);
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+}
+
+TEST(TilingCachePersist, ExplicitTorusKeysRoundTrip) {
+  TempDir dir;
+  const std::vector<Prototile> tiles = {shapes::chebyshev_ball(2, 1)};
+  const Sublattice period = Sublattice::diagonal({3, 3});
+
+  TilingCache first;
+  first.set_persist_dir(dir.path);
+  const auto cold = first.find_or_search_on_torus(tiles, period, {});
+  ASSERT_TRUE(cold.has_value());
+
+  TilingCache second;
+  second.set_persist_dir(dir.path);
+  const auto warm = second.find_or_search_on_torus(tiles, period, {});
+  ASSERT_TRUE(warm.has_value());
+  expect_same_tiling(*warm, *cold);
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+
+  // The diagonal-sweep key is distinct from the explicit-torus key even
+  // for the same prototiles: loading one must not satisfy the other.
+  EXPECT_EQ(second.find_or_search(tiles).has_value(), true);
+  EXPECT_EQ(second.stats().misses, 1u);
+}
+
+TEST(TilingCachePersist, LoadedTilingKeepsCallerPrototileNames) {
+  TempDir dir;
+  const std::vector<Prototile> tiles = {
+      Prototile(shapes::chebyshev_ball(2, 1).points(), "my-ball")};
+  {
+    TilingCache cache;
+    cache.set_persist_dir(dir.path);
+    ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  }
+  TilingCache cache;
+  cache.set_persist_dir(dir.path);
+  const auto warm = cache.find_or_search(tiles);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->prototile(0).name(), "my-ball");
+}
+
+TEST(TilingCachePersist, CorruptEntriesAreSkippedAndRepaired) {
+  TempDir dir;
+  const std::vector<Prototile> tiles = {shapes::chebyshev_ball(2, 1)};
+  std::optional<Tiling> cold;
+  {
+    TilingCache cache;
+    cache.set_persist_dir(dir.path);
+    cold = cache.find_or_search(tiles);
+    ASSERT_TRUE(cold.has_value());
+  }
+
+  for (const char* corruption : {"garbage\n", ""}) {
+    // Garbage content and a zero-byte truncation both downgrade to a
+    // recompute-with-warning — never a crash, never a wrong answer.
+    for (const fs::path& file : entry_files(dir.path)) {
+      std::ofstream os(file, std::ios::trunc);
+      os << corruption;
+    }
+    TilingCache cache;
+    cache.set_persist_dir(dir.path);
+    const auto recomputed = cache.find_or_search(tiles);
+    ASSERT_TRUE(recomputed.has_value());
+    expect_same_tiling(*recomputed, *cold);
+    EXPECT_EQ(cache.stats().misses, 1u) << "corrupt entry must be a miss";
+    EXPECT_EQ(cache.stats().disk_hits, 0u);
+  }
+
+  // The recompute republished a good entry.
+  TilingCache cache;
+  cache.set_persist_dir(dir.path);
+  ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+}
+
+TEST(TilingCachePersist, TruncatedEntryIsSkipped) {
+  TempDir dir;
+  const std::vector<Prototile> tiles = {shapes::chebyshev_ball(2, 1)};
+  {
+    TilingCache cache;
+    cache.set_persist_dir(dir.path);
+    ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  }
+  // Chop every entry in half: valid header, missing tail.
+  for (const fs::path& file : entry_files(dir.path)) {
+    std::ifstream is(file);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string full = buffer.str();
+    is.close();
+    std::ofstream os(file, std::ios::trunc);
+    os << full.substr(0, full.size() / 2);
+  }
+  TilingCache cache;
+  cache.set_persist_dir(dir.path);
+  ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TilingCachePersist, StaleFormatVersionIsSkipped) {
+  TempDir dir;
+  const std::vector<Prototile> tiles = {shapes::chebyshev_ball(2, 1)};
+  {
+    TilingCache cache;
+    cache.set_persist_dir(dir.path);
+    ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  }
+  for (const fs::path& file : entry_files(dir.path)) {
+    std::ifstream is(file);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    std::string content = buffer.str();
+    is.close();
+    const std::string expect_header =
+        "latticesched-tiling-cache " +
+        std::to_string(TilingCache::kDiskFormatVersion);
+    ASSERT_EQ(content.rfind(expect_header, 0), 0u) << content;
+    content.replace(0, expect_header.size(),
+                    "latticesched-tiling-cache 999");
+    std::ofstream os(file, std::ios::trunc);
+    os << content;
+  }
+  TilingCache cache;
+  cache.set_persist_dir(dir.path);
+  ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u) << "future version must be skipped";
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+}
+
+TEST(TilingCachePersist, UnrelatedFilesInDirAreIgnored) {
+  TempDir dir;
+  {
+    std::ofstream os(dir.path + "/README.txt");
+    os << "not a cache entry\n";
+  }
+  TilingCache cache;
+  cache.set_persist_dir(dir.path);
+  ASSERT_TRUE(
+      cache.find_or_search({shapes::chebyshev_ball(2, 1)}).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TilingCachePersist, UnwritableDirThrows) {
+  TilingCache cache;
+  EXPECT_THROW(cache.set_persist_dir("/proc/definitely/not/writable"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace latticesched

@@ -163,5 +163,43 @@ TEST(Cli, DuplicateFlagRegistrationThrows) {
   EXPECT_THROW(p.add_flag("n", "2", "again"), std::invalid_argument);
 }
 
+TEST(Cli, IntFlagRejectsValuesBelowMinimum) {
+  // The driver's --workers contract: 0/negative are parse errors.
+  for (const char* bad : {"0", "-3", "2x"}) {
+    CliParser p("test");
+    p.add_int_flag("workers", 1, 1, "worker processes");
+    const std::string arg = std::string("--workers=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    try {
+      p.parse(2, argv);
+      FAIL() << "expected std::invalid_argument for " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--workers"), std::string::npos)
+          << e.what();
+    }
+  }
+  CliParser ok("test");
+  ok.add_int_flag("workers", 1, 1, "worker processes");
+  const char* argv[] = {"prog", "--workers", "4"};
+  ok.parse(3, argv);
+  EXPECT_EQ(ok.get_int("workers"), 4);
+}
+
+TEST(Cli, IntFlagViolationsJoinTheUnknownFlagError) {
+  // One round trip fixes everything: the range violation and the typo
+  // arrive in the SAME error.
+  CliParser p("test");
+  p.add_int_flag("workers", 1, 1, "worker processes");
+  const char* argv[] = {"prog", "--workers=0", "--typo=1"};
+  try {
+    p.parse(3, argv);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--typo"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--workers"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace latticesched
