@@ -3,16 +3,26 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/plan_session.hpp"
 #include "util/parallel.hpp"
 
 namespace latticesched {
 
 bool BatchItemReport::all_ok() const {
   if (!built) return false;
-  for (const PlanResult& r : results) {
-    if (!r.ok || !r.collision_free) return false;
+  const auto clean = [](const std::vector<PlanResult>& rs) {
+    for (const PlanResult& r : rs) {
+      if (!r.ok || !r.collision_free) return false;
+    }
+    return true;
+  };
+  if (!steps.empty()) {
+    for (const BatchStepReport& step : steps) {
+      if (!clean(step.results)) return false;
+    }
+    return true;
   }
-  return true;
+  return clean(results);
 }
 
 bool BatchReport::all_ok() const {
@@ -53,27 +63,52 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
     BatchItemReport& out = report.items[i];
     out.scenario = item.query.scenario;
     try {
-      const ScenarioInstance instance =
+      ScenarioInstance instance =
           scenarios_->build(item.query.scenario, item.query.params, &cache_);
       out.label = instance.label;
       out.sensors = instance.deployment.size();
       out.channels = instance.channels;
       out.built = true;
 
-      PlanRequest request;
-      request.deployment = &instance.deployment;
-      if (instance.tiling.has_value()) request.tiling = &*instance.tiling;
-      if (instance.lattice.has_value()) request.lattice = &*instance.lattice;
-      request.search = item.search;
-      request.sa = item.sa;
-      request.verify = item.verify;
-      request.channels = instance.channels;
-      request.tiling_cache = &cache_;
-      out.results = planners_->plan_all(request, item.backends);
+      // An explicit script overrides the scenario's generated trace.
+      MutationTrace trace = std::move(instance.trace);
+      if (!item.trace_script.empty()) {
+        trace = parse_mutation_script(item.trace_script);
+      }
+
+      // Every item — static or dynamic — runs through one PlanSession;
+      // a static item is simply a zero-delta session, so the two paths
+      // cannot drift apart.
+      SessionConfig config;
+      config.backends = item.backends;
+      config.search = item.search;
+      config.sa = item.sa;
+      config.verify = item.verify;
+      config.channels = instance.channels;
+      if (instance.lattice.has_value()) config.lattice = &*instance.lattice;
+      if (instance.tiling.has_value()) config.tiling = &*instance.tiling;
+      config.tiling_cache = &cache_;
+      config.planners = planners_;
+      PlanSession session(std::move(instance.deployment), config);
+      if (trace.empty()) {
+        out.results = session.replan();
+      } else {
+        // Dynamic item: replay the trace; every step after the first
+        // replans incrementally.
+        out.steps.push_back(BatchStepReport{
+            0, session.deployment().size(), session.replan()});
+        for (const MutationStep& step : trace.steps) {
+          session.apply(step.delta);
+          out.steps.push_back(BatchStepReport{
+              step.at, session.deployment().size(), session.replan()});
+        }
+        out.results = out.steps.back().results;
+      }
     } catch (const std::exception& e) {
       out.built = false;
       out.error = e.what();
       out.results.clear();
+      out.steps.clear();
     }
   });
 

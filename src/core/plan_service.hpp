@@ -23,6 +23,10 @@
 namespace latticesched {
 
 /// One unit of batch work: build the scenario, plan it on the backends.
+/// Dynamic scenarios (a non-empty ScenarioInstance::trace, or an
+/// explicit `trace_script`) run through a PlanSession: step 0 plans the
+/// initial deployment, then every trace delta is applied and replanned
+/// incrementally.
 struct BatchItem {
   ScenarioQuery query;
   /// Backend names; empty = every registered backend supporting the
@@ -31,18 +35,36 @@ struct BatchItem {
   TorusSearchConfig search;
   SaConfig sa;
   bool verify = true;
+  /// Optional mutation trace in the parse_mutation_script text format
+  /// (core/plan_session.hpp); overrides the scenario's own trace.  The
+  /// driver's --script flag ships through here — including over the
+  /// distributed wire.
+  std::string trace_script;
+};
+
+/// Results of one step of a dynamic item.
+struct BatchStepReport {
+  std::uint64_t step = 0;   ///< 0 = initial deployment, else the trace `at`
+  std::size_t sensors = 0;  ///< fleet size at this step
+  std::vector<PlanResult> results;
 };
 
 struct BatchItemReport {
   std::string scenario;        ///< registry name
   std::string label;           ///< instance label (report key)
-  std::size_t sensors = 0;
+  std::size_t sensors = 0;     ///< initial fleet size
   std::uint32_t channels = 1;
   bool built = false;          ///< scenario generator succeeded
   std::string error;           ///< generator failure (built == false)
+  /// Static items: the backends' results.  Dynamic items: the FINAL
+  /// step's results (the full sequence lives in `steps`).
   std::vector<PlanResult> results;
+  /// Per-step results of a dynamic item, in step order (empty for
+  /// static items).
+  std::vector<BatchStepReport> steps;
 
-  /// Built, and every backend produced a verified collision-free plan.
+  /// Built, and every backend produced a verified collision-free plan
+  /// (on every step, for dynamic items).
   bool all_ok() const;
 };
 

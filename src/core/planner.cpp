@@ -10,8 +10,10 @@
 #include "baseline/tdma.hpp"
 #include "core/analysis.hpp"
 #include "core/mobile.hpp"
+#include "core/plan_session.hpp"
 #include "core/tiling_cache.hpp"
 #include "core/tiling_scheduler.hpp"
+#include "graph/coloring.hpp"
 #include "lattice/lattice.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -105,12 +107,29 @@ class ColoringPlanner final : public Planner {
   explicit ColoringPlanner(ColoringHeuristic h) : heuristic_(h) {}
   std::string name() const override { return to_string(heuristic_); }
   bool wants_conflict_graph() const override { return true; }
+  bool wants_warm_start() const override {
+    // Greedy first-fit is a fixpoint of local recoloring, so it is the
+    // one heuristic a warm start can repair incrementally AND exactly;
+    // the order-sensitive heuristics re-run on the (patched) graph.
+    return heuristic_ == ColoringHeuristic::kGreedy;
+  }
 
  protected:
   Raw compute(const PlanRequest& request) const override {
     const Deployment& d = *request.deployment;
     Raw raw;
-    if (request.conflict_graph != nullptr) {
+    if (heuristic_ == ColoringHeuristic::kGreedy &&
+        request.warm != nullptr && request.conflict_graph != nullptr &&
+        request.warm->greedy_colors.size() ==
+            request.conflict_graph->size()) {
+      // Incremental repair of the previous greedy table: only the dirty
+      // region is re-colored, and the fixpoint equals the cold result.
+      raw.slots.slot = incremental_greedy_coloring(
+          *request.conflict_graph, request.warm->greedy_colors,
+          request.warm->dirty);
+      raw.slots.period = color_count(raw.slots.slot);
+      raw.slots.source = std::string("coloring-") + to_string(heuristic_);
+    } else if (request.conflict_graph != nullptr) {
       raw.slots = coloring_slots_on_graph(*request.conflict_graph,
                                           heuristic_, request.sa);
     } else {
@@ -280,61 +299,13 @@ const Planner* PlannerRegistry::find(const std::string& name) const {
 std::vector<PlanResult> PlannerRegistry::plan_all(
     const PlanRequest& request,
     const std::vector<std::string>& backends) const {
-  if (request.deployment == nullptr) {
-    throw std::invalid_argument("plan_all: deployment is required");
-  }
-  std::vector<const Planner*> selected;
-  if (backends.empty()) {
-    // Default selection: every backend that supports the request (the
-    // mobile backend, e.g., sits out 3-D deployments instead of failing).
-    for (const auto& p : planners_) {
-      if (p->supports(request)) selected.push_back(p.get());
-    }
-  } else {
-    for (const std::string& name : backends) {
-      const Planner* p = find(name);
-      if (p == nullptr) {
-        throw std::invalid_argument("plan_all: unknown backend '" + name +
-                                    "'");
-      }
-      selected.push_back(p);
-    }
-  }
-
-  PlanRequest shared = request;
-
-  // Several selected backends may search for the same tiling (tiling +
-  // mobile); a scoped cache dedupes that work when the caller brought
-  // none.  (Concurrent cold misses can still race and both search — the
-  // results are identical — but the serial fan-out pays exactly once.)
-  TilingCache scoped_cache;
-  if (shared.tiling == nullptr && shared.tiling_cache == nullptr) {
-    shared.tiling_cache = &scoped_cache;
-  }
-
-  // Build the conflict graph once for every coloring backend (they are
-  // the only consumers, and each would otherwise rebuild it).
-  std::optional<Graph> graph;
-  if (shared.conflict_graph == nullptr) {
-    const bool wants_graph =
-        std::any_of(selected.begin(), selected.end(), [](const Planner* p) {
-          return p->wants_conflict_graph();
-        });
-    if (wants_graph) {
-      graph.emplace(build_conflict_graph(*request.deployment));
-      shared.conflict_graph = &*graph;
-    }
-  }
-
-  // Backend fan-out: results land in their request slots, so the output
-  // order is the request order at any thread count.  Backends that
-  // themselves use the pool (tiling search) degrade to serial inside
-  // this region — the pool never nests.
-  std::vector<PlanResult> results(selected.size());
-  parallel_for(0, selected.size(), [&](std::size_t i) {
-    results[i] = selected[i]->plan(shared);
-  });
-  return results;
+  // The one-shot form of the session API: a single-step PlanSession
+  // borrowing the request's deployment.  The session owns the shared
+  // conflict-graph build, the scoped tiling cache and the backend
+  // fan-out — one code path whether the deployment is planned once or
+  // evolved delta by delta.
+  PlanSession session(request, *this, backends);
+  return session.replan();
 }
 
 PlannerRegistry& PlannerRegistry::global() {

@@ -50,6 +50,21 @@ class Lattice;
 class MobileScheduler;
 class TilingCache;
 
+/// Previous-plan state a PlanSession hands back to the backends so a
+/// replan after a small deployment delta touches only the dirty region.
+/// The contract is exactness: a warm plan equals the cold plan of the
+/// same request (greedy first-fit is the unique fixpoint of
+/// c(u) = mex of lower-neighbor colors, so incremental repair converges
+/// to the cold answer — see graph/coloring.hpp).
+struct PlanWarmStart {
+  /// Greedy slot table of the previous replan, carried onto the CURRENT
+  /// sensor ids (kUncolored for sensors without a prior slot).
+  std::vector<std::uint32_t> greedy_colors;
+  /// Sensor ids whose conflict rows changed since those colors — the
+  /// seeds of the incremental recoloring.
+  std::vector<std::uint32_t> dirty;
+};
+
 struct PlanRequest {
   /// Deployment to schedule.  Required; must outlive the call.
   const Deployment* deployment = nullptr;
@@ -88,6 +103,13 @@ struct PlanRequest {
   /// null, plan_all builds it once and shares it; a lone Planner::plan
   /// call builds its own.
   const Graph* conflict_graph = nullptr;
+
+  /// Warm-start state from a previous plan of a slightly different
+  /// deployment (supplied by PlanSession::replan).  Backends that
+  /// declare wants_warm_start() may use it to re-plan only the dirty
+  /// region; the result MUST equal the cold plan.  Must outlive the
+  /// call.
+  const PlanWarmStart* warm = nullptr;
 };
 
 struct PlanResult {
@@ -165,6 +187,10 @@ class Planner {
   /// prebuilds the graph once iff some selected backend wants it).
   virtual bool wants_conflict_graph() const { return false; }
 
+  /// Whether the backend can exploit PlanRequest::warm (the greedy
+  /// coloring backend re-colors only the dirty region).
+  virtual bool wants_warm_start() const { return false; }
+
   /// Full pipeline: compute slots, verify, attach diagnostics.  Never
   /// throws for backend-level failures — those come back as ok == false.
   PlanResult plan(const PlanRequest& request) const;
@@ -202,7 +228,9 @@ class PlannerRegistry {
   /// shared pool and returns their results in the same order.  Builds the
   /// conflict graph once for all coloring backends when the request
   /// doesn't carry one.  Throws std::invalid_argument on unknown names or
-  /// a null deployment.
+  /// a null deployment.  This is a thin wrapper over a single-step
+  /// PlanSession (core/plan_session.hpp) — open a session instead when
+  /// the deployment will change.
   std::vector<PlanResult> plan_all(
       const PlanRequest& request,
       const std::vector<std::string>& backends = {}) const;

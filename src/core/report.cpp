@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -74,12 +75,13 @@ std::string format_double_exact(double v) {
 }
 
 constexpr const char* kCsvHeader =
-    "scenario,backend,ok,sensors,period,lower_bound,optimality_gap,"
+    "scenario,step,backend,ok,sensors,period,lower_bound,optimality_gap,"
     "collision_free,verified,slot_balance,duty_cycle,wall_ms,channels,"
     "effective_period,error";
 
 void emit_csv_row(std::ostream& os, const PlanResultRow& row) {
-  os << row.scenario << ',' << row.backend << ',' << (row.ok ? 1 : 0) << ','
+  os << row.scenario << ',' << row.step << ',' << row.backend << ','
+     << (row.ok ? 1 : 0) << ','
      << row.sensors << ',' << row.period << ',' << row.lower_bound << ','
      << format_double(row.optimality_gap) << ','
      << (row.collision_free ? 1 : 0) << ',' << (row.verified ? 1 : 0)
@@ -92,7 +94,8 @@ void emit_csv_row(std::ostream& os, const PlanResultRow& row) {
 void emit_json_object(std::ostream& os, const PlanResultRow& row,
                       const std::string& indent) {
   os << indent << "{\"scenario\": \"" << json_escape(row.scenario)
-     << "\", \"backend\": \"" << json_escape(row.backend)
+     << "\", \"step\": " << row.step
+     << ", \"backend\": \"" << json_escape(row.backend)
      << "\", \"ok\": " << (row.ok ? "true" : "false")
      << ", \"sensors\": " << row.sensors << ", \"period\": " << row.period
      << ", \"lower_bound\": " << row.lower_bound
@@ -111,11 +114,11 @@ void emit_json_object(std::ostream& os, const PlanResultRow& row,
 // -- Minimal parsers for the exact formats emitted above ------------------
 
 std::vector<std::string> split_line(const std::string& line) {
-  // The only quoted field is the trailing `error`, so split the first 14
+  // The only quoted field is the trailing `error`, so split the first 15
   // commas and treat the rest as the error payload.
   std::vector<std::string> out;
   std::size_t pos = 0;
-  for (int field = 0; field < 14; ++field) {
+  for (int field = 0; field < 15; ++field) {
     const std::size_t comma = line.find(',', pos);
     if (comma == std::string::npos) {
       throw std::invalid_argument("plan-results CSV: short row: " + line);
@@ -159,6 +162,7 @@ std::string json_field(const std::string& obj, const std::string& key) {
 PlanResultRow row_from_json_object(const std::string& obj) {
   PlanResultRow row;
   row.scenario = json_field(obj, "scenario");
+  row.step = std::stoull(json_field(obj, "step"));
   row.backend = json_field(obj, "backend");
   row.ok = json_field(obj, "ok") == "true";
   row.sensors = std::stoull(json_field(obj, "sensors"));
@@ -183,9 +187,11 @@ PlanResultRow row_from_json_object(const std::string& obj) {
 
 }  // namespace
 
-PlanResultRow to_row(const PlanResult& result, const std::string& scenario) {
+PlanResultRow to_row(const PlanResult& result, const std::string& scenario,
+                     std::uint64_t step) {
   PlanResultRow row;
   row.scenario = scenario;
+  row.step = step;
   row.backend = result.backend;
   row.ok = result.ok;
   row.sensors = result.slots.slot.size();
@@ -236,20 +242,21 @@ std::vector<PlanResultRow> parse_plan_results_csv(const std::string& csv) {
     const std::vector<std::string> f = split_line(line);
     PlanResultRow row;
     row.scenario = f[0];
-    row.backend = f[1];
-    row.ok = f[2] == "1";
-    row.sensors = std::stoull(f[3]);
-    row.period = static_cast<std::uint32_t>(std::stoul(f[4]));
-    row.lower_bound = static_cast<std::uint32_t>(std::stoul(f[5]));
-    row.optimality_gap = std::stod(f[6]);
-    row.collision_free = f[7] == "1";
-    row.verified = f[8] == "1";
-    row.slot_balance = std::stod(f[9]);
-    row.duty_cycle = std::stod(f[10]);
-    row.wall_ms = std::stod(f[11]);
-    row.channels = static_cast<std::uint32_t>(std::stoul(f[12]));
-    row.effective_period = static_cast<std::uint32_t>(std::stoul(f[13]));
-    row.error = f[14];
+    row.step = std::stoull(f[1]);
+    row.backend = f[2];
+    row.ok = f[3] == "1";
+    row.sensors = std::stoull(f[4]);
+    row.period = static_cast<std::uint32_t>(std::stoul(f[5]));
+    row.lower_bound = static_cast<std::uint32_t>(std::stoul(f[6]));
+    row.optimality_gap = std::stod(f[7]);
+    row.collision_free = f[8] == "1";
+    row.verified = f[9] == "1";
+    row.slot_balance = std::stod(f[10]);
+    row.duty_cycle = std::stod(f[11]);
+    row.wall_ms = std::stod(f[12]);
+    row.channels = static_cast<std::uint32_t>(std::stoul(f[13]));
+    row.effective_period = static_cast<std::uint32_t>(std::stoul(f[14]));
+    row.error = f[15];
     rows.push_back(std::move(row));
   }
   return rows;
@@ -281,6 +288,14 @@ std::string batch_report_to_csv(const BatchReport& report) {
       emit_csv_row(os, row);
       continue;
     }
+    if (!item.steps.empty()) {
+      for (const BatchStepReport& step : item.steps) {
+        for (const PlanResult& r : step.results) {
+          emit_csv_row(os, to_row(r, item.label, step.step));
+        }
+      }
+      continue;
+    }
     for (const PlanResult& r : item.results) {
       emit_csv_row(os, to_row(r, item.label));
     }
@@ -297,12 +312,29 @@ std::string batch_report_to_json(const BatchReport& report) {
        << "\", \"label\": \"" << json_escape(item.label)
        << "\", \"sensors\": " << item.sensors
        << ", \"channels\": " << item.channels
+       << ", \"steps\": " << item.steps.size()
        << ", \"built\": " << (item.built ? "true" : "false")
        << ", \"error\": \"" << json_escape(item.error)
        << "\", \"results\": [\n";
-    for (std::size_t j = 0; j < item.results.size(); ++j) {
-      emit_json_object(os, to_row(item.results[j], item.label), "      ");
-      os << (j + 1 < item.results.size() ? "," : "") << '\n';
+    if (!item.steps.empty()) {
+      // Dynamic item: one row per (step, backend); the step column
+      // groups them back on parse (item.results is the final step's
+      // results and is NOT emitted separately).
+      std::size_t emitted = 0, total = 0;
+      for (const BatchStepReport& step : item.steps) {
+        total += step.results.size();
+      }
+      for (const BatchStepReport& step : item.steps) {
+        for (const PlanResult& r : step.results) {
+          emit_json_object(os, to_row(r, item.label, step.step), "      ");
+          os << (++emitted < total ? "," : "") << '\n';
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < item.results.size(); ++j) {
+        emit_json_object(os, to_row(item.results[j], item.label), "      ");
+        os << (j + 1 < item.results.size() ? "," : "") << '\n';
+      }
     }
     os << "    ]}" << (i + 1 < report.items.size() ? "," : "") << '\n';
   }
@@ -351,6 +383,7 @@ BatchReport parse_batch_report_json(const std::string& json) {
   std::string line;
   bool saw_cache = false;
   bool saw_wall = false;
+  std::size_t declared_steps = 0;  // of the item currently being parsed
   while (std::getline(is, line)) {
     if (line.find("\"label\": ") != std::string::npos) {
       BatchItemReport item;
@@ -359,6 +392,7 @@ BatchReport parse_batch_report_json(const std::string& json) {
       item.sensors = std::stoull(json_field(line, "sensors"));
       item.channels = static_cast<std::uint32_t>(
           std::stoul(json_field(line, "channels")));
+      declared_steps = std::stoull(json_field(line, "steps"));
       item.built = json_field(line, "built") == "true";
       item.error = json_field(line, "error");
       report.items.push_back(std::move(item));
@@ -367,8 +401,23 @@ BatchReport parse_batch_report_json(const std::string& json) {
         throw std::invalid_argument(
             "batch JSON: result row before any item");
       }
-      report.items.back().results.push_back(
-          result_from_row(row_from_json_object(line)));
+      const PlanResultRow row = row_from_json_object(line);
+      BatchItemReport& item = report.items.back();
+      if (declared_steps > 0) {
+        // Dynamic item: the step column groups rows back into
+        // BatchStepReports (rows of one step are consecutive).  The
+        // fleet size is the max over the step's rows — a FAILED
+        // backend's row carries sensors=0 (no slot table) and must not
+        // zero the step.
+        if (item.steps.empty() || item.steps.back().step != row.step) {
+          item.steps.push_back(BatchStepReport{row.step, 0, {}});
+        }
+        item.steps.back().sensors =
+            std::max(item.steps.back().sensors, row.sensors);
+        item.steps.back().results.push_back(result_from_row(row));
+      } else {
+        item.results.push_back(result_from_row(row));
+      }
     } else if (line.find("\"cache\": ") != std::string::npos) {
       report.cache_hits = std::stoull(json_field(line, "hits"));
       report.cache_misses = std::stoull(json_field(line, "misses"));
@@ -383,6 +432,10 @@ BatchReport parse_batch_report_json(const std::string& json) {
   }
   if (!saw_cache || !saw_wall) {
     throw std::invalid_argument("batch JSON: missing cache/wall_ms footer");
+  }
+  // Dynamic items mirror the live shape: results == the final step's.
+  for (BatchItemReport& item : report.items) {
+    if (!item.steps.empty()) item.results = item.steps.back().results;
   }
   return report;
 }
@@ -403,7 +456,9 @@ std::string batch_items_to_json(const std::vector<BatchItem>& items) {
        << ", \"seed\": " << item.query.params.seed
        << ", \"channels\": " << item.query.params.channels
        << ", \"density\": " << format_double_exact(item.query.params.density)
-       << ", \"backends\": \"" << json_escape(backends)
+       << ", \"steps\": " << item.query.params.steps
+       << ", \"trace_script\": \"" << json_escape(item.trace_script)
+       << "\", \"backends\": \"" << json_escape(backends)
        << "\", \"verify\": " << (item.verify ? "true" : "false")
        << ", \"max_period_cells\": " << item.search.max_period_cells
        << ", \"node_limit\": " << item.search.node_limit
@@ -439,6 +494,8 @@ std::vector<BatchItem> parse_batch_items_json(const std::string& json) {
     item.query.params.channels = static_cast<std::uint32_t>(
         std::stoul(json_field(line, "channels")));
     item.query.params.density = std::stod(json_field(line, "density"));
+    item.query.params.steps = std::stoll(json_field(line, "steps"));
+    item.trace_script = json_field(line, "trace_script");
     item.backends = split_csv_list(json_field(line, "backends"));
     item.verify = json_field(line, "verify") == "true";
     item.search.max_period_cells =

@@ -27,6 +27,9 @@ std::string plan_results_to_json(const std::vector<PlanResult>& results,
 /// (slot tables themselves ship via core/serialization.hpp).
 struct PlanResultRow {
   std::string scenario;
+  /// Session step the result belongs to (0 = initial deployment / any
+  /// static plan; dynamic items tag each step's rows with its `at`).
+  std::uint64_t step = 0;
   std::string backend;
   bool ok = false;
   std::size_t sensors = 0;
@@ -44,8 +47,10 @@ struct PlanResultRow {
   std::string error;
 };
 
-/// The row the emitters would write for `result`.
-PlanResultRow to_row(const PlanResult& result, const std::string& scenario);
+/// The row the emitters would write for `result` (`step` tags dynamic
+/// session steps; 0 for one-shot plans).
+PlanResultRow to_row(const PlanResult& result, const std::string& scenario,
+                     std::uint64_t step = 0);
 
 /// Parse the emitters' output; throw std::invalid_argument on malformed
 /// input.  parse_plan_results_csv leaves `detail` empty (CSV omits it).
@@ -56,7 +61,9 @@ std::vector<PlanResultRow> parse_plan_results_json(const std::string& json);
 /// the item's scenario label) — cache counters don't fit a row stream
 /// and are surfaced by the JSON form and the driver's footer.  JSON is
 /// one object: {"items": [...], "cache": {...}, "worker_failures": ...,
-/// "wall_ms": ...}.
+/// "wall_ms": ...}.  Dynamic items emit one row per (step, backend)
+/// with the row's `step` column set and `"steps": <count>` in the item
+/// header; parse groups the rows back into BatchStepReports.
 std::string batch_report_to_csv(const BatchReport& report);
 std::string batch_report_to_json(const BatchReport& report);
 

@@ -198,6 +198,231 @@ ScenarioSpec make_multichannel_spec() {
       }};
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic scenarios: deployment + seeded MutationTrace
+// ---------------------------------------------------------------------------
+
+std::size_t effective_steps(const ScenarioParams& p,
+                            std::int64_t default_steps) {
+  return static_cast<std::size_t>(p.steps > 0 ? p.steps : default_steps);
+}
+
+ScenarioSpec make_grid_failures_spec() {
+  return ScenarioSpec{
+      "grid-failures",
+      "dynamic grid: a seeded batch of surviving sensors fails every "
+      "step (restricted-strip-covering style node death)",
+      {{"n", "12", "grid side length"},
+       {"radius", "1", "Chebyshev interference radius"},
+       {"seed", "1", "failure-order seed"},
+       {"steps", "3", "failure rounds"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        const std::size_t steps = effective_steps(p, 3);
+        PointVec order = Box::cube(2, 0, p.n - 1).points();
+        Rng rng(p.seed);
+        rng.shuffle(order);
+        // ~10% of the original fleet dies per round; the last sensor
+        // never dies, so every step still has something to schedule.
+        const std::size_t per_step =
+            std::max<std::size_t>(1, order.size() / 10);
+        MutationTrace trace;
+        std::size_t next = 0;
+        for (std::size_t s = 1; s <= steps; ++s) {
+          MutationStep step;
+          step.at = s;
+          for (std::size_t k = 0;
+               k < per_step && next + 1 < order.size(); ++k) {
+            step.delta.remove_sensors.push_back(order[next++]);
+          }
+          trace.steps.push_back(std::move(step));
+        }
+        std::ostringstream label;
+        label << "grid-failures(n=" << p.n << " r=" << p.radius
+              << " seed=" << p.seed << " steps=" << steps << ")";
+        return ScenarioInstance{
+            "grid-failures", label.str(),
+            Deployment::grid(Box::cube(2, 0, p.n - 1),
+                             shapes::chebyshev_ball(2, p.radius)),
+            std::nullopt, 1, std::nullopt, std::move(trace)};
+      }};
+}
+
+ScenarioSpec make_mobile_churn_spec() {
+  return ScenarioSpec{
+      "mobile-churn",
+      "dynamic swarm: every step a seeded batch of sensors leaves, "
+      "roams to a free cell, or joins late",
+      {{"n", "12", "window side length"},
+       {"radius", "1", "l1 interference radius"},
+       {"seed", "1", "churn seed"},
+       {"density", "0.35", "initial occupied-cell fraction"},
+       {"steps", "3", "churn rounds"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        const std::size_t steps = effective_steps(p, 3);
+        PointVec occupied = random_cells(p.n, p.seed, p.density);
+        Rng rng(p.seed ^ 0x9e3779b97f4a7c15ull);
+        PointSet occupancy(occupied.begin(), occupied.end());
+        // A uniformly random FREE window cell (deterministic in the
+        // seed); gives up after a bounded number of probes so a
+        // near-full window degrades to less churn instead of spinning.
+        const auto free_cell = [&]() -> std::optional<Point> {
+          for (int tries = 0; tries < 256; ++tries) {
+            const Point c{static_cast<std::int64_t>(
+                              rng.next_below(static_cast<std::uint64_t>(p.n))),
+                          static_cast<std::int64_t>(rng.next_below(
+                              static_cast<std::uint64_t>(p.n)))};
+            if (!occupancy.count(c)) return c;
+          }
+          return std::nullopt;
+        };
+        MutationTrace trace;
+        for (std::size_t s = 1; s <= steps; ++s) {
+          MutationStep step;
+          step.at = s;
+          // All of one step's remove/move sources must exist PRE-delta
+          // (PlanSession resolves every position against the pre-delta
+          // deployment), so draw them from a snapshot of the step's
+          // starting population — a cell a move just vacated or filled
+          // is never a source again within the same step.
+          PointVec eligible = occupied;
+          const auto take_eligible = [&]() -> Point {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.next_below(eligible.size()));
+            const Point p_out = eligible[i];
+            eligible[i] = eligible.back();
+            eligible.pop_back();
+            return p_out;
+          };
+          const auto drop_occupied = [&](const Point& p_out) {
+            occupancy.erase(p_out);
+            for (Point& q : occupied) {
+              if (q == p_out) {
+                q = occupied.back();
+                occupied.pop_back();
+                break;
+              }
+            }
+          };
+          const std::size_t churn =
+              std::max<std::size_t>(1, occupied.size() / 12);
+          for (std::size_t k = 0;
+               k < churn && occupied.size() > 1 && !eligible.empty(); ++k) {
+            const Point victim = take_eligible();
+            drop_occupied(victim);
+            step.delta.remove_sensors.push_back(victim);
+          }
+          for (std::size_t k = 0; k < churn && !eligible.empty(); ++k) {
+            if (const auto to = free_cell()) {
+              const Point from = take_eligible();
+              drop_occupied(from);
+              step.delta.move_sensors.push_back(
+                  DeploymentDelta::SensorMove{from, *to});
+              occupied.push_back(*to);
+              occupancy.insert(*to);
+            }
+          }
+          for (std::size_t k = 0; k < churn; ++k) {
+            if (const auto at = free_cell()) {
+              step.delta.add_sensors.push_back(
+                  DeploymentDelta::SensorAdd{*at, std::nullopt});
+              occupied.push_back(*at);
+              occupancy.insert(*at);
+            }
+          }
+          trace.steps.push_back(std::move(step));
+        }
+        std::ostringstream label;
+        label << "mobile-churn(n=" << p.n << " r=" << p.radius
+              << " d=" << fmt_density(p.density) << " seed=" << p.seed
+              << " steps=" << steps << ")";
+        return ScenarioInstance{
+            "mobile-churn", label.str(),
+            Deployment::uniform(random_cells(p.n, p.seed, p.density),
+                                shapes::l1_ball(2, p.radius)),
+            std::nullopt, 1, std::nullopt, std::move(trace)};
+      }};
+}
+
+ScenarioSpec make_radius_degradation_spec() {
+  return ScenarioSpec{
+      "radius-degradation",
+      "dynamic grid whose radio range decays fleet-wide one step at a "
+      "time (energy-aware sensor scheduling)",
+      {{"n", "12", "grid side length"},
+       {"radius", "2", "initial Chebyshev radius (raised to >= 2)"},
+       {"steps", "2", "degradation rounds (radius floors at 1)"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        const std::size_t steps = effective_steps(p, 2);
+        const std::int64_t r0 = std::max<std::int64_t>(2, p.radius);
+        MutationTrace trace;
+        for (std::size_t s = 1; s <= steps; ++s) {
+          MutationStep step;
+          step.at = s;
+          DeploymentDelta::RadiusChange rc;
+          rc.radius = std::max<std::int64_t>(
+              1, r0 - static_cast<std::int64_t>(s));
+          step.delta.set_radius.push_back(std::move(rc));
+          trace.steps.push_back(std::move(step));
+        }
+        std::ostringstream label;
+        label << "radius-degradation(n=" << p.n << " r=" << r0
+              << " steps=" << steps << ")";
+        return ScenarioInstance{
+            "radius-degradation", label.str(),
+            Deployment::grid(Box::cube(2, 0, p.n - 1),
+                             shapes::chebyshev_ball(2, r0)),
+            std::nullopt, 1, std::nullopt, std::move(trace)};
+      }};
+}
+
+ScenarioSpec make_staged_rollout_spec() {
+  return ScenarioSpec{
+      "staged-rollout",
+      "dynamic grid deployed in column bands: each step brings the next "
+      "band of sensors online",
+      {{"n", "12", "grid side length"},
+       {"radius", "1", "Chebyshev interference radius"},
+       {"steps", "3", "rollout stages after the initial band"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        // n columns split into steps+1 near-equal bands (capped so every
+        // band holds at least one column).
+        const std::size_t steps = std::min<std::size_t>(
+            effective_steps(p, 3),
+            static_cast<std::size_t>(std::max<std::int64_t>(1, p.n) - 1));
+        const std::size_t bands = steps + 1;
+        const auto band_end = [&](std::size_t b) {
+          return static_cast<std::int64_t>(
+              (static_cast<std::size_t>(p.n) * (b + 1)) / bands);
+        };
+        PointVec initial;
+        for (std::int64_t x = 0; x < band_end(0); ++x) {
+          for (std::int64_t y = 0; y < p.n; ++y) {
+            initial.push_back(Point{x, y});
+          }
+        }
+        MutationTrace trace;
+        for (std::size_t s = 1; s <= steps; ++s) {
+          MutationStep step;
+          step.at = s;
+          for (std::int64_t x = band_end(s - 1); x < band_end(s); ++x) {
+            for (std::int64_t y = 0; y < p.n; ++y) {
+              step.delta.add_sensors.push_back(
+                  DeploymentDelta::SensorAdd{Point{x, y}, std::nullopt});
+            }
+          }
+          trace.steps.push_back(std::move(step));
+        }
+        std::ostringstream label;
+        label << "staged-rollout(n=" << p.n << " r=" << p.radius
+              << " steps=" << steps << ")";
+        return ScenarioInstance{
+            "staged-rollout", label.str(),
+            Deployment::uniform(std::move(initial),
+                                shapes::chebyshev_ball(2, p.radius)),
+            std::nullopt, 1, std::nullopt, std::move(trace)};
+      }};
+}
+
 ScenarioSpec make_random_subset_spec() {
   return ScenarioSpec{
       "random-subset",
@@ -290,6 +515,10 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r->register_scenario(make_antennas_spec());
     r->register_scenario(make_multichannel_spec());
     r->register_scenario(make_random_subset_spec());
+    r->register_scenario(make_grid_failures_spec());
+    r->register_scenario(make_mobile_churn_spec());
+    r->register_scenario(make_radius_degradation_spec());
+    r->register_scenario(make_staged_rollout_spec());
     return r;
   }();
   return *registry;

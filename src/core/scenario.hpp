@@ -16,6 +16,13 @@
 // a given density).  Sweep helpers expand one scenario into the
 // (scenario, params) lists the batch service consumes — radius sweeps,
 // density sweeps, window-size sweeps and seed replicas.
+//
+// DYNAMIC scenarios additionally carry a MutationTrace — a seeded,
+// timestamped DeploymentDelta sequence a PlanSession replays step by
+// step: grid-failures (sensors die in rounds), mobile-churn (a swarm
+// with per-step leave/move/join churn), radius-degradation (radio
+// range decays fleet-wide) and staged-rollout (the grid is deployed in
+// column bands).  ScenarioParams::steps bounds the trace length.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/plan_session.hpp"
 #include "graph/interference.hpp"
 #include "lattice/lattice.hpp"
 #include "tiling/tiling.hpp"
@@ -40,6 +48,9 @@ struct ScenarioParams {
   std::uint64_t seed = 1;     ///< RNG seed of randomized scenarios
   std::uint32_t channels = 1; ///< radio channels (multichannel scenario)
   double density = 0.35;      ///< occupied-cell fraction of random scatters
+  /// Mutation steps of dynamic scenarios (0 = the scenario's default);
+  /// static scenarios ignore it.
+  std::int64_t steps = 0;
 };
 
 /// A built scenario: the deployment plus everything the planner needs.
@@ -53,6 +64,9 @@ struct ScenarioInstance {
   /// lattice (the hex scenario); feeds PlanRequest::lattice so the
   /// mobile backend's Voronoi cells match the deployment.
   std::optional<Lattice> lattice;
+  /// Dynamic scenarios: the timestamped delta sequence a PlanSession
+  /// replays on top of `deployment` (empty for static scenarios).
+  MutationTrace trace;
 };
 
 struct ScenarioParamDoc {

@@ -1,5 +1,6 @@
 #include "core/tiling_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -391,6 +392,84 @@ void TilingCache::store_to_disk(const Key& key, std::uint64_t hash,
     std::fprintf(stderr, "tiling-cache: cannot publish %s\n", path.c_str());
     std::remove(tmp.c_str());
   }
+}
+
+namespace {
+
+/// Cheap structural validity probe for the sweep: magic + version line,
+/// and the terminating "end" token a complete entry always carries.
+bool entry_looks_valid(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kDiskMagic ||
+      version != TilingCache::kDiskFormatVersion) {
+    return false;
+  }
+  std::string tail, tok;
+  while (is >> tok) tail = tok;
+  return tail == "end";
+}
+
+}  // namespace
+
+TilingCache::SweepStats TilingCache::sweep_persist_dir(
+    const std::string& dir, std::uint64_t max_bytes) {
+  SweepStats stats;
+  if (dir.empty()) return stats;
+  struct EntryFile {
+    std::string path;
+    std::uint64_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+    bool corrupt = false;
+  };
+  std::vector<EntryFile> entries;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.rfind("tc_", 0) != 0 || de.path().extension() != ".entry") {
+      continue;
+    }
+    EntryFile entry;
+    entry.path = de.path().string();
+    entry.bytes = de.file_size(ec);
+    if (ec) continue;  // vanished mid-scan (concurrent sweep)
+    entry.mtime = de.last_write_time(ec);
+    if (ec) continue;
+    entry.corrupt = !entry_looks_valid(entry.path);
+    stats.bytes_before += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  stats.scanned = entries.size();
+  stats.bytes_after = stats.bytes_before;
+
+  // Eviction order: corrupt entries first, then oldest mtime; path
+  // breaks ties so concurrent sweepers of one directory agree.
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryFile& a, const EntryFile& b) {
+              if (a.corrupt != b.corrupt) return a.corrupt;
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  for (const EntryFile& entry : entries) {
+    if (!entry.corrupt && stats.bytes_after <= max_bytes) break;
+    if (std::remove(entry.path.c_str()) != 0) continue;  // already gone
+    stats.bytes_after -= entry.bytes;
+    ++stats.removed;
+    if (entry.corrupt) ++stats.corrupt_removed;
+  }
+  return stats;
+}
+
+TilingCache::SweepStats TilingCache::sweep_persist_dir(
+    std::uint64_t max_bytes) const {
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dir = persist_dir_;
+  }
+  return sweep_persist_dir(dir, max_bytes);
 }
 
 TilingCache::Stats TilingCache::stats() const {

@@ -92,6 +92,28 @@ class TilingCache {
   /// skipped (and rewritten on the next store for that key).
   static constexpr int kDiskFormatVersion = 1;
 
+  /// Cache-dir eviction (the ROADMAP's size-capped GC): bounds the
+  /// total size of the `tc_*.entry` files under `dir` to `max_bytes`.
+  /// Corrupt or stale-versioned entries are evicted first (they would
+  /// only ever be skipped and recomputed); then least-recently-modified
+  /// entries go — an LRU over mtime, because store_to_disk rewrites an
+  /// entry whenever its key is recomputed and loads leave mtime alone,
+  /// so mtime orders entries by last (re)write.  Files are removed by
+  /// atomic unlink; a concurrently reading worker either got the entry
+  /// or recomputes — never a torn read.  Returns what the sweep did.
+  struct SweepStats {
+    std::size_t scanned = 0;        ///< tc_*.entry files examined
+    std::size_t removed = 0;        ///< files unlinked
+    std::size_t corrupt_removed = 0;///< subset of `removed` evicted as corrupt
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_after = 0;
+  };
+  static SweepStats sweep_persist_dir(const std::string& dir,
+                                      std::uint64_t max_bytes);
+  /// Instance form: sweeps this cache's persist dir (no-op stats when
+  /// persistence is off).
+  SweepStats sweep_persist_dir(std::uint64_t max_bytes) const;
+
  private:
   struct Key {
     std::vector<Prototile> prototiles;

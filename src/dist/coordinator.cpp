@@ -22,7 +22,8 @@ namespace latticesched::dist {
 namespace {
 
 /// Relative cost estimate of planning one item: window area times
-/// neighborhood area.  Only the RATIO between items matters (LPT bin
+/// neighborhood area, scaled by the step count of a dynamic item (each
+/// step replans).  Only the RATIO between items matters (LPT bin
 /// packing), so a crude geometric proxy beats no estimate without
 /// needing to build the scenario.
 std::uint64_t item_weight(const BatchItem& item) {
@@ -30,7 +31,9 @@ std::uint64_t item_weight(const BatchItem& item) {
       static_cast<std::uint64_t>(std::max<std::int64_t>(1, item.query.params.n));
   const std::uint64_t ball = static_cast<std::uint64_t>(
       2 * std::max<std::int64_t>(0, item.query.params.radius) + 1);
-  return std::max<std::uint64_t>(1, n * n * ball * ball);
+  const std::uint64_t steps = static_cast<std::uint64_t>(
+      1 + std::max<std::int64_t>(0, item.query.params.steps));
+  return std::max<std::uint64_t>(1, n * n * ball * ball * steps);
 }
 
 }  // namespace

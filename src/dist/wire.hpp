@@ -19,7 +19,10 @@ namespace latticesched::dist {
 /// Protocol version carried in the HELLO frame; a coordinator refuses a
 /// worker speaking any other version (mixed-build deployments fail fast
 /// instead of mis-parsing each other).
-inline constexpr int kProtocolVersion = 1;
+/// v2: batch items gained "steps"/"trace_script", report rows a "step"
+/// column and item headers a "steps" count (dynamic scenarios) — a v1
+/// worker would silently plan dynamic items as static.
+inline constexpr int kProtocolVersion = 2;
 
 /// Frames larger than this are a protocol error, not an allocation —
 /// guards the reader against garbage length prefixes.

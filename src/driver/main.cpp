@@ -8,12 +8,23 @@
 // verified plan.
 //
 //   $ latticesched --list-scenarios
+//   $ latticesched --list-backends
 //   $ latticesched --scenario grid --n 16 --radius 1
 //   $ latticesched --scenario all --format json --out report.json
 //   $ latticesched --scenario grid,hex --radius 1,2,3      # sweep batch
 //   $ latticesched --scenario multichannel --channels 4
 //   $ latticesched --scenario cube3d --backends tiling,dsatur,tdma
 //   $ latticesched --scenario all --workers 4 --cache-dir /var/cache/ls
+//   $ latticesched --scenario grid-failures --steps 5      # dynamic trace
+//   $ latticesched --scenario grid --script churn.txt      # scripted deltas
+//
+// Dynamic scenarios (grid-failures, mobile-churn, radius-degradation,
+// staged-rollout) carry a mutation trace that is replayed through a
+// PlanSession: step 0 plans the initial fleet, each further step
+// applies the delta and replans incrementally; report rows gain a
+// `step` column.  --script drives ANY scenario with a custom delta
+// script (parse_mutation_script format); --steps bounds generated
+// traces.  --cache-max-mb N prunes --cache-dir to N MiB after the run.
 //
 // Comma lists in --scenario / --n / --radius / --density expand to the
 // cross-product batch, so a whole sweep is one invocation (and, thanks
@@ -34,6 +45,7 @@
 #include <vector>
 
 #include "core/plan_service.hpp"
+#include "core/plan_session.hpp"
 #include "core/planner.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
@@ -67,6 +79,28 @@ std::vector<double> double_list(const std::string& csv) {
   return out;
 }
 
+void result_cells(Table& t, const PlanResult& r) {
+  t.cell(r.backend);
+  if (r.ok) {
+    t.cell(r.effective_period());
+    t.cell(r.optimality_gap, 2);
+    // "-" = the checker was skipped (--no-verify), not a clean bill.
+    t.cell(!r.verified ? "-" : r.collision_free ? "yes" : "NO");
+    t.cell(r.slot_balance, 3);
+    t.cell(r.duty_cycle, 4);
+    t.cell(r.wall_seconds * 1e3, 2);
+    t.cell("ok");
+  } else {
+    t.cell(static_cast<std::int64_t>(0));
+    t.cell(0.0, 2);
+    t.cell("-");
+    t.cell(0.0, 3);
+    t.cell(0.0, 4);
+    t.cell(r.wall_seconds * 1e3, 2);
+    t.cell("FAILED: " + r.error);
+  }
+}
+
 void print_item_table(const BatchItemReport& item) {
   if (!item.built) {
     std::printf("scenario %s: FAILED to build: %s\n\n",
@@ -75,33 +109,36 @@ void print_item_table(const BatchItemReport& item) {
   }
   std::printf("scenario %s: %zu sensors", item.label.c_str(), item.sensors);
   if (item.channels > 1) std::printf(", %u channels", item.channels);
+  if (!item.steps.empty()) {
+    std::printf(", %zu step(s)", item.steps.size());
+  }
   if (!item.results.empty()) {
     std::printf(", lower bound %u slots", item.results.front().lower_bound);
   }
   std::printf("\n\n");
+  if (!item.steps.empty()) {
+    // Dynamic item: one table over all steps, rows tagged by step and
+    // the fleet size the step planned.
+    Table t({"step", "sensors", "backend", "period", "gap",
+             "collision-free", "balance", "duty cycle", "wall ms",
+             "status"});
+    for (const BatchStepReport& step : item.steps) {
+      for (const PlanResult& r : step.results) {
+        t.begin_row();
+        t.cell(static_cast<std::int64_t>(step.step));
+        t.cell(static_cast<std::int64_t>(step.sensors));
+        result_cells(t, r);
+      }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+    return;
+  }
   Table t({"backend", "period", "gap", "collision-free", "balance",
            "duty cycle", "wall ms", "status"});
   for (const PlanResult& r : item.results) {
     t.begin_row();
-    t.cell(r.backend);
-    if (r.ok) {
-      t.cell(r.effective_period());
-      t.cell(r.optimality_gap, 2);
-      // "-" = the checker was skipped (--no-verify), not a clean bill.
-      t.cell(!r.verified ? "-" : r.collision_free ? "yes" : "NO");
-      t.cell(r.slot_balance, 3);
-      t.cell(r.duty_cycle, 4);
-      t.cell(r.wall_seconds * 1e3, 2);
-      t.cell("ok");
-    } else {
-      t.cell(static_cast<std::int64_t>(0));
-      t.cell(0.0, 2);
-      t.cell("-");
-      t.cell(0.0, 3);
-      t.cell(0.0, 4);
-      t.cell(r.wall_seconds * 1e3, 2);
-      t.cell("FAILED: " + r.error);
-    }
+    result_cells(t, r);
   }
   t.print(std::cout);
   std::printf("\n");
@@ -124,6 +161,14 @@ int run(int argc, char** argv) {
                "sweeps");
   cli.add_flag("backends", "all",
                "comma-separated backend names, or 'all'");
+  cli.add_flag("list-backends", "false",
+               "print the registered planner backends and exit");
+  cli.add_int_flag("steps", 0, 0,
+                   "mutation steps of dynamic scenarios (0 = scenario "
+                   "default)");
+  cli.add_flag("script", "",
+               "drive the scenario through a PlanSession with the "
+               "mutation script in this file (see docs/API.md)");
   cli.add_flag("threads", "0",
                "worker threads for the parallel layer (0 = auto)");
   cli.add_flag("format", "table", "table | csv | json");
@@ -141,6 +186,9 @@ int run(int argc, char** argv) {
   cli.add_flag("cache-dir", "",
                "persist the tiling cache in this directory (shared by "
                "workers and across invocations)");
+  cli.add_int_flag("cache-max-mb", 0, 0,
+                   "size-capped LRU sweep of --cache-dir after the run "
+                   "(0 = unbounded)");
   cli.add_flag("cache-stats", "false",
                "print the cache counter footer, per worker when "
                "distributed");
@@ -161,6 +209,12 @@ int run(int argc, char** argv) {
   }
   if (cli.get_bool("list-scenarios")) {
     std::printf("%s", ScenarioRegistry::global().describe().c_str());
+    return 0;
+  }
+  if (cli.get_bool("list-backends")) {
+    for (const std::string& name : PlannerRegistry::global().names()) {
+      std::printf("%s\n", name.c_str());
+    }
     return 0;
   }
 
@@ -194,10 +248,13 @@ int run(int argc, char** argv) {
   }
   for (const std::string& name : scenario_names) {
     if (ScenarioRegistry::global().find(name) == nullptr) {
+      const std::string hint =
+          suggest_nearest(name, ScenarioRegistry::global().names());
       std::fprintf(stderr,
-                   "unknown scenario '%s'; --list-scenarios shows the "
-                   "registry\n",
-                   name.c_str());
+                   "unknown scenario '%s'%s%s%s; --list-scenarios shows "
+                   "the registry\n",
+                   name.c_str(), hint.empty() ? "" : " (did you mean '",
+                   hint.c_str(), hint.empty() ? "" : "'?)");
       return 2;
     }
   }
@@ -205,6 +262,40 @@ int run(int argc, char** argv) {
   std::vector<BatchItem> items;
   const std::vector<std::string> backends =
       parse_backend_list(cli.get_string("backends"));
+  for (const std::string& name : backends) {
+    if (PlannerRegistry::global().find(name) == nullptr) {
+      const std::string hint =
+          suggest_nearest(name, PlannerRegistry::global().names());
+      std::fprintf(stderr,
+                   "unknown backend '%s'%s%s%s; --list-backends shows "
+                   "the registry\n",
+                   name.c_str(), hint.empty() ? "" : " (did you mean '",
+                   hint.c_str(), hint.empty() ? "" : "'?)");
+      return 2;
+    }
+  }
+
+  // --script: read and validate the mutation script up front so a typo
+  // fails before any planning starts.
+  std::string trace_script;
+  if (const std::string script = cli.get_string("script");
+      !script.empty()) {
+    std::ifstream is(script);
+    if (!is) {
+      std::fprintf(stderr, "cannot read --script %s\n", script.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    trace_script = buffer.str();
+    try {
+      (void)parse_mutation_script(trace_script);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--script %s: %s\n", script.c_str(), e.what());
+      return 2;
+    }
+  }
+
   try {
     const std::vector<std::int64_t> all_n = int_list(cli.get_string("n"));
     const std::vector<std::int64_t> all_radii =
@@ -240,6 +331,8 @@ int run(int argc, char** argv) {
                 static_cast<std::uint64_t>(cli.get_int("seed"));
             item.query.params.channels =
                 static_cast<std::uint32_t>(cli.get_int("channels"));
+            item.query.params.steps = cli.get_int("steps");
+            item.trace_script = trace_script;
             item.backends = backends;
             item.sa.max_iters =
                 static_cast<std::uint64_t>(cli.get_int("sa-iters"));
@@ -280,6 +373,20 @@ int run(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "latticesched: %s\n", e.what());
     return 2;
+  }
+
+  // --cache-max-mb: bound the persistent cache directory after the run
+  // (size-capped LRU over the entry files; corrupt entries go first).
+  if (const std::int64_t cap_mb = cli.get_int("cache-max-mb");
+      cap_mb > 0 && !cache_dir.empty()) {
+    const TilingCache::SweepStats swept = TilingCache::sweep_persist_dir(
+        cache_dir, static_cast<std::uint64_t>(cap_mb) << 20);
+    std::fprintf(stderr,
+                 "cache-gc: %zu file(s) scanned, %zu removed (%zu "
+                 "corrupt), %llu -> %llu bytes\n",
+                 swept.scanned, swept.removed, swept.corrupt_removed,
+                 static_cast<unsigned long long>(swept.bytes_before),
+                 static_cast<unsigned long long>(swept.bytes_after));
   }
 
   const std::string format = cli.get_string("format");

@@ -32,6 +32,22 @@ Coloring greedy_coloring(const Graph& g,
 /// First-fit in natural order 0..n-1.
 Coloring greedy_coloring(const Graph& g);
 
+/// "No color" marker in partial colorings handed to
+/// incremental_greedy_coloring (new sensors of a patched graph).
+inline constexpr std::uint32_t kUncolored =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Incrementally repairs a natural-order greedy coloring after local
+/// graph edits.  `previous` is the greedy coloring of an earlier graph
+/// carried onto g's vertex ids (kUncolored for vertices without a prior
+/// color); `dirty` lists every vertex whose neighbor row changed.
+/// Greedy first-fit is the unique fixpoint of c(u) = mex{c(j) : j < u,
+/// j ~ u}, so re-evaluating dirty vertices in ascending order and
+/// propagating color changes upward reproduces greedy_coloring(g)
+/// exactly while only touching the changed region.
+Coloring incremental_greedy_coloring(const Graph& g, Coloring previous,
+                                     const std::vector<std::uint32_t>& dirty);
+
 /// Welsh–Powell: first-fit in order of decreasing degree.
 Coloring welsh_powell_coloring(const Graph& g);
 

@@ -55,6 +55,13 @@ Deployment Deployment::grid(const Box& box, Prototile n) {
   return uniform(box.points(), std::move(n));
 }
 
+Deployment Deployment::assemble(PointVec positions,
+                                std::vector<std::uint32_t> types,
+                                std::vector<Prototile> prototiles) {
+  return Deployment(std::move(positions), std::move(types),
+                    std::move(prototiles));
+}
+
 Deployment Deployment::from_tiling(const Tiling& t, const Box& box) {
   PointVec positions = box.points();
   std::vector<std::uint32_t> types;
@@ -253,6 +260,94 @@ std::vector<std::vector<std::uint32_t>> build_affects_digraph(
     std::sort(affects[i].begin(), affects[i].end());
   }
   return affects;
+}
+
+namespace {
+
+/// Candidate neighbor offsets of a sensor of type `t`: every a - b with
+/// a in N_t and b in any prototile of the deployment.  A sensor v
+/// conflicts u iff pos(v) - pos(u) is one of these (for v's type), so
+/// probing sensor_at over the union finds every conflict partner of a
+/// dirty sensor without touching the rest of the deployment.
+PointVec candidate_offsets(const Deployment& d, std::uint32_t type) {
+  PointSet seen;
+  const Prototile& nu = d.prototiles()[type];
+  for (const Prototile& nv : d.prototiles()) {
+    for (const Point& a : nu.points()) {
+      for (const Point& b : nv.points()) {
+        seen.insert(a - b);
+      }
+    }
+  }
+  return PointVec(seen.begin(), seen.end());
+}
+
+}  // namespace
+
+Graph patch_conflict_graph(const Graph& old_graph, const Deployment& new_d,
+                           const std::vector<std::uint32_t>& old_to_new,
+                           const std::vector<std::uint32_t>& dirty) {
+  if (old_to_new.size() != old_graph.size()) {
+    throw std::invalid_argument(
+        "patch_conflict_graph: old_to_new/old_graph size mismatch");
+  }
+  const std::size_t n_new = new_d.size();
+  std::vector<char> is_dirty(n_new, 0);
+  for (std::uint32_t u : dirty) {
+    if (u >= n_new) {
+      throw std::invalid_argument(
+          "patch_conflict_graph: dirty index out of range");
+    }
+    is_dirty[u] = 1;
+  }
+
+  // Clean rows carry over: remap through old_to_new, dropping removed
+  // neighbors and dirty neighbors (the dirty rebuild below re-adds any
+  // surviving edge to a dirty sensor).  Kept sensors preserve relative
+  // order, so remapped rows stay sorted.
+  std::vector<std::vector<std::uint32_t>> adj(n_new);
+  for (std::uint32_t i = 0; i < old_to_new.size(); ++i) {
+    const std::uint32_t j = old_to_new[i];
+    if (j == kRemovedSensor) continue;
+    if (j >= n_new) {
+      throw std::invalid_argument(
+          "patch_conflict_graph: old_to_new index out of range");
+    }
+    if (is_dirty[j]) continue;
+    for (std::uint32_t t : old_graph.neighbors(i)) {
+      const std::uint32_t nt = old_to_new[t];
+      if (nt == kRemovedSensor || is_dirty[nt]) continue;
+      adj[j].push_back(nt);
+    }
+  }
+
+  // Dirty rows rebuild locally.  Dirty-dirty edges are discovered from
+  // both endpoints (the predicate is symmetric), so each dirty row is
+  // complete on its own; only clean partners need the symmetric insert.
+  std::vector<PointVec> offsets_by_type(new_d.prototiles().size());
+  for (std::uint32_t u : dirty) {
+    const std::uint32_t type = new_d.type_of(u);
+    PointVec& offsets = offsets_by_type[type];
+    if (offsets.empty()) offsets = candidate_offsets(new_d, type);
+    const Point& pos = new_d.position(u);
+    std::vector<std::uint32_t>& row = adj[u];
+    for (const Point& off : offsets) {
+      const auto v = new_d.sensor_at(pos + off);
+      if (v.has_value() && *v != u && sensors_conflict(new_d, u, *v)) {
+        row.push_back(static_cast<std::uint32_t>(*v));
+      }
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    for (std::uint32_t v : row) {
+      if (is_dirty[v]) continue;
+      std::vector<std::uint32_t>& back = adj[v];
+      back.insert(std::lower_bound(back.begin(), back.end(), u), u);
+    }
+  }
+  // from_sorted_adjacency re-validates symmetry and ordering, so a patch
+  // bug surfaces as an exception instead of a silently wrong schedule.
+  return Graph::from_sorted_adjacency(std::move(adj));
 }
 
 bool sensors_conflict(const Deployment& d, std::size_t i, std::size_t j) {

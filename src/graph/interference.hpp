@@ -45,6 +45,14 @@ class Deployment {
   /// each inheriting the prototile of the tile covering it.
   static Deployment from_tiling(const Tiling& t, const Box& box);
 
+  /// General assembly from explicit per-sensor types — the PlanSession's
+  /// delta machinery rebuilds deployments through here (a mutated fleet
+  /// is neither uniform nor tiling-derived).  Validates exactly like the
+  /// other factories: types index `prototiles`, positions are unique.
+  static Deployment assemble(PointVec positions,
+                             std::vector<std::uint32_t> types,
+                             std::vector<Prototile> prototiles);
+
   std::size_t size() const { return positions_.size(); }
   const PointVec& positions() const { return positions_; }
   const Point& position(std::size_t i) const { return positions_[i]; }
@@ -101,5 +109,24 @@ std::vector<std::vector<std::uint32_t>> build_affects_digraph(
 /// Whether sensors i and j conflict per the paper's intersection predicate
 /// (allocation-free sorted-order merge; used to cross-check the builders).
 bool sensors_conflict(const Deployment& d, std::size_t i, std::size_t j);
+
+/// Marks a removed sensor in `old_to_new` index maps.
+inline constexpr std::uint32_t kRemovedSensor = 0xffffffffu;
+
+/// Incrementally patches a conflict graph after a deployment delta
+/// instead of re-running build_conflict_graph.  `old_graph` is the
+/// conflict graph of the previous deployment; `old_to_new[i]` maps old
+/// sensor i to its index in `new_d` (kRemovedSensor when it was
+/// removed; kept sensors must preserve relative order, added sensors
+/// take the trailing indices).  `dirty` lists the NEW indices whose
+/// conflict rows cannot be carried over — moved, reshaped and added
+/// sensors — sorted ascending.  Clean rows are remapped; dirty rows
+/// are rebuilt locally by probing sensor_at over the pairwise
+/// difference sets of the prototiles (the localized form of the
+/// `affects` relation), so the cost scales with the delta, not the
+/// deployment.  The result is exactly build_conflict_graph(new_d).
+Graph patch_conflict_graph(const Graph& old_graph, const Deployment& new_d,
+                           const std::vector<std::uint32_t>& old_to_new,
+                           const std::vector<std::uint32_t>& dirty);
 
 }  // namespace latticesched

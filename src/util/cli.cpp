@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -164,6 +165,38 @@ bool CliParser::get_bool(const std::string& name) const {
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no" || v.empty()) return false;
   throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+}
+
+std::string suggest_nearest(const std::string& name,
+                            const std::vector<std::string>& candidates) {
+  const auto edit_distance = [](const std::string& a, const std::string& b) {
+    // Levenshtein with a rolling row; the inputs are flag-sized.
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t diag = row[0];
+      row[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j) {
+        const std::size_t up = row[j];
+        row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                           diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+        diag = up;
+      }
+    }
+    return row[b.size()];
+  };
+  const std::size_t budget =
+      std::max<std::size_t>(2, name.size() / 3);
+  std::string best;
+  std::size_t best_distance = budget + 1;
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 std::string CliParser::help_text() const {

@@ -21,6 +21,14 @@ namespace latticesched {
 /// tokenizer behind backend lists and the driver's sweep flags.
 std::vector<std::string> split_csv_list(const std::string& csv);
 
+/// The candidate closest to `name` by edit distance, or "" when nothing
+/// is plausibly a typo (distance > max(2, |name| / 3)).  Ties resolve
+/// to the earliest candidate, so registry order makes the suggestion
+/// deterministic.  Drives the driver's "did you mean ...?" hints for
+/// --scenario and --backends.
+std::string suggest_nearest(const std::string& name,
+                            const std::vector<std::string>& candidates);
+
 class CliParser {
  public:
   CliParser(std::string program_description);

@@ -159,5 +159,67 @@ TEST(SaColoring, ZeroColorsOnlyForEmptyGraph) {
   EXPECT_FALSE(sa_find_coloring(Graph(3), 0).has_value());
 }
 
+// ---------------------------------------------------------------------------
+// Incremental greedy repair (the PlanSession warm start)
+// ---------------------------------------------------------------------------
+
+Graph random_graph(Rng& rng, std::size_t n, std::uint64_t edge_pct) {
+  Graph g(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.next_below(100) < edge_pct) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+TEST(IncrementalGreedy, NoDirtyVerticesIsTheIdentity) {
+  Rng rng(5);
+  const Graph g = random_graph(rng, 40, 20);
+  const Coloring base = greedy_coloring(g);
+  EXPECT_EQ(incremental_greedy_coloring(g, base, {}), base);
+}
+
+TEST(IncrementalGreedy, AllUncoloredReproducesGreedyFromScratch) {
+  Rng rng(6);
+  const Graph g = random_graph(rng, 50, 15);
+  EXPECT_EQ(incremental_greedy_coloring(
+                g, Coloring(g.size(), kUncolored), {}),
+            greedy_coloring(g));
+}
+
+TEST(IncrementalGreedy, RepairsEditedGraphsExactly) {
+  // Color a graph, edit it by inserting extra edges, hand the OLD
+  // colors plus the touched vertices to the repair, and demand the
+  // exact from-scratch greedy coloring back.
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 20 + rng.next_below(30);
+    Graph g = random_graph(rng, n, 15);
+    const Coloring before = greedy_coloring(g);
+
+    std::vector<std::uint32_t> dirty;
+    for (int edits = 0; edits < 4; ++edits) {
+      const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+      const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+      if (u == v || g.has_edge(u, v)) continue;
+      g.add_edge(u, v);
+      dirty.push_back(u);
+      dirty.push_back(v);
+    }
+    EXPECT_EQ(incremental_greedy_coloring(g, before, dirty),
+              greedy_coloring(g))
+        << "round " << round;
+  }
+}
+
+TEST(IncrementalGreedy, ValidatesItsInputs) {
+  const Graph g(4);
+  EXPECT_THROW(incremental_greedy_coloring(g, Coloring(3, 0), {}),
+               std::invalid_argument);
+  EXPECT_THROW(incremental_greedy_coloring(g, Coloring(4, 0), {9}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace latticesched

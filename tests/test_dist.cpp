@@ -410,6 +410,40 @@ TEST(DistributedService, DuplicateScenarioItemsPlanIndependently) {
             normalize_volatile(batch_report_to_json(serial)));
 }
 
+TEST(DistributedService, DynamicTracesShipOverTheWireByteIdentical) {
+  // A dynamic scenario AND a script-driven item distributed across
+  // workers: the per-step results (step column, shrinking fleets) must
+  // merge byte-identically to the serial run — traces are first-class
+  // wire citizens, not a driver-only feature.
+  BatchItem dynamic;
+  dynamic.query.scenario = "grid-failures";
+  dynamic.query.params.n = 6;
+  dynamic.query.params.steps = 2;
+  dynamic.backends = {"tiling", "tdma"};
+  BatchItem scripted;
+  scripted.query.scenario = "grid";
+  scripted.query.params.n = 5;
+  scripted.backends = {"greedy", "tdma"};
+  scripted.trace_script = "step\nremove 0 0\nstep\nadd 9 9\nradius 2\n";
+  const std::vector<BatchItem> items = {dynamic, scripted};
+
+  set_parallel_threads(1);
+  PlanService service;
+  const BatchReport serial = service.run(items);
+  set_parallel_threads(0);
+  ASSERT_TRUE(serial.all_ok());
+  ASSERT_EQ(serial.items[0].steps.size(), 3u);
+  ASSERT_EQ(serial.items[1].steps.size(), 3u);
+
+  ShardCoordinator coordinator(config_for(2));
+  const BatchReport distributed = coordinator.run(items);
+  ASSERT_TRUE(distributed.all_ok());
+  ASSERT_EQ(distributed.items[0].steps.size(), 3u);
+  EXPECT_EQ(distributed.items[1].steps[2].sensors, 25u);  // 25 - 1 + 1
+  EXPECT_EQ(normalize_volatile(batch_report_to_json(distributed)),
+            normalize_volatile(batch_report_to_json(serial)));
+}
+
 TEST(DistributedService, KilledWorkerShardIsReassigned) {
   // The failure-handling regression: worker 1 is SIGKILLed immediately
   // after receiving its first shard.  The coordinator must detect the

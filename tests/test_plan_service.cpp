@@ -164,6 +164,107 @@ TEST(PlanService, CacheCountersSurfaceInBatchReports) {
   set_parallel_threads(0);
 }
 
+TEST(PlanService, DynamicItemsRunTheirTraceStepByStep) {
+  set_parallel_threads(1);
+  PlanService service;
+  ScenarioParams params;
+  params.n = 6;
+  params.steps = 3;
+  BatchItem item;
+  item.query = ScenarioQuery{"grid-failures", params};
+  item.backends = {"tiling", "greedy", "tdma"};
+  const BatchReport report = service.run({item});
+  set_parallel_threads(0);
+  ASSERT_EQ(report.items.size(), 1u);
+  const BatchItemReport& out = report.items.front();
+  ASSERT_TRUE(out.built) << out.error;
+  EXPECT_TRUE(out.all_ok());
+  ASSERT_EQ(out.steps.size(), 4u);  // initial + 3 failure rounds
+  EXPECT_EQ(out.steps[0].step, 0u);
+  EXPECT_EQ(out.steps[0].sensors, 36u);
+  std::size_t previous = out.steps[0].sensors + 1;
+  for (const BatchStepReport& step : out.steps) {
+    EXPECT_LT(step.sensors, previous);  // sensors die every round
+    previous = step.sensors;
+    ASSERT_EQ(step.results.size(), 3u);
+    for (const PlanResult& r : step.results) {
+      EXPECT_TRUE(r.ok) << r.backend << ": " << r.error;
+      EXPECT_TRUE(r.collision_free) << r.backend;
+      EXPECT_EQ(r.slots.slot.size(), step.sensors) << r.backend;
+    }
+  }
+  // results mirrors the final step.
+  ASSERT_EQ(out.results.size(), 3u);
+  EXPECT_EQ(out.results[0].slots.slot,
+            out.steps.back().results[0].slots.slot);
+  // The session reused the memoized search: one miss for the grid ball,
+  // hits for every later step.
+  EXPECT_EQ(report.cache_misses, 1u);
+  EXPECT_GE(report.cache_hits, 3u);
+}
+
+TEST(PlanService, TraceScriptOverridesTheScenarioTrace) {
+  PlanService service;
+  ScenarioParams params;
+  params.n = 5;
+  BatchItem item;
+  item.query = ScenarioQuery{"grid", params};  // static scenario...
+  item.backends = {"tdma"};
+  item.trace_script = "step\nremove 0 0\nstep\nremove 4 4\n";  // ...scripted
+  const BatchReport report = service.run({item});
+  ASSERT_EQ(report.items.size(), 1u);
+  const BatchItemReport& out = report.items.front();
+  ASSERT_TRUE(out.built) << out.error;
+  ASSERT_EQ(out.steps.size(), 3u);
+  EXPECT_EQ(out.steps[0].sensors, 25u);
+  EXPECT_EQ(out.steps[1].sensors, 24u);
+  EXPECT_EQ(out.steps[2].sensors, 23u);
+  EXPECT_TRUE(out.all_ok());
+
+  // A malformed script is an item failure, not a thrown batch.
+  BatchItem bad = item;
+  bad.trace_script = "remove 0 0\n";  // op before any step
+  const BatchReport failed = service.run({bad});
+  ASSERT_EQ(failed.items.size(), 1u);
+  EXPECT_FALSE(failed.items[0].built);
+  EXPECT_NE(failed.items[0].error.find("step"), std::string::npos);
+  EXPECT_FALSE(failed.all_ok());
+}
+
+TEST(PlanService, FullRegistryWithDynamicScenariosIsDeterministic) {
+  // The thread-count determinism pin, now covering traces: dynamic
+  // items replan per step, and every step's slot tables must be
+  // identical at any pool width.
+  ScenarioParams params;
+  params.n = 6;
+  std::vector<BatchReport> reports;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_parallel_threads(threads);
+    PlanService service;
+    reports.push_back(service.run(service.registry_batch(
+        params, {"tiling", "greedy", "tdma"})));
+  }
+  set_parallel_threads(0);
+  ASSERT_EQ(reports[0].items.size(), reports[1].items.size());
+  bool saw_dynamic = false;
+  for (std::size_t i = 0; i < reports[0].items.size(); ++i) {
+    const BatchItemReport& a = reports[0].items[i];
+    const BatchItemReport& b = reports[1].items[i];
+    ASSERT_EQ(a.steps.size(), b.steps.size()) << a.scenario;
+    saw_dynamic = saw_dynamic || !a.steps.empty();
+    for (std::size_t s = 0; s < a.steps.size(); ++s) {
+      EXPECT_EQ(a.steps[s].step, b.steps[s].step);
+      EXPECT_EQ(a.steps[s].sensors, b.steps[s].sensors);
+      ASSERT_EQ(a.steps[s].results.size(), b.steps[s].results.size());
+      for (std::size_t j = 0; j < a.steps[s].results.size(); ++j) {
+        EXPECT_EQ(a.steps[s].results[j].slots.slot,
+                  b.steps[s].results[j].slots.slot);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_dynamic);
+}
+
 TEST(PlanService, ScenarioFailuresAreReportedNotThrown) {
   PlanService service;
   BatchItem bad;

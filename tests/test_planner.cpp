@@ -241,9 +241,9 @@ TEST(Planner, ReportEmitters) {
   const auto results =
       PlannerRegistry::global().plan_all(request, {"tiling", "tdma"});
   const std::string csv = plan_results_to_csv(results, "unit");
-  EXPECT_NE(csv.find("scenario,backend"), std::string::npos);
-  EXPECT_NE(csv.find("unit,tiling"), std::string::npos);
-  EXPECT_NE(csv.find("unit,tdma"), std::string::npos);
+  EXPECT_NE(csv.find("scenario,step,backend"), std::string::npos);
+  EXPECT_NE(csv.find("unit,0,tiling"), std::string::npos);
+  EXPECT_NE(csv.find("unit,0,tdma"), std::string::npos);
   const std::string json = plan_results_to_json(results, "unit");
   EXPECT_NE(json.find("\"backend\": \"tiling\""), std::string::npos);
   EXPECT_NE(json.find("\"collision_free\": true"), std::string::npos);

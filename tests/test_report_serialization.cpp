@@ -141,6 +141,51 @@ TEST(ReportSerialization, ScheduleCsvRoundTripWithChannelColumns) {
   EXPECT_EQ(plain_parsed.slots.slot, tiling.slots.slot);
 }
 
+TEST(ReportSerialization, DynamicItemsRoundTripWithStepColumn) {
+  set_parallel_threads(1);
+  PlanService service;
+  ScenarioParams params;
+  params.n = 6;
+  params.steps = 2;
+  std::vector<BatchItem> items;
+  BatchItem dynamic;
+  dynamic.query = ScenarioQuery{"grid-failures", params};
+  dynamic.backends = {"tiling", "tdma"};
+  items.push_back(dynamic);
+  BatchItem still;  // a static item in the same batch keeps step 0 rows
+  still.query = ScenarioQuery{"grid", params};
+  still.backends = {"tdma"};
+  items.push_back(still);
+  const BatchReport report = service.run(items);
+  set_parallel_threads(0);
+  ASSERT_TRUE(report.all_ok());
+  ASSERT_EQ(report.items[0].steps.size(), 3u);
+
+  // CSV: one row per (step, backend), step column populated.
+  const std::string csv = batch_report_to_csv(report);
+  const auto csv_rows = parse_plan_results_csv(csv);
+  ASSERT_EQ(csv_rows.size(), 3u * 2u + 1u);
+  EXPECT_EQ(csv_rows[0].step, 0u);
+  EXPECT_EQ(csv_rows[2].step, 1u);
+  EXPECT_EQ(csv_rows[4].step, 2u);
+  EXPECT_EQ(csv_rows.back().step, 0u);  // the static item
+  EXPECT_GT(csv_rows[0].sensors, csv_rows[2].sensors)
+      << "per-step rows must carry the shrinking fleet";
+
+  // JSON: emit -> parse -> emit is the identity, steps included (the
+  // distributed merge path depends on this).
+  const std::string json = batch_report_to_json(report);
+  EXPECT_NE(json.find("\"steps\": 3"), std::string::npos);
+  const BatchReport parsed = parse_batch_report_json(json);
+  ASSERT_EQ(parsed.items.size(), 2u);
+  ASSERT_EQ(parsed.items[0].steps.size(), 3u);
+  EXPECT_EQ(parsed.items[0].steps[1].step, 1u);
+  EXPECT_EQ(parsed.items[0].steps[1].results.size(), 2u);
+  EXPECT_TRUE(parsed.items[1].steps.empty());
+  ASSERT_EQ(parsed.items[0].results.size(), 2u);  // final step mirror
+  EXPECT_EQ(batch_report_to_json(parsed), json);
+}
+
 // Golden-file pin of the driver's `--format json` report shape: the
 // test rebuilds the exact batch `latticesched --scenario grid --n 6
 // --backends tiling,tdma --threads 1 --format json` runs and compares

@@ -124,6 +124,99 @@ TEST(Scenario, DescribeDocumentsEveryScenario) {
   EXPECT_NE(text.find("--density"), std::string::npos);
 }
 
+TEST(Scenario, DynamicScenariosCarrySeededTraces) {
+  for (const char* name : {"grid-failures", "mobile-churn",
+                           "radius-degradation", "staged-rollout"}) {
+    ScenarioParams params;
+    params.n = 8;
+    const ScenarioInstance a = ScenarioRegistry::global().build(name, params);
+    EXPECT_FALSE(a.trace.empty()) << name;
+    EXPECT_GT(a.deployment.size(), 0u) << name;
+    EXPECT_NE(a.label.find("steps="), std::string::npos) << a.label;
+    // Timestamps strictly increase from 1 (step 0 is the initial plan).
+    std::uint64_t last = 0;
+    for (const MutationStep& step : a.trace.steps) {
+      EXPECT_GT(step.at, last) << name;
+      last = step.at;
+    }
+    // Deterministic: same params, byte-identical trace shape.
+    const ScenarioInstance b = ScenarioRegistry::global().build(name, params);
+    ASSERT_EQ(a.trace.steps.size(), b.trace.steps.size()) << name;
+    for (std::size_t s = 0; s < a.trace.steps.size(); ++s) {
+      EXPECT_EQ(a.trace.steps[s].delta.remove_sensors,
+                b.trace.steps[s].delta.remove_sensors) << name;
+      EXPECT_EQ(a.trace.steps[s].delta.add_sensors.size(),
+                b.trace.steps[s].delta.add_sensors.size()) << name;
+      EXPECT_EQ(a.trace.steps[s].delta.move_sensors.size(),
+                b.trace.steps[s].delta.move_sensors.size()) << name;
+    }
+  }
+}
+
+TEST(Scenario, StepsParamBoundsTheTraceLength) {
+  ScenarioParams params;
+  params.n = 8;
+  params.steps = 5;
+  const ScenarioInstance inst =
+      ScenarioRegistry::global().build("grid-failures", params);
+  EXPECT_EQ(inst.trace.steps.size(), 5u);
+
+  // Static scenarios ignore the knob entirely.
+  const ScenarioInstance grid =
+      ScenarioRegistry::global().build("grid", params);
+  EXPECT_TRUE(grid.trace.empty());
+}
+
+TEST(Scenario, GridFailuresNeverKillsTheWholeFleet) {
+  ScenarioParams params;
+  params.n = 3;      // 9 sensors
+  params.steps = 50; // far more rounds than sensors
+  const ScenarioInstance inst =
+      ScenarioRegistry::global().build("grid-failures", params);
+  std::size_t removed = 0;
+  for (const MutationStep& step : inst.trace.steps) {
+    removed += step.delta.remove_sensors.size();
+  }
+  EXPECT_LT(removed, inst.deployment.size());
+}
+
+TEST(Scenario, MobileChurnTracesApplyCleanlyForManySeeds) {
+  // Regression: a move whose source was the destination of an earlier
+  // move in the SAME step resolves against the pre-delta deployment
+  // and used to fail (~1 in 4 seeds).  Every generated trace must
+  // apply end to end.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ScenarioParams params;
+    params.n = 10;
+    params.seed = seed;
+    params.steps = 4;
+    ScenarioInstance inst =
+        ScenarioRegistry::global().build("mobile-churn", params);
+    SessionConfig config;
+    config.backends = {"tdma"};
+    config.verify = false;
+    PlanSession session(std::move(inst.deployment), config);
+    for (const MutationStep& step : inst.trace.steps) {
+      ASSERT_NO_THROW(session.apply(step.delta))
+          << "seed " << seed << " step " << step.at;
+    }
+    EXPECT_GT(session.deployment().size(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, StagedRolloutCoversTheFullGridByTheLastStep) {
+  ScenarioParams params;
+  params.n = 8;
+  const ScenarioInstance inst =
+      ScenarioRegistry::global().build("staged-rollout", params);
+  std::size_t total = inst.deployment.size();
+  for (const MutationStep& step : inst.trace.steps) {
+    EXPECT_TRUE(step.delta.remove_sensors.empty());
+    total += step.delta.add_sensors.size();
+  }
+  EXPECT_EQ(total, 64u);
+}
+
 TEST(Scenario, SweepExpanders) {
   ScenarioParams base;
   base.n = 9;

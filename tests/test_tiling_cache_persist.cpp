@@ -5,6 +5,8 @@
 // crash.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -230,6 +232,139 @@ TEST(TilingCachePersist, UnwritableDirThrows) {
   TilingCache cache;
   EXPECT_THROW(cache.set_persist_dir("/proc/definitely/not/writable"),
                std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-dir eviction (sweep_persist_dir)
+// ---------------------------------------------------------------------------
+
+/// Populates `dir` with one entry per radius and returns the files in
+/// RADII order (mtimes are set explicitly — oldest first — so LRU
+/// order is deterministic regardless of how fast the searches run).
+std::vector<fs::path> populate_entries(const std::string& dir,
+                                       const std::vector<std::int64_t>& radii) {
+  TilingCache cache;
+  cache.set_persist_dir(dir);
+  std::vector<fs::path> files;
+  for (std::int64_t r : radii) {
+    EXPECT_TRUE(
+        cache.find_or_search({shapes::chebyshev_ball(2, r)}).has_value());
+    // The one new file since the previous search is radius r's entry.
+    for (const fs::path& file : entry_files(dir)) {
+      if (std::find(files.begin(), files.end(), file) == files.end()) {
+        files.push_back(file);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(files.size(), radii.size());
+  const auto base = fs::file_time_type::clock::now();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    fs::last_write_time(files[i],
+                        base - std::chrono::hours(files.size() - i));
+  }
+  return files;
+}
+
+TEST(TilingCachePersist, SweepUnderBudgetKeepsEverything) {
+  TempDir dir;
+  populate_entries(dir.path, {1, 2, 3});
+  const TilingCache::SweepStats stats =
+      TilingCache::sweep_persist_dir(dir.path, 64u << 20);
+  EXPECT_EQ(stats.scanned, 3u);
+  EXPECT_EQ(stats.removed, 0u);
+  EXPECT_EQ(stats.bytes_before, stats.bytes_after);
+  EXPECT_EQ(entry_files(dir.path).size(), 3u);
+}
+
+TEST(TilingCachePersist, SweepEvictsOldestEntriesFirst) {
+  TempDir dir;
+  const std::vector<fs::path> files =
+      populate_entries(dir.path, {1, 2, 3});
+  // Cap at the size of the newest file alone: the two older entries
+  // must go, the newest must survive.
+  const std::uint64_t newest_bytes =
+      static_cast<std::uint64_t>(fs::file_size(files.back()));
+  const TilingCache::SweepStats stats =
+      TilingCache::sweep_persist_dir(dir.path, newest_bytes);
+  EXPECT_EQ(stats.scanned, 3u);
+  EXPECT_EQ(stats.removed, 2u);
+  EXPECT_EQ(stats.corrupt_removed, 0u);
+  EXPECT_LE(stats.bytes_after, newest_bytes);
+  const std::vector<fs::path> left = entry_files(dir.path);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left.front(), files.back());
+
+  // The surviving entry still loads; the evicted keys recompute.
+  TilingCache cache;
+  cache.set_persist_dir(dir.path);
+  ASSERT_TRUE(
+      cache.find_or_search({shapes::chebyshev_ball(2, 3)}).has_value());
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  ASSERT_TRUE(
+      cache.find_or_search({shapes::chebyshev_ball(2, 1)}).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TilingCachePersist, SweepEvictsCorruptEntriesBeforeValidOnes) {
+  TempDir dir;
+  const std::vector<fs::path> files =
+      populate_entries(dir.path, {1, 2});
+  // A garbage entry and a truncated one, both NEWER than the valid
+  // entries — mtime alone would keep them.
+  {
+    std::ofstream os(dir.path + "/tc_00000000deadbeef.entry");
+    os << "not a cache entry at all\n";
+  }
+  {
+    std::ifstream is(files.front());
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string full = buffer.str();
+    std::ofstream os(dir.path + "/tc_00000000cafef00d.entry");
+    os << full.substr(0, full.size() / 2);
+  }
+  // Generous budget: nothing valid needs to go, corrupt files go anyway.
+  const TilingCache::SweepStats stats =
+      TilingCache::sweep_persist_dir(dir.path, 64u << 20);
+  EXPECT_EQ(stats.scanned, 4u);
+  EXPECT_EQ(stats.removed, 2u);
+  EXPECT_EQ(stats.corrupt_removed, 2u);
+  std::vector<fs::path> left = entry_files(dir.path);
+  std::sort(left.begin(), left.end());
+  EXPECT_EQ(left, files);
+
+  // Tight budget: corrupt first, THEN oldest valid.
+  {
+    std::ofstream os(dir.path + "/tc_00000000deadbeef.entry");
+    os << "garbage again\n";
+  }
+  const TilingCache::SweepStats tight =
+      TilingCache::sweep_persist_dir(
+          dir.path, static_cast<std::uint64_t>(fs::file_size(files.back())));
+  EXPECT_EQ(tight.corrupt_removed, 1u);
+  EXPECT_GE(tight.removed, 2u);
+  const std::vector<fs::path> survivors = entry_files(dir.path);
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors.front(), files.back());
+}
+
+TEST(TilingCachePersist, SweepInstanceFormUsesThePersistDir) {
+  TempDir dir;
+  TilingCache cache;
+  // Persistence off: a sweep is a no-op with empty stats.
+  const TilingCache::SweepStats off = cache.sweep_persist_dir(0);
+  EXPECT_EQ(off.scanned, 0u);
+  EXPECT_EQ(off.removed, 0u);
+
+  cache.set_persist_dir(dir.path);
+  ASSERT_TRUE(
+      cache.find_or_search({shapes::chebyshev_ball(2, 1)}).has_value());
+  const TilingCache::SweepStats wipe = cache.sweep_persist_dir(0);
+  EXPECT_EQ(wipe.scanned, 1u);
+  EXPECT_EQ(wipe.removed, 1u);
+  EXPECT_EQ(wipe.bytes_after, 0u);
+  EXPECT_TRUE(entry_files(dir.path).empty());
 }
 
 }  // namespace

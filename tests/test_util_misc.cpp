@@ -185,6 +185,31 @@ TEST(Cli, IntFlagRejectsValuesBelowMinimum) {
   EXPECT_EQ(ok.get_int("workers"), 4);
 }
 
+TEST(Cli, SuggestNearestFindsTypos) {
+  const std::vector<std::string> scenarios = {
+      "grid", "hex", "cube3d", "mobile", "figure5", "antennas",
+      "multichannel", "random-subset", "grid-failures", "mobile-churn"};
+  // One edit away.
+  EXPECT_EQ(suggest_nearest("gird", scenarios), "grid");
+  EXPECT_EQ(suggest_nearest("grib", scenarios), "grid");
+  EXPECT_EQ(suggest_nearest("moble", scenarios), "mobile");
+  // Longer names get a larger budget.
+  EXPECT_EQ(suggest_nearest("grid-failurs", scenarios), "grid-failures");
+  EXPECT_EQ(suggest_nearest("multichanel", scenarios), "multichannel");
+  // Exact matches are their own suggestion (callers only consult this
+  // for UNKNOWN names, but the function stays total).
+  EXPECT_EQ(suggest_nearest("hex", scenarios), "hex");
+}
+
+TEST(Cli, SuggestNearestStaysQuietOnNonsense) {
+  const std::vector<std::string> backends = {"tiling", "greedy", "dsatur",
+                                             "tdma"};
+  EXPECT_EQ(suggest_nearest("quux-blorp-zzz", backends), "");
+  EXPECT_EQ(suggest_nearest("", std::vector<std::string>{}), "");
+  // Deterministic tie-break: the earliest candidate wins.
+  EXPECT_EQ(suggest_nearest("ax", {"ab", "ac"}), "ab");
+}
+
 TEST(Cli, IntFlagViolationsJoinTheUnknownFlagError) {
   // One round trip fixes everything: the range violation and the typo
   // arrive in the SAME error.

@@ -1,0 +1,229 @@
+// Wire-protocol hardening: truncated frames, oversized length
+// prefixes, unknown verbs and garbage bodies must surface as clean
+// errors — read_frame returning false, the worker answering ERROR —
+// never a crash or an unbounded allocation.  Runs under the ASan job
+// like the rest of the suite.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/report.hpp"
+#include "dist/wire.hpp"
+#include "dist/worker.hpp"
+#include "util/rng.hpp"
+
+namespace latticesched {
+namespace {
+
+using dist::WireMessage;
+
+struct Socketpair {
+  int a = -1, b = -1;
+  Socketpair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0) {
+      a = fds[0];
+      b = fds[1];
+    }
+  }
+  ~Socketpair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void close_a() {
+    if (a >= 0) ::close(a);
+    a = -1;
+  }
+};
+
+void write_raw(int fd, const void* data, std::size_t len) {
+  ASSERT_EQ(::write(fd, data, len), static_cast<ssize_t>(len));
+}
+
+void write_prefix(int fd, std::uint32_t len) {
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff)};
+  write_raw(fd, prefix, sizeof prefix);
+}
+
+TEST(WireFuzz, TruncatedPrefixIsCleanEof) {
+  Socketpair pair;
+  ASSERT_GE(pair.a, 0);
+  write_raw(pair.a, "\x05\x00", 2);  // half a length prefix
+  pair.close_a();
+  WireMessage message;
+  EXPECT_FALSE(dist::read_frame(pair.b, &message));
+}
+
+TEST(WireFuzz, TruncatedPayloadIsCleanEof) {
+  Socketpair pair;
+  ASSERT_GE(pair.a, 0);
+  write_prefix(pair.a, 64);
+  write_raw(pair.a, "HELLO\nonly-part-of-the-body", 27);
+  pair.close_a();
+  WireMessage message;
+  EXPECT_FALSE(dist::read_frame(pair.b, &message));
+}
+
+TEST(WireFuzz, OversizedLengthPrefixIsRejectedNotAllocated) {
+  for (const std::uint32_t len :
+       {dist::kMaxFrameBytes + 1, 0xffffffffu, 0x80000000u}) {
+    Socketpair pair;
+    ASSERT_GE(pair.a, 0);
+    write_prefix(pair.a, len);
+    // No payload follows — a reader that trusted the prefix would try
+    // to allocate and block on gigabytes.
+    pair.close_a();
+    WireMessage message;
+    EXPECT_FALSE(dist::read_frame(pair.b, &message)) << len;
+  }
+}
+
+TEST(WireFuzz, ZeroLengthAndEmptyVerbFramesAreRejected) {
+  {
+    Socketpair pair;
+    write_prefix(pair.a, 0);
+    pair.close_a();
+    WireMessage message;
+    EXPECT_FALSE(dist::read_frame(pair.b, &message));
+  }
+  {
+    // "\nbody": newline first => empty verb.
+    Socketpair pair;
+    write_prefix(pair.a, 5);
+    write_raw(pair.a, "\nbody", 5);
+    pair.close_a();
+    WireMessage message;
+    EXPECT_FALSE(dist::read_frame(pair.b, &message));
+  }
+}
+
+TEST(WireFuzz, FrameWithoutNewlineIsVerbOnly) {
+  Socketpair pair;
+  write_prefix(pair.a, 8);
+  write_raw(pair.a, "SHUTDOWN", 8);
+  WireMessage message;
+  ASSERT_TRUE(dist::read_frame(pair.b, &message));
+  EXPECT_EQ(message.verb, "SHUTDOWN");
+  EXPECT_TRUE(message.body.empty());
+}
+
+TEST(WireFuzz, RandomGarbageStreamsNeverCrashTheReader) {
+  Rng rng(1234);
+  for (int round = 0; round < 32; ++round) {
+    Socketpair pair;
+    ASSERT_GE(pair.a, 0);
+    std::string garbage(1 + rng.next_below(512), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.next_below(256));
+    }
+    write_raw(pair.a, garbage.data(), garbage.size());
+    pair.close_a();
+    // Drain until EOF/error; each frame either parses or cleanly fails.
+    WireMessage message;
+    int frames = 0;
+    while (dist::read_frame(pair.b, &message) && frames < 64) ++frames;
+  }
+}
+
+/// Drives the REAL worker loop in-process over a socketpair and
+/// returns its exit code (the worker thread owns fd `b`).
+int run_worker_with(const std::vector<std::string>& raw_frames,
+                    std::vector<WireMessage>* responses) {
+  Socketpair pair;
+  if (pair.a < 0) return -1;
+  int exit_code = -1;
+  // The thread closes its own fd when the loop exits so the reader
+  // below sees EOF after draining the worker's replies.
+  std::thread worker([&] {
+    exit_code = dist::run_worker(pair.b, {});
+    ::close(pair.b);
+    pair.b = -1;
+  });
+  WireMessage hello;
+  EXPECT_TRUE(dist::read_frame(pair.a, &hello));
+  EXPECT_EQ(hello.verb, "HELLO");
+  for (const std::string& payload : raw_frames) {
+    // MSG_NOSIGNAL: a worker that already exited must surface as a
+    // failed send, not SIGPIPE in the test binary.
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const unsigned char prefix[4] = {
+        static_cast<unsigned char>(len & 0xff),
+        static_cast<unsigned char>((len >> 8) & 0xff),
+        static_cast<unsigned char>((len >> 16) & 0xff),
+        static_cast<unsigned char>((len >> 24) & 0xff)};
+    if (::send(pair.a, prefix, sizeof prefix, MSG_NOSIGNAL) != 4 ||
+        ::send(pair.a, payload.data(), payload.size(), MSG_NOSIGNAL) !=
+            static_cast<ssize_t>(payload.size())) {
+      break;
+    }
+  }
+  WireMessage reply;
+  while (dist::read_frame(pair.a, &reply)) {
+    responses->push_back(reply);
+  }
+  pair.close_a();
+  worker.join();
+  return exit_code;
+}
+
+TEST(WireFuzz, WorkerAnswersUnknownVerbWithErrorAndExits) {
+  std::vector<WireMessage> responses;
+  const int code = run_worker_with({"FROBNICATE\nstuff"}, &responses);
+  EXPECT_EQ(code, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].verb, "ERROR");
+  EXPECT_NE(responses[0].body.find("FROBNICATE"), std::string::npos);
+}
+
+TEST(WireFuzz, WorkerAnswersGarbageAssignBodyWithErrorNotCrash) {
+  // A scenario line with unparseable numbers: parse_batch_items_json
+  // throws, the worker reports ERROR and exits nonzero.
+  const std::string garbage_items =
+      "[\n  {\"scenario\": \"grid\", \"n\": twelve}\n]\n";
+  std::vector<WireMessage> responses;
+  const int code =
+      run_worker_with({"ASSIGN\n0\n" + garbage_items}, &responses);
+  EXPECT_EQ(code, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].verb, "ERROR");
+}
+
+TEST(WireFuzz, WorkerSurvivesEmptyAssignmentAndShutsDownCleanly) {
+  std::vector<WireMessage> responses;
+  const int code =
+      run_worker_with({"ASSIGN\n7\n[\n]\n", "SHUTDOWN"}, &responses);
+  EXPECT_EQ(code, 0);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].verb, "RESULT");
+  EXPECT_EQ(responses[0].body.substr(0, 2), "7\n");
+}
+
+TEST(WireFuzz, BatchItemParsersRejectGarbageWithCleanErrors) {
+  // Lines that LOOK like items but carry malformed values must throw,
+  // not crash or silently mis-parse.
+  EXPECT_THROW(
+      (void)parse_batch_items_json("{\"scenario\": \"grid\", \"n\": }\n"),
+      std::exception);
+  EXPECT_THROW((void)parse_batch_items_json(
+                   "{\"scenario\": \"grid\", \"n\": 99999999999999999999, "
+                   "\"radius\": 1}\n"),
+               std::exception);
+  // Garbage without a scenario key parses to an empty batch.
+  EXPECT_TRUE(parse_batch_items_json("hello\nworld\n").empty());
+  // Batch reports: truncated/garbage inputs throw.
+  EXPECT_THROW((void)parse_batch_report_json(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_batch_report_json("{\"items\": [\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latticesched
