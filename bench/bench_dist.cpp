@@ -12,6 +12,9 @@
 //   dist warm Nw      same fleet, populated --cache-dir — zero
 //                     torus-search misses across all workers (the
 //                     acceptance bar, asserted here too)
+//   dist degraded     every spawn fault-crashes, the retry budget burns
+//                     out, and the sweep completes by in-process serial
+//                     fallback — the graceful-degradation overhead
 //
 // On CI-class runners (~4 vCPUs) the distributed speedup over serial is
 // bounded by core count and spawn overhead; the headline number is the
@@ -168,6 +171,36 @@ void report() {
                          warm.cache_misses, workers});
 
     fs::remove_all(cache_dir);
+  }
+
+  // Degraded-mode floor: every spawn of every slot crashes pre-HELLO
+  // (fault-injected), the retry budget burns out, and the coordinator
+  // finishes the whole sweep in-process.  The record quantifies what
+  // the graceful-degradation path costs relative to plain serial — the
+  // delta is fleet spawn/teardown plus the backoff schedule, not lost
+  // work.
+  {
+    dist::CoordinatorConfig config = fleet_config(2, "");
+    config.fault_plan = "worker=*:crash:after-frames=0:gens=all";
+    config.retries = 1;
+    config.backoff_base_ms = 1;
+    config.backoff_max_ms = 8;
+    config.quarantine_crashes = 100;  // degrade, never quarantine
+    dist::ShardCoordinator coordinator(std::move(config));
+    const BatchReport degraded = coordinator.run(items);
+    std::printf(
+        "dist degraded: %7.2fms (%.0f scenarios/s, fleet exhausted -> "
+        "serial fallback, %.2fx vs serial)\n",
+        degraded.wall_seconds * 1e3, n / degraded.wall_seconds,
+        serial.wall_seconds / degraded.wall_seconds);
+    if (!degraded.degraded) {
+      std::printf("  WARNING: degraded run did not actually degrade\n");
+    }
+    records().push_back({"dist_degraded_serial_fallback",
+                         degraded.wall_seconds * 1e3,
+                         n / degraded.wall_seconds,
+                         serial.wall_seconds / degraded.wall_seconds,
+                         degraded.cache_misses, 2});
   }
 
   write_bench_json();

@@ -77,6 +77,19 @@ struct BatchReport {
   /// with all_ok() means the sweep survived the failures.  Always 0 for
   /// in-process PlanService runs.
   std::uint64_t worker_failures = 0;
+  /// Workers killed by the coordinator for missing their deadlines
+  /// (hung handshake, silent Suspect probe, mid-frame stall) — counted
+  /// separately from worker_failures because a hang usually means a
+  /// deadline/budget problem, not a crash.  Always 0 in-process.
+  std::uint64_t worker_timeouts = 0;
+  /// True when the coordinator exhausted every worker slot (spawns plus
+  /// retries) and finished the remaining items by in-process serial
+  /// execution instead of throwing away completed work.
+  bool degraded = false;
+  /// Indices (into `items`) quarantined after their assignment crashed
+  /// repeated workers; reported as built=false items with a quarantine
+  /// error instead of being retried forever.  Sorted ascending.
+  std::vector<std::size_t> quarantined_items;
   double wall_seconds = 0.0;
 
   bool all_ok() const;

@@ -342,6 +342,13 @@ std::string batch_report_to_json(const BatchReport& report) {
   os << "  \"cache\": {\"hits\": " << report.cache_hits
      << ", \"misses\": " << report.cache_misses << "},\n";
   os << "  \"worker_failures\": " << report.worker_failures << ",\n";
+  os << "  \"worker_timeouts\": " << report.worker_timeouts << ",\n";
+  os << "  \"degraded\": " << (report.degraded ? "true" : "false") << ",\n";
+  os << "  \"quarantined_items\": [";
+  for (std::size_t i = 0; i < report.quarantined_items.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << report.quarantined_items[i];
+  }
+  os << "],\n";
   os << "  \"wall_ms\": " << format_double(report.wall_seconds * 1e3)
      << "\n}\n";
   return os.str();
@@ -425,6 +432,25 @@ BatchReport parse_batch_report_json(const std::string& json) {
     } else if (line.find("\"worker_failures\": ") != std::string::npos) {
       report.worker_failures =
           std::stoull(json_field(line, "worker_failures"));
+    } else if (line.find("\"worker_timeouts\": ") != std::string::npos) {
+      report.worker_timeouts =
+          std::stoull(json_field(line, "worker_timeouts"));
+    } else if (line.find("\"degraded\": ") != std::string::npos) {
+      report.degraded = json_field(line, "degraded") == "true";
+    } else if (line.find("\"quarantined_items\": ") != std::string::npos) {
+      // "quarantined_items": [i, j, ...] — split the bracketed list.
+      const std::size_t open = line.find('[');
+      const std::size_t close = line.find(']', open);
+      if (open == std::string::npos || close == std::string::npos) {
+        throw std::invalid_argument(
+            "batch JSON: malformed quarantined_items");
+      }
+      std::istringstream list(line.substr(open + 1, close - open - 1));
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        if (token.find_first_not_of(" \t") == std::string::npos) continue;
+        report.quarantined_items.push_back(std::stoull(token));
+      }
     } else if (line.find("\"wall_ms\": ") != std::string::npos) {
       report.wall_seconds = std::stod(json_field(line, "wall_ms")) / 1e3;
       saw_wall = true;

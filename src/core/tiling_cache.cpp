@@ -1,9 +1,12 @@
 #include "core/tiling_cache.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <unistd.h>
 #include <utility>
@@ -184,6 +187,40 @@ namespace {
 
 constexpr const char* kDiskMagic = "latticesched-tiling-cache";
 
+/// Byte-stream FNV-1a64 — the entry checksum (the word-mixing Fnv above
+/// hashes keys; this one must cover the exact serialized bytes).
+std::uint64_t fnv1a_bytes(const char* data, std::size_t len) {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= static_cast<unsigned char>(data[i]);
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+std::string checksum_line(const std::string& body) {
+  char line[32];
+  std::snprintf(line, sizeof line, "checksum %016llx\n",
+                static_cast<unsigned long long>(
+                    fnv1a_bytes(body.data(), body.size())));
+  return line;
+}
+
+/// Verifies the trailing "checksum <hex>" line of a serialized entry
+/// against its body (everything up to and including the "end" line).
+/// False on a missing, malformed, or mismatched trailer.
+bool verify_entry_checksum(const std::string& content) {
+  const std::size_t trailer = content.rfind("\nchecksum ");
+  if (trailer == std::string::npos) return false;
+  const std::string body = content.substr(0, trailer + 1);
+  // The body must actually end at "end" — a trailer glued onto trailing
+  // garbage is corruption, not a valid entry.
+  if (body.size() < 4 || body.compare(body.size() - 4, 4, "end\n") != 0) {
+    return false;
+  }
+  return content.substr(trailer + 1) == checksum_line(body);
+}
+
 void write_matrix(std::ostream& os, const IntMatrix& m) {
   os << m.rows();
   for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -221,8 +258,15 @@ Point read_point(std::istream& is, std::size_t dim) {
 std::optional<std::optional<Tiling>> TilingCache::load_from_disk(
     const Key& key, std::uint64_t hash) const {
   const std::string path = entry_path(hash);
-  std::ifstream is(path);
-  if (!is) return std::nullopt;  // no entry; not worth a warning
+  std::string content;
+  {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return std::nullopt;  // no entry; not worth a warning
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    content = buffer.str();
+  }
+  std::istringstream is(content);
   try {
     std::string magic;
     int version = 0;
@@ -233,6 +277,21 @@ std::optional<std::optional<Tiling>> TilingCache::load_from_disk(
       std::fprintf(stderr,
                    "tiling-cache: skipping %s (format v%d, expected v%d)\n",
                    path.c_str(), version, kDiskFormatVersion);
+      return std::nullopt;
+    }
+    if (!verify_entry_checksum(content)) {
+      // The right version but a body that does not match its checksum:
+      // silent disk corruption.  Evict the file — leaving it would warn
+      // on every load until the key happens to be recomputed.
+      std::fprintf(stderr,
+                   "tiling-cache: checksum mismatch in %s; evicting and "
+                   "recomputing\n",
+                   path.c_str());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++checksum_failures_;
+      }
+      (void)std::remove(path.c_str());
       return std::nullopt;
     }
 
@@ -338,12 +397,9 @@ void TilingCache::store_to_disk(const Key& key, std::uint64_t hash,
   const std::string path = entry_path(hash);
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::string content;
   {
-    std::ofstream os(tmp);
-    if (!os) {
-      std::fprintf(stderr, "tiling-cache: cannot write %s\n", tmp.c_str());
-      return;
-    }
+    std::ostringstream os;
     os << kDiskMagic << ' ' << kDiskFormatVersion << '\n';
     os << "budget " << key.max_period_cells << ' ' << key.node_limit << ' '
        << (key.require_all_prototiles ? 1 : 0) << '\n';
@@ -377,17 +433,44 @@ void TilingCache::store_to_disk(const Key& key, std::uint64_t hash,
       os << "result none\n";
     }
     os << "end\n";
-    // Close (flushing the tail) BEFORE checking: a buffered flush that
-    // fails at scope exit would otherwise publish a truncated entry.
-    os.close();
-    if (os.fail()) {
-      std::fprintf(stderr, "tiling-cache: short write to %s\n", tmp.c_str());
-      std::remove(tmp.c_str());
-      return;
-    }
+    content = os.str();
   }
-  // Atomic publish: racing writers of the same key rename identical
-  // content, so whichever rename lands last is equally valid.
+  content += checksum_line(content);
+  // Fault hook AFTER the checksum: an injected corruption models a disk
+  // flipping bits on an already-valid entry, which the load-time
+  // verification must catch.
+  if (write_corruption_hook_) write_corruption_hook_(content);
+
+  // POSIX write + fsync + atomic rename: without the fsync, a crash
+  // after the rename can publish a name pointing at unwritten data — a
+  // torn entry that still exists under the final path.  Racing writers
+  // of the same key rename identical content, so whichever rename lands
+  // last is equally valid.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "tiling-cache: cannot write %s\n", tmp.c_str());
+    return;
+  }
+  const char* data = content.data();
+  std::size_t left = content.size();
+  bool ok = true;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    std::fprintf(stderr, "tiling-cache: short write to %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::fprintf(stderr, "tiling-cache: cannot publish %s\n", path.c_str());
     std::remove(tmp.c_str());
@@ -396,20 +479,24 @@ void TilingCache::store_to_disk(const Key& key, std::uint64_t hash,
 
 namespace {
 
-/// Cheap structural validity probe for the sweep: magic + version line,
-/// and the terminating "end" token a complete entry always carries.
+/// Validity probe for the sweep: magic + version line, plus the v2
+/// checksum trailer verified against the body — so bit-flipped entries
+/// are evicted by the GC as corrupt, not kept until some load trips
+/// over them.
 bool entry_looks_valid(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) return false;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string content = buffer.str();
+  std::istringstream is(content);
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != kDiskMagic ||
       version != TilingCache::kDiskFormatVersion) {
     return false;
   }
-  std::string tail, tok;
-  while (is >> tok) tail = tok;
-  return tail == "end";
+  return verify_entry_checksum(content);
 }
 
 }  // namespace
@@ -478,6 +565,7 @@ TilingCache::Stats TilingCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.disk_hits = disk_hits_;
+  s.checksum_failures = checksum_failures_;
   for (const auto& [hash, bucket] : entries_) s.entries += bucket.size();
   return s;
 }
@@ -488,6 +576,7 @@ void TilingCache::clear() {
   hits_ = 0;
   misses_ = 0;
   disk_hits_ = 0;
+  checksum_failures_ = 0;
 }
 
 }  // namespace latticesched

@@ -25,13 +25,17 @@
 // cold driver invocations and freshly spawned distributed workers
 // warm-start from a shared cache.  A disk load counts as a HIT (plus
 // Stats::disk_hits); only a genuine search counts as a miss.  Disk
-// files are written atomically (temp file + rename), so concurrent
-// workers sharing one directory never observe torn entries; a
+// files are written atomically (temp file + fsync + rename) and carry
+// a trailing checksum over the body that is verified on load — silent
+// bit-level corruption is evicted and recomputed, counted in
+// Stats::checksum_failures — so concurrent workers sharing one
+// directory never observe torn or flipped entries; a
 // truncated, corrupt, stale-versioned or hash-colliding file is
 // skipped with a stderr warning and recomputed, never a crash.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -52,6 +56,11 @@ class TilingCache {
     std::uint64_t misses = 0;
     /// Subset of `hits` served by loading a persisted entry from disk.
     std::uint64_t disk_hits = 0;
+    /// Persisted entries whose checksum line did not match their body —
+    /// silent disk corruption caught on load.  Each one is evicted
+    /// (unlinked) and recomputed, so a nonzero count never means a
+    /// wrong answer.
+    std::uint64_t checksum_failures = 0;
     std::size_t entries = 0;  ///< in-memory entries only
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
@@ -90,7 +99,22 @@ class TilingCache {
 
   /// On-disk entry format version; files carrying any other version are
   /// skipped (and rewritten on the next store for that key).
-  static constexpr int kDiskFormatVersion = 1;
+  /// v2: a trailing "checksum <fnv64hex>" line over everything up to
+  /// and including the "end" line, verified on load (mismatch = evict +
+  /// recompute, counted in Stats::checksum_failures); the tmp file is
+  /// fsynced before the atomic rename so a torn write cannot survive a
+  /// crash as a valid-looking entry.
+  static constexpr int kDiskFormatVersion = 2;
+
+  /// TEST/FAULT-INJECTION HOOK: called with the full serialized entry
+  /// (checksum line included) right before each store_to_disk write —
+  /// mutating the content simulates disk corruption that load-time
+  /// checksum verification must catch.  Empty function = disabled.
+  /// Configure before sharing the cache across threads, like
+  /// set_persist_dir.
+  void set_write_corruption_hook(std::function<void(std::string&)> hook) {
+    write_corruption_hook_ = std::move(hook);
+  }
 
   /// Cache-dir eviction (the ROADMAP's size-capped GC): bounds the
   /// total size of the `tc_*.entry` files under `dir` to `max_bytes`.
@@ -154,7 +178,10 @@ class TilingCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t disk_hits_ = 0;
+  /// Mutable: bumped from the const load path, under mu_.
+  mutable std::uint64_t checksum_failures_ = 0;
   std::string persist_dir_;  ///< "" = persistence disabled
+  std::function<void(std::string&)> write_corruption_hook_;
 };
 
 }  // namespace latticesched

@@ -8,14 +8,25 @@
 // and merges the returned BatchReports — items restored to request
 // order, cache counters summed across workers — into one report
 // indistinguishable from a single-process PlanService::run (pinned
-// byte-for-byte, modulo wall times, by tests/test_dist.cpp).
+// byte-for-byte, modulo wall times and failure counters, by
+// tests/test_dist.cpp).
 //
-// Fault tolerance: a worker that dies (EOF/EPIPE on its channel) or
-// exits nonzero has its unfinished shards reassigned to live workers
-// and is counted in BatchReport::worker_failures; the sweep only fails
-// when EVERY worker is gone.  With a shared --cache-dir the reassigned
-// work re-reads the dead worker's persisted torus searches instead of
-// repeating them.
+// Fault tolerance (the chaos-hardening layer): every worker read AND
+// write is bounded by `worker_timeout_ms`, and each worker runs the
+// ek-kor2-shaped liveness state machine Unknown → Alive → Suspect →
+// Dead — a missed deadline moves it to Suspect and sends a PING; a
+// healthy-but-busy worker answers PONG from its reader thread, while a
+// silent one is SIGKILLed, reaped, counted in
+// BatchReport::worker_timeouts, and its shards reassigned (crashes —
+// EOF/EPIPE — count in worker_failures instead).  Dead slots are
+// respawned up to `retries` times with bounded exponential backoff and
+// deterministic jitter; an item whose assignment has crashed
+// `quarantine_crashes` workers is quarantined (reported, never
+// retried).  When every slot is exhausted the coordinator degrades to
+// in-process serial execution of the remaining items
+// (BatchReport::degraded) rather than discarding completed work.  All
+// of it is reproducibly testable through the seeded FaultPlan spec in
+// `fault_plan` (dist/faults.hpp).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +52,14 @@ enum class ShardStrategy {
 /// std::invalid_argument otherwise.
 ShardStrategy parse_shard_strategy(const std::string& name);
 
+/// Per-worker liveness, ek-kor2 heartbeat shape.  Transitions:
+/// Unknown -(HELLO)-> Alive; Alive -(missed deadline, PING sent)->
+/// Suspect; Suspect -(PONG/RESULT)-> Alive; Suspect -(missed deadline)->
+/// Dead; Unknown -(missed handshake deadline)-> Dead; any -(EOF/EPIPE)->
+/// Dead.  Dead slots are respawned (back to Unknown) while their retry
+/// budget lasts.
+enum class WorkerLiveness { kUnknown, kAlive, kSuspect, kDead };
+
 struct CoordinatorConfig {
   /// Worker processes to spawn (>= 1; capped at the shard count, so a
   /// two-item batch never pays for eight processes).
@@ -56,19 +75,48 @@ struct CoordinatorConfig {
   /// max(1, hardware_concurrency / workers) per worker, so the fleet
   /// never oversubscribes the box.
   std::size_t worker_threads = 0;
-  /// TEST HOOK: SIGKILL this worker index right after its first shard
-  /// assignment is sent (-1 = never) — the deterministic stand-in for a
-  /// mid-sweep crash in the failure-handling regression test.
-  int kill_worker_after_assign = -1;
+  /// Per-frame deadline (ms) on every worker read and write, including
+  /// the HELLO handshake; a worker that misses it is PINGed (Suspect)
+  /// and killed if still silent one deadline later.  0 disables
+  /// deadlines entirely (the pre-hardening wait-forever behavior).
+  std::uint64_t worker_timeout_ms = 30000;
+  /// Respawn budget per worker slot: a slot may die 1 + retries times
+  /// before it is permanently exhausted.
+  std::size_t retries = 2;
+  /// Exponential respawn backoff: attempt k (0-based) waits
+  /// backoff_base_ms << k plus deterministic jitter in [0, base), capped
+  /// at backoff_max_ms.
+  std::uint64_t backoff_base_ms = 25;
+  std::uint64_t backoff_max_ms = 2000;
+  /// Seed of the deterministic backoff jitter (the driver passes
+  /// --seed, so a rerun reproduces the exact respawn schedule).
+  std::uint64_t backoff_seed = 1;
+  /// A worker that answers this many consecutive PING probes without
+  /// delivering a RESULT is treated as stalled and killed (a dropped
+  /// RESULT frame is indistinguishable from planning forever); the
+  /// effective stall budget is worker_timeout_ms * (max_silent_pings+1)
+  /// per assignment.
+  std::size_t max_silent_pings = 4;
+  /// An item implicated in this many worker deaths is quarantined
+  /// instead of reassigned again (>= 1; 2 = "twice", the default).
+  std::size_t quarantine_crashes = 2;
+  /// Deterministic fault-injection spec (dist/faults.hpp grammar),
+  /// filtered per (slot, generation) and forwarded to workers as
+  /// --fault-plan.  "" = no injected faults.  Internal/testing only.
+  std::string fault_plan;
 };
 
 /// Per-worker accounting surfaced by the driver's --cache-stats footer.
+/// A respawned slot accumulates across its generations; pid is the
+/// latest generation's.
 struct WorkerCacheStats {
   pid_t pid = -1;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::size_t shards_completed = 0;
-  bool failed = false;
+  bool failed = false;     ///< some generation crashed or exited nonzero
+  bool timed_out = false;  ///< some generation was killed for a missed deadline
+  std::size_t respawns = 0;
 };
 
 class ShardCoordinator {
@@ -78,10 +126,13 @@ class ShardCoordinator {
   /// Plans the batch across the worker fleet and returns the merged
   /// report (items in request order).  Unknown backend names throw
   /// std::invalid_argument before any process is spawned, exactly like
-  /// PlanService::run; a fleet-wide failure (every worker dead, or a
-  /// worker reporting a protocol error) throws std::runtime_error after
-  /// reaping all children.  An empty batch returns an empty report
-  /// without spawning anything.
+  /// PlanService::run.  Worker crashes and hangs do NOT throw: shards
+  /// are reassigned, slots respawned, and if the whole fleet is
+  /// exhausted the remaining items complete in-process
+  /// (report.degraded).  A protocol violation (worker ERROR frame,
+  /// version mismatch, bogus shard id) still throws std::runtime_error
+  /// after reaping all children.  An empty batch returns an empty
+  /// report without spawning anything.
   BatchReport run(const std::vector<BatchItem>& items);
 
   /// Accounting for the run() that most recently finished.

@@ -1,7 +1,10 @@
 #include "dist/wire.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -45,12 +48,120 @@ bool read_full(int fd, char* data, std::size_t len) {
   return true;
 }
 
-}  // namespace
+using Clock = std::chrono::steady_clock;
 
-bool write_frame(int fd, const WireMessage& message) {
+/// One shared deadline across every poll/read/write of a frame.
+struct Deadline {
+  bool infinite;
+  Clock::time_point at;
+  explicit Deadline(int timeout_ms)
+      : infinite(timeout_ms < 0),
+        at(Clock::now() + std::chrono::milliseconds(
+                              timeout_ms < 0 ? 0 : timeout_ms)) {}
+  int remaining_ms() const {
+    if (infinite) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at - Clock::now());
+    return left.count() < 0 ? 0 : static_cast<int>(left.count());
+  }
+};
+
+/// Waits for `events` on `fd` until the deadline.  POLLHUP/POLLERR
+/// report as kOk so the subsequent read/write surfaces the real errno.
+WireIoStatus wait_fd(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, deadline.remaining_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return WireIoStatus::kClosed;
+    }
+    if (rc == 0) return WireIoStatus::kTimeout;
+    return WireIoStatus::kOk;
+  }
+}
+
+WireIoStatus read_full_deadline(int fd, char* data, std::size_t len,
+                                const Deadline& deadline) {
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n > 0) {
+      data += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return WireIoStatus::kClosed;  // EOF mid-frame
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const WireIoStatus st = wait_fd(fd, POLLIN, deadline);
+      if (st != WireIoStatus::kOk) return st;
+      continue;
+    }
+    return WireIoStatus::kClosed;
+  }
+  return WireIoStatus::kOk;
+}
+
+WireIoStatus write_full_deadline(int fd, const char* data, std::size_t len,
+                                 const Deadline& deadline) {
+  while (len > 0) {
+    const ssize_t n = write_some(fd, data, len);
+    if (n >= 0) {
+      data += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const WireIoStatus st = wait_fd(fd, POLLOUT, deadline);
+      if (st != WireIoStatus::kOk) return st;
+      continue;
+    }
+    return WireIoStatus::kClosed;
+  }
+  return WireIoStatus::kOk;
+}
+
+std::string frame_payload(const WireMessage& message) {
   std::string payload = message.verb;
   payload += '\n';
   payload += message.body;
+  return payload;
+}
+
+std::uint32_t decode_prefix(const char prefix[4]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
+          << 24);
+}
+
+/// Splits a received payload into WireMessage; false on an empty verb.
+bool payload_to_message(std::string payload, WireMessage* out) {
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string::npos) {
+    out->verb = std::move(payload);
+    out->body.clear();
+  } else {
+    out->verb = payload.substr(0, newline);
+    out->body = payload.substr(newline + 1);
+  }
+  return !out->verb.empty();
+}
+
+}  // namespace
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool write_frame(int fd, const WireMessage& message) {
+  const std::string payload = frame_payload(message);
   if (payload.size() > kMaxFrameBytes) return false;
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   char prefix[4] = {static_cast<char>(len & 0xff),
@@ -64,26 +175,41 @@ bool write_frame(int fd, const WireMessage& message) {
 bool read_frame(int fd, WireMessage* out) {
   char prefix[4];
   if (!read_full(fd, prefix, sizeof prefix)) return false;
-  const std::uint32_t len =
-      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
-       << 8) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
-       << 16) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
-       << 24);
+  const std::uint32_t len = decode_prefix(prefix);
   if (len == 0 || len > kMaxFrameBytes) return false;
   std::string payload(len, '\0');
   if (!read_full(fd, payload.data(), payload.size())) return false;
-  const std::size_t newline = payload.find('\n');
-  if (newline == std::string::npos) {
-    out->verb = std::move(payload);
-    out->body.clear();
-  } else {
-    out->verb = payload.substr(0, newline);
-    out->body = payload.substr(newline + 1);
-  }
-  return !out->verb.empty();
+  return payload_to_message(std::move(payload), out);
+}
+
+WireIoStatus read_frame_deadline(int fd, WireMessage* out, int timeout_ms) {
+  const Deadline deadline(timeout_ms);
+  char prefix[4];
+  WireIoStatus st = read_full_deadline(fd, prefix, sizeof prefix, deadline);
+  if (st != WireIoStatus::kOk) return st;
+  const std::uint32_t len = decode_prefix(prefix);
+  if (len == 0 || len > kMaxFrameBytes) return WireIoStatus::kClosed;
+  std::string payload(len, '\0');
+  st = read_full_deadline(fd, payload.data(), payload.size(), deadline);
+  if (st != WireIoStatus::kOk) return st;
+  return payload_to_message(std::move(payload), out) ? WireIoStatus::kOk
+                                                     : WireIoStatus::kClosed;
+}
+
+WireIoStatus write_frame_deadline(int fd, const WireMessage& message,
+                                  int timeout_ms) {
+  const Deadline deadline(timeout_ms);
+  const std::string payload = frame_payload(message);
+  if (payload.size() > kMaxFrameBytes) return WireIoStatus::kClosed;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  const WireIoStatus st =
+      write_full_deadline(fd, prefix, sizeof prefix, deadline);
+  if (st != WireIoStatus::kOk) return st;
+  return write_full_deadline(fd, payload.data(), payload.size(), deadline);
 }
 
 void split_body(const std::string& body, std::string* first_line,

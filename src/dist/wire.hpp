@@ -2,13 +2,17 @@
 //
 // Coordinator and workers exchange length-prefixed frames over a
 // socketpair: a 4-byte little-endian payload length, then the payload —
-// a verb line ("HELLO", "ASSIGN", "RESULT", "ERROR", "SHUTDOWN")
-// followed by a body whose content is the existing report JSON
-// (core/report.hpp): ASSIGN bodies are a shard id line plus
+// a verb line ("HELLO", "ASSIGN", "RESULT", "ERROR", "SHUTDOWN",
+// "PING", "PONG") followed by a body whose content is the existing
+// report JSON (core/report.hpp): ASSIGN bodies are a shard id line plus
 // batch_items_to_json, RESULT bodies a shard id line plus
-// batch_report_to_json.  Text-over-frames keeps the protocol
-// debuggable (dump any frame and read it) while the length prefix
-// makes framing unambiguous regardless of payload content.
+// batch_report_to_json.  PING/PONG are empty-bodied liveness probes:
+// the coordinator PINGs a worker that missed a frame deadline, and a
+// worker that is busy planning but healthy answers PONG from its reader
+// thread — only a truly wedged process stays silent.  Text-over-frames
+// keeps the protocol debuggable (dump any frame and read it) while the
+// length prefix makes framing unambiguous regardless of payload
+// content.
 #pragma once
 
 #include <cstdint>
@@ -22,14 +26,17 @@ namespace latticesched::dist {
 /// v2: batch items gained "steps"/"trace_script", report rows a "step"
 /// column and item headers a "steps" count (dynamic scenarios) — a v1
 /// worker would silently plan dynamic items as static.
-inline constexpr int kProtocolVersion = 2;
+/// v3: PING/PONG liveness verbs; batch reports gained the
+/// "worker_timeouts"/"degraded"/"quarantined_items" footer fields — a
+/// v2 coordinator would reject a v3 worker's RESULT bodies.
+inline constexpr int kProtocolVersion = 3;
 
 /// Frames larger than this are a protocol error, not an allocation —
 /// guards the reader against garbage length prefixes.
 inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
 
 struct WireMessage {
-  std::string verb;  ///< HELLO | ASSIGN | RESULT | ERROR | SHUTDOWN
+  std::string verb;  ///< HELLO | ASSIGN | RESULT | ERROR | SHUTDOWN | PING | PONG
   std::string body;  ///< verb-specific payload (may be empty)
 };
 
@@ -40,6 +47,25 @@ bool write_frame(int fd, const WireMessage& message);
 /// Reads one full frame (blocking); returns false on EOF, a read error,
 /// or a malformed frame.  Restarts interrupted reads.
 bool read_frame(int fd, WireMessage* out);
+
+/// Outcome of the deadline-bounded frame I/O below.  kClosed covers
+/// EOF, EPIPE and malformed frames alike — every case where the peer
+/// is unusable rather than merely slow.
+enum class WireIoStatus { kOk, kTimeout, kClosed };
+
+/// Puts `fd` into O_NONBLOCK (required by the deadline forms below);
+/// returns false when fcntl fails.
+bool set_nonblocking(int fd);
+
+/// Deadline-bounded frame I/O for the coordinator side; `fd` must be
+/// nonblocking.  `timeout_ms` < 0 waits forever (the blocking
+/// behavior); the budget covers the WHOLE frame, so a peer trickling
+/// bytes cannot stretch one frame past one deadline.  A kTimeout may
+/// leave the stream mid-frame — the protocol has no resync point, so
+/// the caller must treat the peer as lost, not retry the call.
+WireIoStatus read_frame_deadline(int fd, WireMessage* out, int timeout_ms);
+WireIoStatus write_frame_deadline(int fd, const WireMessage& message,
+                                  int timeout_ms);
 
 /// Splits "<first line>\n<rest>" — the shape of ASSIGN/RESULT bodies.
 /// Missing newline leaves `rest` empty.

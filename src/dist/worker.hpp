@@ -3,9 +3,14 @@
 // A worker process (`latticesched --worker`) owns one PlanService —
 // so its TilingCache stays warm across every shard it is assigned, and
 // with a --cache-dir it warm-starts from (and feeds) the persistent
-// cache shared by the whole fleet.  The loop is strictly
-// request/response: read a frame, answer it, repeat until SHUTDOWN or
-// EOF (a vanished coordinator must not leave orphan workers planning).
+// cache shared by the whole fleet.  The main loop is strictly
+// request/response — take a frame, answer it, repeat until SHUTDOWN or
+// EOF (a vanished coordinator must not leave orphan workers planning) —
+// but frames arrive through a dedicated reader thread that answers the
+// coordinator's PING probes with PONG even while the main thread is
+// deep in a plan: a busy worker proves it is alive, and only a truly
+// wedged one (e.g. a fault-injected hang holding the write lock) goes
+// silent and gets killed.
 #pragma once
 
 #include <string>
@@ -16,11 +21,17 @@ struct WorkerOptions {
   /// Persistent TilingCache directory shared with the coordinator's
   /// fleet ("" = in-memory cache only).
   std::string cache_dir;
+  /// Deterministic fault-injection spec (dist/faults.hpp), already
+  /// filtered by the coordinator to this worker's slot and spawn
+  /// generation.  "" = no faults.
+  std::string fault_spec;
 };
 
 /// Runs the worker protocol over `fd` until SHUTDOWN/EOF; returns the
 /// process exit code (0 = clean shutdown, 1 = protocol or internal
-/// error, reported to the coordinator in an ERROR frame first).
+/// error, reported to the coordinator in an ERROR frame first).  Joins
+/// its reader thread before returning, so in-process callers (tests)
+/// get a fully quiesced fd back.
 int run_worker(int fd, const WorkerOptions& options);
 
 }  // namespace latticesched::dist

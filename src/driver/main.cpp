@@ -50,6 +50,7 @@
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "dist/coordinator.hpp"
+#include "dist/faults.hpp"
 #include "dist/process.hpp"
 #include "dist/worker.hpp"
 #include "util/cli.hpp"
@@ -197,6 +198,17 @@ int run(int argc, char** argv) {
                "--worker-fd");
   cli.add_int_flag("worker-fd", dist::kWorkerChannelFd, 0,
                    "internal: fd of the coordinator channel (--worker)");
+  cli.add_int_flag("worker-timeout-ms", 30000, 0,
+                   "per-frame deadline on every worker read/write "
+                   "(--workers >= 2); a silent worker is probed, then "
+                   "killed and its shards reassigned (0 = wait forever)");
+  cli.add_int_flag("retries", 2, 0,
+                   "respawns per worker slot before it is exhausted; when "
+                   "every slot is exhausted the sweep degrades to "
+                   "in-process serial execution");
+  cli.add_flag("fault-plan", "",
+               "internal: deterministic fault-injection spec (see "
+               "docs/API.md) forwarded to workers for chaos testing");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -228,6 +240,7 @@ int run(int argc, char** argv) {
     // --worker-fd until the coordinator shuts us down.
     dist::WorkerOptions options;
     options.cache_dir = cli.get_string("cache-dir");
+    options.fault_spec = cli.get_string("fault-plan");
     return dist::run_worker(static_cast<int>(cli.get_int("worker-fd")),
                             options);
   }
@@ -362,11 +375,26 @@ int run(int argc, char** argv) {
       if (threads > 0) {
         config.worker_threads = static_cast<std::size_t>(threads);
       }
+      config.worker_timeout_ms =
+          static_cast<std::uint64_t>(cli.get_int("worker-timeout-ms"));
+      config.retries = static_cast<std::size_t>(cli.get_int("retries"));
+      config.backoff_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      config.fault_plan = cli.get_string("fault-plan");
       coordinator.emplace(std::move(config));
       report = coordinator->run(items);
     } else {
       if (!cache_dir.empty()) {
         service.tiling_cache().set_persist_dir(cache_dir);
+      }
+      // Chaos testing of the serial path too: cache faults apply to the
+      // in-process cache exactly as they do inside a worker.
+      if (const std::string spec = cli.get_string("fault-plan");
+          !spec.empty()) {
+        const dist::FaultPlan plan = dist::FaultPlan::parse(spec);
+        if (plan.has_cache_faults()) {
+          service.tiling_cache().set_write_corruption_hook(
+              dist::cache_corruption_hook(plan));
+        }
       }
       report = service.run(items);
     }
@@ -406,6 +434,12 @@ int run(int argc, char** argv) {
     if (coordinator.has_value()) {
       for (std::size_t w = 0; w < coordinator->worker_stats().size(); ++w) {
         const dist::WorkerCacheStats& s = coordinator->worker_stats()[w];
+        std::string notes;
+        if (s.respawns > 0) {
+          notes += ", " + std::to_string(s.respawns) + " respawn(s)";
+        }
+        if (s.failed) notes += " [FAILED]";
+        if (s.timed_out) notes += " [TIMED OUT]";
         std::fprintf(
             out,
             "cache-stats: worker %zu (pid %lld): %llu hit(s), %llu "
@@ -413,14 +447,16 @@ int run(int argc, char** argv) {
             w, static_cast<long long>(s.pid),
             static_cast<unsigned long long>(s.cache_hits),
             static_cast<unsigned long long>(s.cache_misses),
-            s.shards_completed, s.failed ? " [FAILED]" : "");
+            s.shards_completed, notes.c_str());
       }
       std::fprintf(out,
                    "cache-stats: total: %llu hit(s), %llu miss(es), %llu "
-                   "worker failure(s)\n",
+                   "worker failure(s), %llu timeout(s)%s\n",
                    static_cast<unsigned long long>(report.cache_hits),
                    static_cast<unsigned long long>(report.cache_misses),
-                   static_cast<unsigned long long>(report.worker_failures));
+                   static_cast<unsigned long long>(report.worker_failures),
+                   static_cast<unsigned long long>(report.worker_timeouts),
+                   report.degraded ? " [DEGRADED]" : "");
     } else {
       const TilingCache::Stats s = service.tiling_cache().stats();
       std::fprintf(out,
@@ -444,6 +480,20 @@ int run(int argc, char** argv) {
       std::printf("WARNING: %llu worker failure(s); shards were "
                   "reassigned\n",
                   static_cast<unsigned long long>(report.worker_failures));
+    }
+    if (report.worker_timeouts > 0) {
+      std::printf("WARNING: %llu worker timeout(s); hung workers were "
+                  "killed and their shards reassigned\n",
+                  static_cast<unsigned long long>(report.worker_timeouts));
+    }
+    if (report.degraded) {
+      std::printf("WARNING: worker fleet exhausted; remaining items "
+                  "completed in-process (degraded)\n");
+    }
+    if (!report.quarantined_items.empty()) {
+      std::printf("WARNING: %zu item(s) quarantined after repeatedly "
+                  "crashing workers\n",
+                  report.quarantined_items.size());
     }
     if (cli.get_bool("cache-stats")) print_cache_stats(stdout);
   } else {

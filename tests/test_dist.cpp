@@ -68,12 +68,14 @@ std::string normalize_volatile(std::string json) {
     const std::size_t end = json.find('}', pos);
     json.replace(pos, end - pos + 1, "\"cache\": {0}");
   }
-  const std::string failures_needle = "\"worker_failures\": ";
-  pos = json.find(failures_needle);
-  if (pos != std::string::npos) {
-    std::size_t end = pos + failures_needle.size();
-    while (end < json.size() && json[end] != ',') ++end;
-    json.replace(pos, end - pos, failures_needle + "0");
+  for (const std::string needle :
+       {"\"worker_failures\": ", "\"worker_timeouts\": "}) {
+    pos = json.find(needle);
+    if (pos != std::string::npos) {
+      std::size_t end = pos + needle.size();
+      while (end < json.size() && json[end] != ',') ++end;
+      json.replace(pos, end - pos, needle + "0");
+    }
   }
   return json;
 }
@@ -445,10 +447,11 @@ TEST(DistributedService, DynamicTracesShipOverTheWireByteIdentical) {
 }
 
 TEST(DistributedService, KilledWorkerShardIsReassigned) {
-  // The failure-handling regression: worker 1 is SIGKILLed immediately
-  // after receiving its first shard.  The coordinator must detect the
-  // death, hand the shard to a surviving worker, surface exactly one
-  // failure, and still deliver every item of the sweep.
+  // The failure-handling regression: worker 1 crashes before sending its
+  // first RESULT (fault-injected, deterministic).  With retries=0 the
+  // slot stays dead, so the coordinator must detect the death, hand the
+  // shard to a surviving worker, surface exactly one failure, and still
+  // deliver every item of the sweep.
   const std::vector<BatchItem> items = registry_items({"tiling"});
   ASSERT_GE(items.size(), 3u);
 
@@ -458,16 +461,21 @@ TEST(DistributedService, KilledWorkerShardIsReassigned) {
   set_parallel_threads(0);
 
   CoordinatorConfig config = config_for(3);
-  config.kill_worker_after_assign = 1;
+  config.fault_plan = "worker=1:crash:after-frames=1";
+  config.retries = 0;
   ShardCoordinator coordinator(std::move(config));
   const BatchReport distributed = coordinator.run(items);
 
   ASSERT_TRUE(distributed.all_ok())
       << "every item must survive the worker death";
   EXPECT_EQ(distributed.worker_failures, 1u);
+  EXPECT_EQ(distributed.worker_timeouts, 0u);
+  EXPECT_FALSE(distributed.degraded);
+  EXPECT_TRUE(distributed.quarantined_items.empty());
   ASSERT_EQ(coordinator.worker_stats().size(), 3u);
   EXPECT_TRUE(coordinator.worker_stats()[1].failed);
   EXPECT_EQ(coordinator.worker_stats()[1].shards_completed, 0u);
+  EXPECT_EQ(coordinator.worker_stats()[1].respawns, 0u);
   EXPECT_FALSE(coordinator.worker_stats()[0].failed);
   EXPECT_FALSE(coordinator.worker_stats()[2].failed);
   EXPECT_EQ(normalize_volatile(batch_report_to_json(distributed)),
@@ -483,17 +491,30 @@ TEST(DistributedService, UnknownBackendThrowsBeforeSpawning) {
   EXPECT_TRUE(coordinator.worker_stats().empty());
 }
 
-TEST(DistributedService, MissingWorkerExecutableFailsCleanly) {
-  // exec failure = instant child exit on every worker; the coordinator
-  // must give up with an error instead of hanging or crashing.
+TEST(DistributedService, MissingWorkerExecutableDegradesToSerial) {
+  // exec failure = instant child exit on every spawn, including every
+  // respawn.  The chaos-hardened coordinator must exhaust the retry
+  // budget and then finish the batch in-process (degraded) instead of
+  // hanging, crashing, or throwing away the sweep.
   BatchItem item;
   item.query.scenario = "grid";
   item.query.params.n = 6;
   item.backends = {"tdma"};
   CoordinatorConfig config = config_for(2);
   config.worker_exe = "/no/such/binary";
+  config.retries = 1;
+  config.backoff_base_ms = 1;  // keep the retry schedule test-fast
+  config.quarantine_crashes = 100;  // isolate degradation from quarantine
   ShardCoordinator coordinator(std::move(config));
-  EXPECT_THROW(coordinator.run({item}), std::runtime_error);
+  const BatchReport report = coordinator.run({item});
+  ASSERT_TRUE(report.degraded);
+  ASSERT_TRUE(report.all_ok()) << "the item must complete in-process";
+  // One shard for one item -> one slot, dying 1 + retries times.
+  EXPECT_EQ(report.worker_failures, 2u);
+  EXPECT_TRUE(report.quarantined_items.empty());
+  ASSERT_EQ(coordinator.worker_stats().size(), 1u);
+  EXPECT_TRUE(coordinator.worker_stats()[0].failed);
+  EXPECT_EQ(coordinator.worker_stats()[0].respawns, 1u);
 }
 
 TEST(DistributedService, ConfigValidation) {

@@ -1,8 +1,8 @@
 // Persistent TilingCache tests: disk round trips (successes, cached
 // failures, explicit-torus keys), warm-start accounting (a disk load is
 // a hit, never a miss), format versioning, and corrupt-entry tolerance
-// — a truncated or garbage file is skipped and recomputed, never a
-// crash.
+// — a truncated, garbage, or bit-flipped (checksum-mismatching) file is
+// skipped and recomputed, never a crash, never a wrong answer.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -183,6 +183,84 @@ TEST(TilingCachePersist, TruncatedEntryIsSkipped) {
   cache.set_persist_dir(dir.path);
   ASSERT_TRUE(cache.find_or_search(tiles).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TilingCachePersist, BitFlipIsDetectedByChecksumAndEvicted) {
+  // Silent corruption — a single flipped byte in an otherwise
+  // well-formed entry — must be caught by the FNV-1a checksum line:
+  // the entry is evicted and recomputed (counted in
+  // Stats::checksum_failures), never served as a wrong answer.
+  TempDir dir;
+  const std::vector<Prototile> tiles = {shapes::chebyshev_ball(2, 1)};
+  std::optional<Tiling> cold;
+  {
+    TilingCache cache;
+    cache.set_persist_dir(dir.path);
+    cold = cache.find_or_search(tiles);
+    ASSERT_TRUE(cold.has_value());
+    EXPECT_EQ(cache.stats().checksum_failures, 0u);
+  }
+  ASSERT_EQ(entry_files(dir.path).size(), 1u);
+  const fs::path file = entry_files(dir.path).front();
+  {
+    std::ifstream is(file);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    std::string content = buffer.str();
+    is.close();
+    // Flip one mid-body byte, past the magic/version line so the
+    // corruption reaches checksum verification, not the version skip.
+    content[content.size() / 2] =
+        static_cast<char>(content[content.size() / 2] ^ 0x1);
+    std::ofstream os(file, std::ios::trunc | std::ios::binary);
+    os << content;
+  }
+  TilingCache cache;
+  cache.set_persist_dir(dir.path);
+  const auto recomputed = cache.find_or_search(tiles);
+  ASSERT_TRUE(recomputed.has_value());
+  expect_same_tiling(*recomputed, *cold);
+  EXPECT_EQ(cache.stats().checksum_failures, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u) << "a bad checksum is a miss";
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+
+  // The recompute republished a good (checksummed) entry.
+  TilingCache fresh;
+  fresh.set_persist_dir(dir.path);
+  ASSERT_TRUE(fresh.find_or_search(tiles).has_value());
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+  EXPECT_EQ(fresh.stats().checksum_failures, 0u);
+}
+
+TEST(TilingCachePersist, WriteCorruptionHookFaultsAreCaughtOnLoad) {
+  // End-to-end fault injection on the write path: a hook (the seam the
+  // chaos framework's cache:corrupt-write action uses) flips a byte of
+  // the serialized entry AFTER the checksum is computed, so the
+  // published file is internally inconsistent — and the next process
+  // must detect exactly that.
+  TempDir dir;
+  const std::vector<Prototile> tiles = {shapes::chebyshev_ball(2, 1)};
+  {
+    TilingCache cache;
+    cache.set_persist_dir(dir.path);
+    cache.set_write_corruption_hook([](std::string& content) {
+      content[content.size() / 2] =
+          static_cast<char>(content[content.size() / 2] ^ 0x4);
+    });
+    ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  }
+  TilingCache cache;  // no hook: the honest reader
+  cache.set_persist_dir(dir.path);
+  ASSERT_TRUE(cache.find_or_search(tiles).has_value());
+  EXPECT_EQ(cache.stats().checksum_failures, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+
+  // The honest recompute healed the directory.
+  TilingCache fresh;
+  fresh.set_persist_dir(dir.path);
+  ASSERT_TRUE(fresh.find_or_search(tiles).has_value());
+  EXPECT_EQ(fresh.stats().checksum_failures, 0u);
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
 }
 
 TEST(TilingCachePersist, StaleFormatVersionIsSkipped) {

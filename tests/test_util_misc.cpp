@@ -210,6 +210,42 @@ TEST(Cli, SuggestNearestStaysQuietOnNonsense) {
   EXPECT_EQ(suggest_nearest("ax", {"ab", "ac"}), "ab");
 }
 
+TEST(Cli, SuggestNearestFindsChaosFlagTypos) {
+  // The driver's chaos-hardening flags are long enough that typos are
+  // likely; the suggester must bridge them.
+  const std::vector<std::string> flags = {
+      "workers", "worker-timeout-ms", "retries", "fault-plan",
+      "cache-dir", "cache-stats", "shard", "seed"};
+  EXPECT_EQ(suggest_nearest("worker-timout-ms", flags), "worker-timeout-ms");
+  EXPECT_EQ(suggest_nearest("retrys", flags), "retries");
+  EXPECT_EQ(suggest_nearest("falt-plan", flags), "fault-plan");
+  EXPECT_EQ(suggest_nearest("worker-timeout", flags), "worker-timeout-ms");
+}
+
+TEST(Cli, ChaosFlagMinimaViolationsJoinOneError) {
+  // The driver's chaos flags share the joined-error contract: every
+  // range violation arrives in the SAME std::invalid_argument.
+  CliParser p("test");
+  p.add_int_flag("worker-timeout-ms", 30000, 0, "per-frame deadline");
+  p.add_int_flag("retries", 2, 0, "respawn budget");
+  const char* argv[] = {"prog", "--worker-timeout-ms=-1", "--retries=-2"};
+  try {
+    p.parse(3, argv);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--worker-timeout-ms"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--retries"), std::string::npos) << msg;
+  }
+  CliParser ok("test");
+  ok.add_int_flag("worker-timeout-ms", 30000, 0, "per-frame deadline");
+  ok.add_int_flag("retries", 2, 0, "respawn budget");
+  const char* good[] = {"prog", "--worker-timeout-ms=0", "--retries=0"};
+  ok.parse(3, good);
+  EXPECT_EQ(ok.get_int("worker-timeout-ms"), 0);  // 0 = deadlines off
+  EXPECT_EQ(ok.get_int("retries"), 0);
+}
+
 TEST(Cli, IntFlagViolationsJoinTheUnknownFlagError) {
   // One round trip fixes everything: the range violation and the typo
   // arrive in the SAME error.
