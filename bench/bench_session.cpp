@@ -213,6 +213,52 @@ void report() {
     records().push_back(record);
   }
 
+  // Graph-patch threshold sweep: the same medium-sized delta (an 8-sensor
+  // outage) replanned under different
+  // SessionConfig::graph_patch_dirty_denominator settings.  0 = always
+  // rebuild (the baseline the knob is judged against); the default
+  // kGraphPatchDirtyDenominator = 4 patches anything up to a quarter of
+  // the fleet.  This is the measurement behind the default.
+  {
+    bench::section("graph-patch threshold sweep (denominator knob)");
+    const std::size_t denominators[] = {0, 1, kGraphPatchDirtyDenominator, 16};
+    double rebuild_ms = 0.0;  // denominator 0 baseline
+    for (const std::size_t denom : denominators) {
+      SessionConfig config;
+      config.backends = backends;
+      config.verify = false;
+      config.graph_patch_dirty_denominator = denom;
+      PlanSession session(grid_deployment(16, 2), config);
+      const SessionRecord timed = measure(
+          std::string("grid_patch_denominator_") + std::to_string(denom),
+          session, backends, 5, [&](int step) {
+            DeploymentDelta delta;
+            for (int j = 0; j < 8; ++j) {
+              delta.remove_sensors.push_back(session.deployment().position(
+                  static_cast<std::size_t>(3 + 17 * step + 2 * j)));
+            }
+            return delta;
+          });
+      SessionRecord record = timed;
+      if (denom == 0) rebuild_ms = timed.incremental_ms;
+      // For the sweep the interesting ratio is vs the always-rebuild
+      // mode, not vs a cold plan.
+      record.cold_ms = rebuild_ms;
+      record.speedup =
+          record.incremental_ms > 0.0 && rebuild_ms > 0.0
+              ? rebuild_ms / record.incremental_ms
+              : 0.0;
+      const PlanSession::Stats& stats = session.stats();
+      std::printf(
+          "denominator %zu: replan %.3fms (%.2fx vs rebuild), %llu "
+          "build(s), %llu patch(es)\n",
+          denom, record.incremental_ms, record.speedup,
+          static_cast<unsigned long long>(stats.graph_builds),
+          static_cast<unsigned long long>(stats.graph_patches));
+      records().push_back(record);
+    }
+  }
+
   write_bench_json();
 }
 

@@ -118,6 +118,10 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
   const TilingCache::Stats after = cache_.stats();
   report.cache_hits = after.hits - before.hits;
   report.cache_misses = after.misses - before.misses;
+  report.search_subtree_tasks =
+      after.search_subtree_tasks - before.search_subtree_tasks;
+  report.search_steals = after.search_steals - before.search_steals;
+  report.search_kernel = after.search_kernel;
   return report;
 }
 

@@ -72,6 +72,15 @@ struct BatchReport {
   std::vector<BatchItemReport> items;  ///< in request order
   std::uint64_t cache_hits = 0;        ///< TilingCache hits of THIS run
   std::uint64_t cache_misses = 0;      ///< TilingCache misses of THIS run
+  /// Work-stealing torus-search counters of THIS run (see
+  /// TorusSearchStats): subtree tasks the parallel dense engine
+  /// executed, and how many of them were stolen across workers.  Both 0
+  /// when every search was a cache hit or ran serially.
+  std::uint64_t search_subtree_tasks = 0;
+  std::uint64_t search_steals = 0;
+  /// Mask-kernel implementation the searches dispatched to ("scalar" /
+  /// "avx2"; empty when no search ran this batch).
+  std::string search_kernel;
   /// Worker processes that died (or exited nonzero) during a distributed
   /// run (src/dist); their shards were reassigned, so a nonzero count
   /// with all_ok() means the sweep survived the failures.  Always 0 for

@@ -243,6 +243,7 @@ PlanSession::PlanSession(Deployment initial, SessionConfig config)
   base_.lattice = config.lattice;
   base_.tiling = config.tiling;
   base_.tiling_cache = config.tiling_cache;
+  patch_denominator_ = config.graph_patch_dirty_denominator;
   owned_.emplace(std::move(initial));
   deployment_ = &*owned_;
 }
@@ -447,10 +448,13 @@ void PlanSession::apply(const DeploymentDelta& delta) {
 
   // --- patch the incremental state -------------------------------------
   std::sort(dirty.begin(), dirty.end());
-  // Patch only small deltas: past ~a quarter of the fleet the localized
-  // rebuild probes more cells than one clean build would.
+  // Patch only small deltas: past 1/denominator of the fleet (a quarter
+  // at the default kGraphPatchDirtyDenominator) the localized rebuild
+  // probes more cells than one clean build would.  The threshold is a
+  // SessionConfig knob; bench_session sweeps it.
   const bool patchable =
-      graph_.has_value() && dirty.size() * 4 <= next.size();
+      graph_.has_value() && patch_denominator_ != 0 &&
+      dirty.size() * patch_denominator_ <= next.size();
   std::optional<Graph> next_graph;
   bool next_warm_valid = false;
   std::vector<std::uint32_t> next_prev;

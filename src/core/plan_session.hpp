@@ -115,6 +115,13 @@ MutationTrace parse_mutation_script(const std::string& text);
 std::string mutation_trace_to_script(const MutationTrace& trace,
                                      std::size_t dim = 2);
 
+/// Default SessionConfig::graph_patch_dirty_denominator: a delta is
+/// patched incrementally while dirty <= fleet / denominator, i.e. up to
+/// a quarter of the fleet.  Past that the localized rebuild probes more
+/// candidate cells than one clean build_conflict_graph would (measured
+/// by bench_session's patch-threshold sweep).
+inline constexpr std::size_t kGraphPatchDirtyDenominator = 4;
+
 struct SessionConfig {
   /// Backend names; empty = every registered backend supporting the
   /// request (PlannerRegistry::plan_all semantics).
@@ -123,6 +130,15 @@ struct SessionConfig {
   SaConfig sa;
   bool verify = true;
   std::uint32_t channels = 1;
+  /// Conflict-graph patch threshold: apply() patches the graph
+  /// incrementally when dirty_sensors * denominator <= fleet_size and
+  /// falls back to a full rebuild otherwise.  1 patches any delta up to
+  /// the whole fleet; larger values are stricter (the default 4 stops
+  /// at a quarter); 0 disables patching entirely — every delta rebuilds
+  /// (the A/B baseline of bench_session's threshold sweep).  Purely a
+  /// performance knob: patched and rebuilt graphs are identical (pinned
+  /// by the session property tests).
+  std::size_t graph_patch_dirty_denominator = kGraphPatchDirtyDenominator;
   /// Euclidean geometry of the coordinates (PlanRequest::lattice).
   /// Must outlive the session.
   const Lattice* lattice = nullptr;
@@ -196,6 +212,8 @@ class PlanSession {
   PlanRequest base_;  ///< request template (deployment/graph/warm set per call)
   const PlannerRegistry* planners_;
   std::vector<std::string> backends_;
+  /// SessionConfig::graph_patch_dirty_denominator (0 = never patch).
+  std::size_t patch_denominator_ = kGraphPatchDirtyDenominator;
 
   std::optional<Deployment> owned_;     ///< engaged once the session mutates
   const Deployment* deployment_;        ///< current deployment (owned or borrowed)

@@ -341,6 +341,9 @@ std::string batch_report_to_json(const BatchReport& report) {
   os << "  ],\n";
   os << "  \"cache\": {\"hits\": " << report.cache_hits
      << ", \"misses\": " << report.cache_misses << "},\n";
+  os << "  \"search\": {\"subtree_tasks\": " << report.search_subtree_tasks
+     << ", \"steals\": " << report.search_steals << ", \"kernel\": \""
+     << json_escape(report.search_kernel) << "\"},\n";
   os << "  \"worker_failures\": " << report.worker_failures << ",\n";
   os << "  \"worker_timeouts\": " << report.worker_timeouts << ",\n";
   os << "  \"degraded\": " << (report.degraded ? "true" : "false") << ",\n";
@@ -429,6 +432,12 @@ BatchReport parse_batch_report_json(const std::string& json) {
       report.cache_hits = std::stoull(json_field(line, "hits"));
       report.cache_misses = std::stoull(json_field(line, "misses"));
       saw_cache = true;
+    } else if (line.find("\"search\": ") != std::string::npos) {
+      // Optional (absent in pre-v4 payloads): work-stealing counters.
+      report.search_subtree_tasks =
+          std::stoull(json_field(line, "subtree_tasks"));
+      report.search_steals = std::stoull(json_field(line, "steals"));
+      report.search_kernel = json_field(line, "kernel");
     } else if (line.find("\"worker_failures\": ") != std::string::npos) {
       report.worker_failures =
           std::stoull(json_field(line, "worker_failures"));

@@ -400,6 +400,11 @@ BatchReport ShardCoordinator::run(const std::vector<BatchItem>& items) {
     const BatchReport sub_report = fallback.run(sub);
     merged.cache_hits += sub_report.cache_hits;
     merged.cache_misses += sub_report.cache_misses;
+    merged.search_subtree_tasks += sub_report.search_subtree_tasks;
+    merged.search_steals += sub_report.search_steals;
+    if (!sub_report.search_kernel.empty()) {
+      merged.search_kernel = sub_report.search_kernel;
+    }
     for (std::size_t k = 0; k < leftover.size(); ++k) {
       merged.items[leftover[k]] = sub_report.items[k];
     }
@@ -535,8 +540,15 @@ BatchReport ShardCoordinator::run(const std::vector<BatchItem>& items) {
         }
         merged.cache_hits += report.cache_hits;
         merged.cache_misses += report.cache_misses;
+        merged.search_subtree_tasks += report.search_subtree_tasks;
+        merged.search_steals += report.search_steals;
+        if (!report.search_kernel.empty()) {
+          merged.search_kernel = report.search_kernel;
+        }
         worker_stats_[w].cache_hits += report.cache_hits;
         worker_stats_[w].cache_misses += report.cache_misses;
+        worker_stats_[w].search_subtree_tasks += report.search_subtree_tasks;
+        worker_stats_[w].search_steals += report.search_steals;
         ++worker_stats_[w].shards_completed;
         s.queue.erase(owned);
         for (std::size_t k = 0; k < shards[shard].size(); ++k) {

@@ -113,6 +113,11 @@ struct WorkerCacheStats {
   pid_t pid = -1;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Work-stealing torus-search counters of this worker's searches
+  /// (BatchReport::search_subtree_tasks / search_steals, summed over its
+  /// shards).
+  std::uint64_t search_subtree_tasks = 0;
+  std::uint64_t search_steals = 0;
   std::size_t shards_completed = 0;
   bool failed = false;     ///< some generation crashed or exited nonzero
   bool timed_out = false;  ///< some generation was killed for a missed deadline

@@ -29,7 +29,10 @@ namespace latticesched::dist {
 /// v3: PING/PONG liveness verbs; batch reports gained the
 /// "worker_timeouts"/"degraded"/"quarantined_items" footer fields — a
 /// v2 coordinator would reject a v3 worker's RESULT bodies.
-inline constexpr int kProtocolVersion = 3;
+/// v4: batch reports gained the "search" footer line (work-stealing
+/// subtree_tasks/steals counters and the dispatched mask kernel) — a v3
+/// coordinator would drop a v4 worker's search counters silently.
+inline constexpr int kProtocolVersion = 4;
 
 /// Frames larger than this are a protocol error, not an allocation —
 /// guards the reader against garbage length prefixes.

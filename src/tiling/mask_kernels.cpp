@@ -1,0 +1,75 @@
+#include "tiling/mask_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace latticesched {
+namespace mask_kernels {
+
+const Ops& scalar_ops() {
+  static const Ops ops{"scalar", &any_overlap_scalar, &toggle_scalar,
+                       &first_uncovered_scalar};
+  return ops;
+}
+
+#if defined(LATTICESCHED_HAVE_AVX2)
+namespace detail {
+// Defined in mask_kernels_avx2.cpp (compiled with -mavx2); only called
+// after the runtime CPUID check below.
+const Ops& avx2_ops_table();
+}  // namespace detail
+#endif
+
+const Ops* avx2_ops() {
+#if defined(LATTICESCHED_HAVE_AVX2)
+  static const bool supported = __builtin_cpu_supports("avx2");
+  if (supported) return &detail::avx2_ops_table();
+#endif
+  return nullptr;
+}
+
+namespace {
+
+std::atomic<Kernel> g_kernel{Kernel::kAuto};
+
+const Ops& auto_ops() {
+  // Environment override is read once: LATTICESCHED_SIMD=scalar pins the
+  // portable path (e.g. for A/B benchmarking), =avx2 requests the wide
+  // path (silently scalar when the host cannot run it).
+  static const Ops* choice = [] {
+    if (const char* env = std::getenv("LATTICESCHED_SIMD")) {
+      if (std::strcmp(env, "scalar") == 0) return &scalar_ops();
+    }
+    const Ops* wide = avx2_ops();
+    return wide != nullptr ? wide : &scalar_ops();
+  }();
+  return *choice;
+}
+
+}  // namespace
+
+bool set_kernel(Kernel k) {
+  if (k == Kernel::kAvx2 && avx2_ops() == nullptr) return false;
+  g_kernel.store(k, std::memory_order_relaxed);
+  return true;
+}
+
+Kernel kernel_setting() { return g_kernel.load(std::memory_order_relaxed); }
+
+const Ops& active_ops() {
+  switch (g_kernel.load(std::memory_order_relaxed)) {
+    case Kernel::kScalar:
+      return scalar_ops();
+    case Kernel::kAvx2: {
+      const Ops* wide = avx2_ops();
+      return wide != nullptr ? *wide : scalar_ops();
+    }
+    case Kernel::kAuto:
+    default:
+      return auto_ops();
+  }
+}
+
+}  // namespace mask_kernels
+}  // namespace latticesched

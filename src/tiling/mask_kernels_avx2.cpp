@@ -1,0 +1,99 @@
+// AVX2 implementations of the footprint-mask kernels.  This translation
+// unit is compiled with -mavx2 (per-file arch flags set by the
+// LATTICESCHED_SIMD option in CMakeLists.txt) and MUST only be entered
+// through mask_kernels::avx2_ops(), which gates it behind a runtime
+// __builtin_cpu_supports("avx2") check — nothing here may be called on a
+// host without AVX2, and no code outside this file is compiled with the
+// wider ISA, so one binary serves any x86-64 host.
+#include "tiling/mask_kernels.hpp"
+
+#if defined(LATTICESCHED_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace latticesched {
+namespace mask_kernels {
+namespace {
+
+/// 4 words (256 bits) per iteration; `_mm256_testz_si256` computes
+/// (a & b) == 0 across the whole lane in one instruction.
+bool any_overlap_avx2(const std::uint64_t* cover, const std::uint64_t* mask,
+                      std::uint32_t words) {
+  std::uint32_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cover + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    if (_mm256_testz_si256(a, b) == 0) return true;
+  }
+  for (; i < words; ++i) {
+    if ((cover[i] & mask[i]) != 0) return true;
+  }
+  return false;
+}
+
+void toggle_avx2(std::uint64_t* cover, const std::uint64_t* mask,
+                 std::uint32_t words) {
+  std::uint32_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cover + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cover + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i < words; ++i) cover[i] ^= mask[i];
+}
+
+/// The cursor word is masked and scanned scalar (it rarely pays to
+/// vectorize a single word); then 4-word lanes are compared against
+/// all-ones — a lane whose compare movemask is not 0xF holds a zero bit,
+/// located by ctz over the inverted movemask and the word itself.
+std::uint32_t first_uncovered_avx2(const std::uint64_t* cover,
+                                   std::uint32_t words,
+                                   std::uint32_t cursor) {
+  std::uint32_t w = cursor / 64;
+  std::uint64_t inv = ~cover[w] & (~std::uint64_t{0} << (cursor % 64));
+  if (inv != 0) {
+    return w * 64 + static_cast<std::uint32_t>(__builtin_ctzll(inv));
+  }
+  ++w;
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (; w + 4 <= words; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cover + w));
+    const int full =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, ones)));
+    if (full != 0xF) {
+      const std::uint32_t lane =
+          static_cast<std::uint32_t>(__builtin_ctz(~full & 0xF));
+      return (w + lane) * 64 +
+             static_cast<std::uint32_t>(__builtin_ctzll(~cover[w + lane]));
+    }
+  }
+  for (; w < words; ++w) {
+    if (cover[w] != ~std::uint64_t{0}) {
+      return w * 64 + static_cast<std::uint32_t>(__builtin_ctzll(~cover[w]));
+    }
+  }
+  return words * 64;
+}
+
+}  // namespace
+
+namespace detail {
+
+const Ops& avx2_ops_table() {
+  static const Ops ops{"avx2", &any_overlap_avx2, &toggle_avx2,
+                       &first_uncovered_avx2};
+  return ops;
+}
+
+}  // namespace detail
+
+}  // namespace mask_kernels
+}  // namespace latticesched
+
+#endif  // LATTICESCHED_HAVE_AVX2

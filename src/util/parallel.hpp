@@ -1,4 +1,5 @@
-// Shared fork-join thread pool and parallel_for.
+// Shared fork-join thread pool, parallel_for, and a work-stealing task
+// scheduler.
 //
 // The planner pipeline fans out over backends, the torus search
 // speculatively explores several tori, and the conflict-graph builder
@@ -18,6 +19,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -78,13 +80,88 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+namespace detail {
+/// Pool-dispatch slow path of parallel_for; only reached when the range
+/// is big enough and the pool is genuinely parallel.
+void parallel_for_dispatch(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t)>& fn,
+                           std::size_t grain);
+}  // namespace detail
+
 /// Calls fn(i) for every i in [begin, end), distributing chunks of
 /// `grain` indices dynamically over the global pool.  Blocks until done.
-/// Serial (inline, in index order) when the pool is serial, the range is
-/// tiny, or the caller is already inside a parallel region.  `fn` must be
+/// Serial (inline, in index order, WITHOUT the std::function type
+/// erasure — the 1-core CI runner never pays the indirection) when the
+/// pool is serial, the range has at most one index, the range is tiny,
+/// or the caller is already inside a parallel region.  `fn` must be
 /// safe to call concurrently for distinct i; no ordering is guaranteed.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t grain = 1);
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t grain = 1) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  if (n <= 1 || n <= grain || in_parallel_region() ||
+      parallel_threads() <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  detail::parallel_for_dispatch(
+      begin, end, std::function<void(std::size_t)>(std::ref(fn)), grain);
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing task scheduler (Chase–Lev deques over the shared pool).
+//
+// run_task_tree() executes a dynamic tree of tasks: the root task (and
+// every descendant) may spawn further tasks through its TaskContext.
+// Each worker owns a Chase–Lev deque — spawn pushes onto the owner's
+// bottom, the owner pops LIFO from the bottom (locally depth-first, so
+// a DFS that spawns its children in reverse order keeps expanding its
+// first child next), and idle workers steal FIFO from a victim's top
+// (the oldest task, i.e. the shallowest and therefore biggest pending
+// subtree).  The scheduler provides NO ordering: consumers must combine
+// task results by a thread-independent key (the torus search tags every
+// subtree task with its DFS sweep rank and assembles results by rank).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+class TaskSchedulerImpl;
+}
+
+/// Handle a running task uses to spawn subtasks onto the scheduler.
+class TaskContext {
+ public:
+  /// Enqueues `task` on the calling worker's deque.  May be called any
+  /// number of times; the spawned task runs on this worker (LIFO) unless
+  /// an idle worker steals it first.
+  void spawn(std::function<void(TaskContext&)> task);
+
+  /// Rank of the executing worker in [0, parallelism).
+  std::size_t worker() const { return worker_; }
+
+ private:
+  friend class detail::TaskSchedulerImpl;
+  TaskContext(detail::TaskSchedulerImpl* impl, std::size_t worker)
+      : impl_(impl), worker_(worker) {}
+  detail::TaskSchedulerImpl* impl_;
+  std::size_t worker_;
+};
+
+/// Scheduler counters for one run_task_tree call.
+struct TaskTreeStats {
+  std::uint64_t tasks = 0;   ///< tasks executed (root included)
+  std::uint64_t steals = 0;  ///< tasks taken from another worker's deque
+};
+
+/// Runs `root` (plus everything it transitively spawns) over the global
+/// pool with min(parallelism, pool size) workers and returns when every
+/// spawned task has finished.  Serial — one worker draining its own
+/// deque in LIFO order, i.e. plain DFS — when parallelism <= 1, the
+/// pool is serial, or the caller is already inside a parallel region.
+/// Rethrows the first task exception (remaining queued tasks are
+/// dropped).
+TaskTreeStats run_task_tree(std::size_t parallelism,
+                            std::function<void(TaskContext&)> root);
 
 }  // namespace latticesched

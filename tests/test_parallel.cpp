@@ -66,6 +66,85 @@ TEST(Parallel, NestedRegionsRunInline) {
   EXPECT_EQ(inner_total.load(), 8 * 16);
 }
 
+TEST(TaskTree, SpawnTreeRunsEveryTaskExactlyOnce) {
+  ThreadGuard guard;
+  set_parallel_threads(8);
+  for (std::size_t parallelism : {1, 4, 8}) {
+    std::atomic<int> leaves{0};
+    std::function<void(TaskContext&, int)> node = [&](TaskContext& ctx,
+                                                      int depth) {
+      if (depth == 0) {
+        ++leaves;
+        return;
+      }
+      for (int i = 0; i < 2; ++i) {
+        ctx.spawn([&node, depth](TaskContext& sub) { node(sub, depth - 1); });
+      }
+    };
+    const TaskTreeStats stats = run_task_tree(
+        parallelism, [&](TaskContext& ctx) { node(ctx, 5); });
+    EXPECT_EQ(leaves.load(), 32) << parallelism << " workers";
+    // Full binary tree of depth 5, root included.
+    EXPECT_EQ(stats.tasks, 63u) << parallelism << " workers";
+    if (parallelism == 1) EXPECT_EQ(stats.steals, 0u);
+  }
+}
+
+TEST(TaskTree, WorkerRanksStayInRange) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  std::atomic<int> bad{0};
+  run_task_tree(4, [&](TaskContext& ctx) {
+    for (int i = 0; i < 64; ++i) {
+      ctx.spawn([&bad](TaskContext& sub) {
+        if (sub.worker() >= 4) ++bad;
+      });
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(TaskTree, PropagatesExceptionsAndStopsSpawning) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  EXPECT_THROW(run_task_tree(4,
+                             [](TaskContext& ctx) {
+                               for (int i = 0; i < 8; ++i) {
+                                 ctx.spawn([i](TaskContext&) {
+                                   if (i == 3) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 });
+                               }
+                             }),
+               std::runtime_error);
+  // The scheduler is per-tree; a fresh tree is unaffected.
+  std::atomic<int> ran{0};
+  run_task_tree(4, [&](TaskContext& ctx) {
+    ctx.spawn([&ran](TaskContext&) { ++ran; });
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskTree, RunsInlineInsideParallelRegions) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  std::atomic<std::uint64_t> total_steals{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    // Nested trees must not re-enter the thread pool (deadlock risk);
+    // they degrade to the single-worker loop, which never steals.
+    std::atomic<int> ran{0};
+    const TaskTreeStats stats = run_task_tree(4, [&](TaskContext& ctx) {
+      for (int i = 0; i < 4; ++i) {
+        ctx.spawn([&ran](TaskContext&) { ++ran; });
+      }
+    });
+    EXPECT_EQ(ran.load(), 4);
+    total_steals += stats.steals;
+  });
+  EXPECT_EQ(total_steals.load(), 0u);
+}
+
 TEST(ParallelDeterminism, PeriodSweepMatchesSerial) {
   ThreadGuard guard;
   // Mixed S/Z with every prototile required: the sweep rejects several
