@@ -15,11 +15,20 @@
 #include <cstdio>
 #include <string>
 
+#include "util/stats.hpp"
+
 namespace latticesched {
 namespace bench {
 
 inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Peak RSS of this bench process so far, in MiB (0 where the probe is
+/// unsupported).  Scale benches record it next to wall time so the
+/// BENCH_*.json artifacts track the memory ceiling, not just speed.
+inline double peak_rss_mb() {
+  return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
 }
 
 }  // namespace bench

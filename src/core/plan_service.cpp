@@ -1,5 +1,6 @@
 #include "core/plan_service.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
@@ -55,6 +56,12 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
 
   BatchReport report;
   report.items.resize(items.size());
+  // Region-shard counters accumulate across the item fan-out: `regions`
+  // is a running max (largest partition any session planned), the rest
+  // are sums.
+  std::atomic<std::uint64_t> regions_max{0};
+  std::atomic<std::uint64_t> seam_total{0};
+  std::atomic<std::uint64_t> recolor_total{0};
   // Item fan-out; each item's own plan_all fan-out degrades to serial
   // inside this region (the pool never nests), so the parallelism grain
   // is one scenario per worker.
@@ -84,6 +91,8 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
       config.search = item.search;
       config.sa = item.sa;
       config.verify = item.verify;
+      config.regions = item.regions;
+      config.region_halo = item.region_halo;
       config.channels = instance.channels;
       if (instance.lattice.has_value()) config.lattice = &*instance.lattice;
       if (instance.tiling.has_value()) config.tiling = &*instance.tiling;
@@ -104,6 +113,14 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
         }
         out.results = out.steps.back().results;
       }
+      const PlanSession::Stats& st = session.stats();
+      std::uint64_t seen = regions_max.load(std::memory_order_relaxed);
+      while (st.regions > seen &&
+             !regions_max.compare_exchange_weak(seen, st.regions,
+                                                std::memory_order_relaxed)) {
+      }
+      seam_total.fetch_add(st.seam_sensors, std::memory_order_relaxed);
+      recolor_total.fetch_add(st.stitch_recolored, std::memory_order_relaxed);
     } catch (const std::exception& e) {
       out.built = false;
       out.error = e.what();
@@ -122,6 +139,9 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
       after.search_subtree_tasks - before.search_subtree_tasks;
   report.search_steals = after.search_steals - before.search_steals;
   report.search_kernel = after.search_kernel;
+  report.regions = regions_max.load(std::memory_order_relaxed);
+  report.seam_sensors = seam_total.load(std::memory_order_relaxed);
+  report.stitch_recolored = recolor_total.load(std::memory_order_relaxed);
   return report;
 }
 

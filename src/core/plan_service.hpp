@@ -35,6 +35,13 @@ struct BatchItem {
   TorusSearchConfig search;
   SaConfig sa;
   bool verify = true;
+  /// Spatial shard count for the region-sharded backend
+  /// (SessionConfig::regions; 1 = unsharded).  Ships over the
+  /// distributed wire alongside the other planning knobs.
+  std::size_t regions = 1;
+  /// Region halo override (SessionConfig::region_halo); -1 = the
+  /// deployment's interference reach.
+  std::int64_t region_halo = -1;
   /// Optional mutation trace in the parse_mutation_script text format
   /// (core/plan_session.hpp); overrides the scenario's own trace.  The
   /// driver's --script flag ships through here — including over the
@@ -81,6 +88,13 @@ struct BatchReport {
   /// Mask-kernel implementation the searches dispatched to ("scalar" /
   /// "avx2"; empty when no search ran this batch).
   std::string search_kernel;
+  /// Region-shard counters of THIS run: `regions` is the largest region
+  /// partition any item planned with; the other two sum over every
+  /// item's stitch passes (SessionStats).  All 0 when no item ran the
+  /// region-sharded backend.
+  std::uint64_t regions = 0;
+  std::uint64_t seam_sensors = 0;
+  std::uint64_t stitch_recolored = 0;
   /// Worker processes that died (or exited nonzero) during a distributed
   /// run (src/dist); their shards were reassigned, so a nonzero count
   /// with all_ok() means the sweep survived the failures.  Always 0 for

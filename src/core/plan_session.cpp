@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/region_shard.hpp"
 #include "graph/coloring.hpp"
 #include "tiling/shapes.hpp"
 #include "util/parallel.hpp"
@@ -243,6 +244,8 @@ PlanSession::PlanSession(Deployment initial, SessionConfig config)
   base_.lattice = config.lattice;
   base_.tiling = config.tiling;
   base_.tiling_cache = config.tiling_cache;
+  base_.regions = std::max<std::size_t>(config.regions, 1);
+  base_.region_halo = config.region_halo;
   patch_denominator_ = config.graph_patch_dirty_denominator;
   owned_.emplace(std::move(initial));
   deployment_ = &*owned_;
@@ -501,6 +504,50 @@ void PlanSession::apply(const DeploymentDelta& delta) {
     }
   }
 
+  // Region warm state: carry the stitched table onto the new ids and
+  // record every position where the conflict structure changed — the
+  // old positions of removed/moved/reshaped sensors and the new
+  // positions of the delta's own sensors.  plan_regions routes these to
+  // dirty shards; regions untouched within the halo keep their colors.
+  bool next_region_warm = false;
+  std::vector<std::uint32_t> next_region_colors;
+  PointVec next_region_dirty;
+  std::int64_t next_region_reach = region_dirty_reach_;
+  if (region_warm_valid_ && prev_region_colors_.size() == n_old) {
+    next_region_colors.assign(next.size(), kUncolored);
+    for (std::size_t i = 0; i < n_old; ++i) {
+      if (old_to_new[i] != kRemovedSensor) {
+        next_region_colors[old_to_new[i]] = prev_region_colors_[i];
+      }
+    }
+    next_region_dirty = region_dirty_positions_;
+    for (std::size_t i = 0; i < n_old; ++i) {
+      if (removed[i] || touched[i]) next_region_dirty.push_back(pos[i]);
+    }
+    for (std::size_t i = 0; i < n_old; ++i) {
+      // A moved sensor dirties its OLD cell too (neighbors there lost
+      // the conflict); pos[] already holds the new cell.
+      if (touched[i] && !(pos[i] == d.position(i))) {
+        next_region_dirty.push_back(d.position(i));
+      }
+    }
+    for (std::uint32_t u : dirty) {
+      next_region_dirty.push_back(next.position(u));
+    }
+    // Routing must cover the widest reach any of these positions ever
+    // conflicted at (a radius decrease still dirties the old, larger
+    // neighborhood).
+    next_region_reach = std::max(next_region_reach, interference_reach(d));
+    // Past one dirty position per sensor the routing saves nothing —
+    // drop the warm state and let the next replan run cold.
+    next_region_warm = next_region_dirty.size() <= next.size();
+  }
+  if (!next_region_warm) {
+    next_region_colors.clear();
+    next_region_dirty.clear();
+    next_region_reach = 0;
+  }
+
   // --- commit -----------------------------------------------------------
   owned_.emplace(std::move(next));
   deployment_ = &*owned_;
@@ -508,6 +555,10 @@ void PlanSession::apply(const DeploymentDelta& delta) {
   warm_valid_ = next_warm_valid;
   prev_greedy_ = std::move(next_prev);
   color_dirty_ = std::move(next_color_dirty);
+  region_warm_valid_ = next_region_warm;
+  prev_region_colors_ = std::move(next_region_colors);
+  region_dirty_positions_ = std::move(next_region_dirty);
+  region_dirty_reach_ = next_region_reach;
   if (delta.set_channels.has_value()) base_.channels = *delta.set_channels;
   // A delta invalidates the scenario-supplied tiling and any borrowed
   // one-shot conflict graph; the memoized search / patched graph take
@@ -562,6 +613,23 @@ std::vector<PlanResult> PlanSession::replan() {
     ++stats_.warm_greedy;
   }
 
+  // Region-sharded warm start: the carried stitched table plus the
+  // accumulated dirty positions route this replan to the shards the
+  // deltas touched (exact, like the greedy warm start above).
+  RegionWarmStart region_warm;
+  RegionShardStats region_stats;
+  request.region_stats = &region_stats;
+  if (region_warm_valid_ &&
+      prev_region_colors_.size() == deployment_->size() &&
+      std::any_of(selected.begin(), selected.end(), [](const Planner* p) {
+        return p->wants_region_shard();
+      })) {
+    region_warm.colors = prev_region_colors_;
+    region_warm.dirty_positions = region_dirty_positions_;
+    region_warm.dirty_reach = region_dirty_reach_;
+    request.region_warm = &region_warm;
+  }
+
   // Backend fan-out: results land in their request slots, so the output
   // order is the request order at any thread count.  Backends that
   // themselves use the pool (tiling search) degrade to serial inside
@@ -583,6 +651,21 @@ std::vector<PlanResult> PlanSession::replan() {
       break;
     }
   }
+  // Likewise for the region-sharded table: its stitched result becomes
+  // the carried state and the dirty-position log restarts empty.
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    if (selected[i]->wants_region_shard() && results[i].ok) {
+      prev_region_colors_ = results[i].slots.slot;
+      region_dirty_positions_.clear();
+      region_dirty_reach_ = 0;
+      region_warm_valid_ = true;
+      break;
+    }
+  }
+  stats_.regions = std::max(stats_.regions, region_stats.regions);
+  stats_.regions_replanned += region_stats.regions_planned;
+  stats_.seam_sensors += region_stats.seam_sensors;
+  stats_.stitch_recolored += region_stats.stitch_recolored;
   ++stats_.replans;
   return results;
 }

@@ -139,6 +139,14 @@ struct SessionConfig {
   /// performance knob: patched and rebuilt graphs are identical (pinned
   /// by the session property tests).
   std::size_t graph_patch_dirty_denominator = kGraphPatchDirtyDenominator;
+  /// Spatial shard count for the region-sharded backend
+  /// (PlanRequest::regions).  When a selected backend plans by region,
+  /// the session routes every delta to the shards it dirties and replans
+  /// only those (SessionStats::regions_replanned counts them).
+  std::size_t regions = 1;
+  /// Region halo override (PlanRequest::region_halo); -1 = the
+  /// deployment's interference reach.
+  std::int64_t region_halo = -1;
   /// Euclidean geometry of the coordinates (PlanRequest::lattice).
   /// Must outlive the session.
   const Lattice* lattice = nullptr;
@@ -197,6 +205,10 @@ class PlanSession {
     std::uint64_t graph_builds = 0;   ///< full build_conflict_graph runs
     std::uint64_t graph_patches = 0;  ///< incremental patches instead
     std::uint64_t warm_greedy = 0;    ///< greedy replans seeded warm
+    std::uint64_t regions = 0;            ///< largest region partition planned
+    std::uint64_t regions_replanned = 0;  ///< region shards (re)colored
+    std::uint64_t seam_sensors = 0;       ///< seam sensors seen by stitches
+    std::uint64_t stitch_recolored = 0;   ///< vertices stitches recolored
   };
   const Stats& stats() const { return stats_; }
 
@@ -230,6 +242,16 @@ class PlanSession {
   bool warm_valid_ = false;
   std::vector<std::uint32_t> prev_greedy_;
   std::vector<std::uint32_t> color_dirty_;
+
+  /// Previous region-sharded slot table carried onto current sensor
+  /// ids, plus every position where the conflict structure changed
+  /// since (and the largest pre-delta interference reach those
+  /// positions were recorded against) — the dirty-region routing state
+  /// of core/region_shard.hpp.
+  bool region_warm_valid_ = false;
+  std::vector<std::uint32_t> prev_region_colors_;
+  PointVec region_dirty_positions_;
+  std::int64_t region_dirty_reach_ = 0;
 
   Stats stats_;
 };

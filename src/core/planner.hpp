@@ -13,6 +13,9 @@
 //   welsh-powell  first-fit by decreasing degree
 //   dsatur        Brélaz saturation coloring
 //   annealing     simulated-annealing coloring (Wang–Ansari stand-in)
+//   region-greedy spatially sharded greedy: per-region streaming conflict
+//                 blocks + seam stitching (exactly the greedy table,
+//                 without materializing the full conflict graph)
 //   tdma          one slot per sensor (the paper's non-scaling foil)
 //   mobile        tiling schedule + the Conclusions' location-based rule
 //                 (2-D only; PlanResult::mobile carries the scheduler)
@@ -49,6 +52,8 @@ namespace latticesched {
 class Lattice;
 class MobileScheduler;
 class TilingCache;
+struct RegionShardStats;
+struct RegionWarmStart;
 
 /// Previous-plan state a PlanSession hands back to the backends so a
 /// replan after a small deployment delta touches only the dirty region.
@@ -110,6 +115,26 @@ struct PlanRequest {
   /// region; the result MUST equal the cold plan.  Must outlive the
   /// call.
   const PlanWarmStart* warm = nullptr;
+
+  /// Spatial shard count for the region-sharded backend (>= 1; 1 = one
+  /// region, still planned via the streaming builder).  Other backends
+  /// ignore it.
+  std::size_t regions = 1;
+
+  /// Region halo override; any value below the deployment's interference
+  /// reach (including the -1 "auto" default) is raised to the reach, so
+  /// the override can only widen dirty-region routing, never break it.
+  std::int64_t region_halo = -1;
+
+  /// Previous region plan for incremental dirty-region replans (supplied
+  /// by PlanSession::replan; see core/region_shard.hpp).  Must outlive
+  /// the call.
+  const RegionWarmStart* region_warm = nullptr;
+
+  /// When non-null, the region-sharded backend accumulates its partition
+  /// / seam / stitch counters here (flows into SessionStats and the
+  /// batch report footer).
+  RegionShardStats* region_stats = nullptr;
 };
 
 struct PlanResult {
@@ -191,6 +216,12 @@ class Planner {
   /// coloring backend re-colors only the dirty region).
   virtual bool wants_warm_start() const { return false; }
 
+  /// Whether the backend consumes PlanRequest::region_warm — the
+  /// region-sharded backend replans only the shards a delta dirtied.
+  /// PlanSession maintains the region warm state iff some selected
+  /// backend asks for it.
+  virtual bool wants_region_shard() const { return false; }
+
   /// Full pipeline: compute slots, verify, attach diagnostics.  Never
   /// throws for backend-level failures — those come back as ok == false.
   PlanResult plan(const PlanRequest& request) const;
@@ -209,7 +240,7 @@ class Planner {
 };
 
 /// Name-indexed planner collection.  The global() registry comes
-/// pre-populated with the seven built-in backends; register_planner adds
+/// pre-populated with the eight built-in backends; register_planner adds
 /// custom ones (replacing any existing planner of the same name).
 class PlannerRegistry {
  public:

@@ -344,6 +344,9 @@ std::string batch_report_to_json(const BatchReport& report) {
   os << "  \"search\": {\"subtree_tasks\": " << report.search_subtree_tasks
      << ", \"steals\": " << report.search_steals << ", \"kernel\": \""
      << json_escape(report.search_kernel) << "\"},\n";
+  os << "  \"regions\": {\"count\": " << report.regions
+     << ", \"seam_sensors\": " << report.seam_sensors
+     << ", \"stitch_recolored\": " << report.stitch_recolored << "},\n";
   os << "  \"worker_failures\": " << report.worker_failures << ",\n";
   os << "  \"worker_timeouts\": " << report.worker_timeouts << ",\n";
   os << "  \"degraded\": " << (report.degraded ? "true" : "false") << ",\n";
@@ -438,6 +441,12 @@ BatchReport parse_batch_report_json(const std::string& json) {
           std::stoull(json_field(line, "subtree_tasks"));
       report.search_steals = std::stoull(json_field(line, "steals"));
       report.search_kernel = json_field(line, "kernel");
+    } else if (line.find("\"regions\": {") != std::string::npos) {
+      // Optional (absent in pre-v5 payloads): region-shard counters.
+      report.regions = std::stoull(json_field(line, "count"));
+      report.seam_sensors = std::stoull(json_field(line, "seam_sensors"));
+      report.stitch_recolored =
+          std::stoull(json_field(line, "stitch_recolored"));
     } else if (line.find("\"worker_failures\": ") != std::string::npos) {
       report.worker_failures =
           std::stoull(json_field(line, "worker_failures"));
@@ -495,6 +504,8 @@ std::string batch_items_to_json(const std::vector<BatchItem>& items) {
        << ", \"trace_script\": \"" << json_escape(item.trace_script)
        << "\", \"backends\": \"" << json_escape(backends)
        << "\", \"verify\": " << (item.verify ? "true" : "false")
+       << ", \"regions\": " << item.regions
+       << ", \"region_halo\": " << item.region_halo
        << ", \"max_period_cells\": " << item.search.max_period_cells
        << ", \"node_limit\": " << item.search.node_limit
        << ", \"require_all_prototiles\": "
@@ -533,6 +544,8 @@ std::vector<BatchItem> parse_batch_items_json(const std::string& json) {
     item.trace_script = json_field(line, "trace_script");
     item.backends = split_csv_list(json_field(line, "backends"));
     item.verify = json_field(line, "verify") == "true";
+    item.regions = std::stoull(json_field(line, "regions"));
+    item.region_halo = std::stoll(json_field(line, "region_halo"));
     item.search.max_period_cells =
         std::stoll(json_field(line, "max_period_cells"));
     item.search.node_limit = std::stoull(json_field(line, "node_limit"));

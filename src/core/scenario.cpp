@@ -53,29 +53,92 @@ Tiling antennas_tiling() {
        {Point{1, 5}, 1}});
 }
 
+/// Window side above which random_cells switches from
+/// materialize-and-shuffle (O(n²) intermediates) to rejection sampling
+/// (O(kept) memory).
+constexpr std::int64_t kSparseScatterSide = 2048;
+
 /// Seeded random subset of the n x n grid cells at the given density
 /// (at least one sensor), shared by the mobile and random-subset
-/// scenarios.
+/// scenarios.  Small windows shuffle the full cell list (the historical
+/// path — byte-identical instances for every pinned seed); windows past
+/// kSparseScatterSide rejection-sample cells instead, so a sparse
+/// scatter over a million-cell window never allocates the window.
 PointVec random_cells(std::int64_t n, std::uint64_t seed, double density) {
   if (density <= 0.0 || density > 1.0) {
     throw std::invalid_argument("scenario: density must be in (0, 1]");
   }
-  PointVec cells = Box::cube(2, 0, n - 1).points();
+  if (n <= kSparseScatterSide) {
+    PointVec cells = Box::cube(2, 0, n - 1).points();
+    Rng rng(seed);
+    rng.shuffle(cells);
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(cells.size()) * density);
+    cells.resize(std::max<std::size_t>(1, keep));
+    return cells;
+  }
+  // Rejection sampling stays O(kept) only while misses are rare; past
+  // half occupancy the expected probe count blows up, and the dense
+  // path would need the quadratic window anyway.
+  if (density > 0.5) {
+    throw std::invalid_argument(
+        "scenario: density > 0.5 needs the dense scatter path, which "
+        "materializes the whole window — use n <= " +
+        std::to_string(kSparseScatterSide));
+  }
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) *
+                                  static_cast<double>(n) * density));
   Rng rng(seed);
-  rng.shuffle(cells);
-  const auto keep = static_cast<std::size_t>(
-      static_cast<double>(cells.size()) * density);
-  cells.resize(std::max<std::size_t>(1, keep));
+  PointVec cells;
+  cells.reserve(keep);
+  PointSet taken;
+  while (cells.size() < keep) {
+    const Point c{
+        static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(n))),
+        static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(n)))};
+    if (taken.insert(c).second) cells.push_back(c);
+  }
   return cells;
 }
+
+/// Row-major prefix of the smallest square window holding `sensors`
+/// cells — the O(sensors) generator behind grid-large (and the grid
+/// scenario's large-n delegation).
+ScenarioInstance grid_large_instance(const ScenarioParams& p) {
+  const std::int64_t sensors = std::max<std::int64_t>(1, p.n);
+  std::int64_t side = 1;
+  while (side * side < sensors) ++side;
+  PointVec cells;
+  cells.reserve(static_cast<std::size_t>(sensors));
+  for (std::int64_t i = 0; i < sensors; ++i) {
+    cells.push_back(Point{i / side, i % side});
+  }
+  std::ostringstream label;
+  label << "grid-large(sensors=" << sensors << " side=" << side
+        << " r=" << p.radius << ")";
+  return ScenarioInstance{
+      "grid-large", label.str(),
+      Deployment::uniform(std::move(cells),
+                          shapes::chebyshev_ball(2, p.radius)),
+      std::nullopt, 1};
+}
+
+/// Grid sizes at or past this --n are sensor COUNTS (grid-large
+/// semantics): a million-sensor request means 10^6 sensors, not a
+/// 10^6-sided window with 10^12 cells.
+constexpr std::int64_t kGridLargeThreshold = 100000;
 
 ScenarioSpec make_grid_spec() {
   return ScenarioSpec{
       "grid",
       "n x n field of Chebyshev-ball sensors (the paper's motivating grid)",
-      {{"n", "12", "grid side length"},
+      {{"n", "12", "grid side length (>= 100000: sensor count, see "
+        "grid-large)"},
        {"radius", "1", "Chebyshev interference radius"}},
       [](const ScenarioParams& p, TilingCache*) {
+        if (p.n >= kGridLargeThreshold) return grid_large_instance(p);
         std::ostringstream label;
         label << "grid(n=" << p.n << " r=" << p.radius << ")";
         return ScenarioInstance{
@@ -83,6 +146,19 @@ ScenarioSpec make_grid_spec() {
             Deployment::grid(Box::cube(2, 0, p.n - 1),
                              shapes::chebyshev_ball(2, p.radius)),
             std::nullopt, 1};
+      }};
+}
+
+ScenarioSpec make_grid_large_spec() {
+  return ScenarioSpec{
+      "grid-large",
+      "row-major prefix of the smallest square window holding n "
+      "sensors — the O(n) generator for million-sensor region-sharded "
+      "runs",
+      {{"n", "100000", "sensor count"},
+       {"radius", "1", "Chebyshev interference radius"}},
+      [](const ScenarioParams& p, TilingCache*) {
+        return grid_large_instance(p);
       }};
 }
 
@@ -508,6 +584,7 @@ ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry* registry = [] {
     auto* r = new ScenarioRegistry();
     r->register_scenario(make_grid_spec());
+    r->register_scenario(make_grid_large_spec());
     r->register_scenario(make_hex_spec());
     r->register_scenario(make_cube3d_spec());
     r->register_scenario(make_mobile_spec());

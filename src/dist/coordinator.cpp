@@ -29,6 +29,15 @@ using Clock = std::chrono::steady_clock;
 /// step replans).  Only the RATIO between items matters (LPT bin
 /// packing), so a crude geometric proxy beats no estimate without
 /// needing to build the scenario.
+/// Saturating multiply: million-sensor items would overflow the naive
+/// n²·ball²·steps product and wrap to a TINY weight, inverting the LPT
+/// packing exactly on the items that need balancing most.
+std::uint64_t mul_sat(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) return UINT64_MAX;
+  return r;
+}
+
 std::uint64_t item_weight(const BatchItem& item) {
   const std::uint64_t n =
       static_cast<std::uint64_t>(std::max<std::int64_t>(1, item.query.params.n));
@@ -36,7 +45,9 @@ std::uint64_t item_weight(const BatchItem& item) {
       2 * std::max<std::int64_t>(0, item.query.params.radius) + 1);
   const std::uint64_t steps = static_cast<std::uint64_t>(
       1 + std::max<std::int64_t>(0, item.query.params.steps));
-  return std::max<std::uint64_t>(1, n * n * ball * ball * steps);
+  const std::uint64_t w =
+      mul_sat(mul_sat(mul_sat(n, n), mul_sat(ball, ball)), steps);
+  return std::max<std::uint64_t>(1, w);
 }
 
 /// SplitMix64 — the deterministic jitter source for respawn backoff.
@@ -405,6 +416,9 @@ BatchReport ShardCoordinator::run(const std::vector<BatchItem>& items) {
     if (!sub_report.search_kernel.empty()) {
       merged.search_kernel = sub_report.search_kernel;
     }
+    merged.regions = std::max(merged.regions, sub_report.regions);
+    merged.seam_sensors += sub_report.seam_sensors;
+    merged.stitch_recolored += sub_report.stitch_recolored;
     for (std::size_t k = 0; k < leftover.size(); ++k) {
       merged.items[leftover[k]] = sub_report.items[k];
     }
@@ -545,6 +559,9 @@ BatchReport ShardCoordinator::run(const std::vector<BatchItem>& items) {
         if (!report.search_kernel.empty()) {
           merged.search_kernel = report.search_kernel;
         }
+        merged.regions = std::max(merged.regions, report.regions);
+        merged.seam_sensors += report.seam_sensors;
+        merged.stitch_recolored += report.stitch_recolored;
         worker_stats_[w].cache_hits += report.cache_hits;
         worker_stats_[w].cache_misses += report.cache_misses;
         worker_stats_[w].search_subtree_tasks += report.search_subtree_tasks;

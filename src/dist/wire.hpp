@@ -32,7 +32,11 @@ namespace latticesched::dist {
 /// v4: batch reports gained the "search" footer line (work-stealing
 /// subtree_tasks/steals counters and the dispatched mask kernel) — a v3
 /// coordinator would drop a v4 worker's search counters silently.
-inline constexpr int kProtocolVersion = 4;
+/// v5: batch items gained "regions"/"region_halo" (spatial region
+/// sharding knobs) and batch reports the "regions" footer line
+/// (partition / seam / stitch counters) — a v4 worker would throw on a
+/// v5 ASSIGN body's unknown keys.
+inline constexpr int kProtocolVersion = 5;
 
 /// Frames larger than this are a protocol error, not an allocation —
 /// guards the reader against garbage length prefixes.

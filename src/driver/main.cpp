@@ -55,6 +55,7 @@
 #include "dist/worker.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace latticesched {
@@ -162,6 +163,12 @@ int run(int argc, char** argv) {
                "sweeps");
   cli.add_flag("backends", "all",
                "comma-separated backend names, or 'all'");
+  cli.add_int_flag("regions", 1, 1,
+                   "spatial shard count for the region-greedy backend "
+                   "(1 = unsharded)");
+  cli.add_int_flag("region-halo", -1, -1,
+                   "region halo override in lattice cells (-1 = the "
+                   "deployment's interference reach)");
   cli.add_flag("list-backends", "false",
                "print the registered planner backends and exit");
   cli.add_int_flag("steps", 0, 0,
@@ -347,6 +354,8 @@ int run(int argc, char** argv) {
             item.query.params.steps = cli.get_int("steps");
             item.trace_script = trace_script;
             item.backends = backends;
+            item.regions = static_cast<std::size_t>(cli.get_int("regions"));
+            item.region_halo = cli.get_int("region-halo");
             item.sa.max_iters =
                 static_cast<std::uint64_t>(cli.get_int("sa-iters"));
             item.verify = !cli.get_bool("no-verify");
@@ -487,6 +496,18 @@ int run(int argc, char** argv) {
             static_cast<unsigned long long>(s.search_steals),
             s.search_kernel.c_str());
       }
+    }
+    if (report.regions > 0) {
+      std::fprintf(out,
+                   "region-stats: %llu region(s), %llu seam sensor(s), "
+                   "%llu stitch recolor(s)\n",
+                   static_cast<unsigned long long>(report.regions),
+                   static_cast<unsigned long long>(report.seam_sensors),
+                   static_cast<unsigned long long>(report.stitch_recolored));
+    }
+    if (const std::uint64_t rss = peak_rss_bytes(); rss > 0) {
+      std::fprintf(out, "peak-rss: %.1f MiB\n",
+                   static_cast<double>(rss) / (1024.0 * 1024.0));
     }
   };
 

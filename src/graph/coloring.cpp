@@ -101,6 +101,59 @@ Coloring incremental_greedy_coloring(
   return previous;
 }
 
+Coloring incremental_greedy_coloring(std::size_t n,
+                                     const NeighborProvider& neighbors,
+                                     Coloring previous,
+                                     const std::vector<std::uint32_t>& dirty) {
+  if (previous.size() != n) {
+    throw std::invalid_argument(
+        "incremental_greedy_coloring: coloring/vertex-count mismatch");
+  }
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<std::uint32_t>> queue;
+  std::vector<char> queued(n, 0);
+  const auto push = [&](std::uint32_t u) {
+    if (!queued[u]) {
+      queued[u] = 1;
+      queue.push(u);
+    }
+  };
+  for (std::uint32_t u : dirty) {
+    if (u >= n) {
+      throw std::invalid_argument(
+          "incremental_greedy_coloring: dirty vertex out of range");
+    }
+    push(u);
+  }
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (previous[u] == kUncolored) push(u);
+  }
+
+  std::vector<bool> used;
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.top();
+    queue.pop();
+    queued[u] = 0;
+    const std::vector<std::uint32_t>& row = neighbors(u);
+    used.assign(row.size() + 2, false);
+    for (std::uint32_t v : row) {
+      if (v < u && previous[v] != kUncolored &&
+          previous[v] < used.size()) {
+        used[previous[v]] = true;
+      }
+    }
+    std::uint32_t c = 0;
+    while (used[c]) ++c;
+    if (c != previous[u]) {
+      previous[u] = c;
+      for (std::uint32_t v : row) {
+        if (v > u) push(v);
+      }
+    }
+  }
+  return previous;
+}
+
 Coloring welsh_powell_coloring(const Graph& g) {
   std::vector<std::uint32_t> order(g.size());
   std::iota(order.begin(), order.end(), 0);

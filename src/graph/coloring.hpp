@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -46,6 +47,23 @@ inline constexpr std::uint32_t kUncolored =
 /// propagating color changes upward reproduces greedy_coloring(g)
 /// exactly while only touching the changed region.
 Coloring incremental_greedy_coloring(const Graph& g, Coloring previous,
+                                     const std::vector<std::uint32_t>& dirty);
+
+/// Callback that yields the sorted neighbor row of a vertex.  The
+/// reference must stay valid until the next invocation (callers memoize
+/// rows, so repeated requests for the same vertex are cheap).
+using NeighborProvider =
+    std::function<const std::vector<std::uint32_t>&(std::uint32_t)>;
+
+/// Same fixpoint repair as the Graph overload, but with neighbor rows
+/// supplied lazily by `neighbors` instead of a materialized adjacency —
+/// the region-sharded planner stitches seam sensors of million-vertex
+/// conflict graphs without ever holding the full edge set.  Rows are
+/// only requested for dirty vertices and vertices reached by color
+/// propagation.
+Coloring incremental_greedy_coloring(std::size_t n,
+                                     const NeighborProvider& neighbors,
+                                     Coloring previous,
                                      const std::vector<std::uint32_t>& dirty);
 
 /// Welsh–Powell: first-fit in order of decreasing degree.

@@ -262,14 +262,8 @@ std::vector<std::vector<std::uint32_t>> build_affects_digraph(
   return affects;
 }
 
-namespace {
-
-/// Candidate neighbor offsets of a sensor of type `t`: every a - b with
-/// a in N_t and b in any prototile of the deployment.  A sensor v
-/// conflicts u iff pos(v) - pos(u) is one of these (for v's type), so
-/// probing sensor_at over the union finds every conflict partner of a
-/// dirty sensor without touching the rest of the deployment.
-PointVec candidate_offsets(const Deployment& d, std::uint32_t type) {
+PointVec conflict_candidate_offsets(const Deployment& d,
+                                    std::uint32_t type) {
   PointSet seen;
   const Prototile& nu = d.prototiles()[type];
   for (const Prototile& nv : d.prototiles()) {
@@ -282,7 +276,59 @@ PointVec candidate_offsets(const Deployment& d, std::uint32_t type) {
   return PointVec(seen.begin(), seen.end());
 }
 
-}  // namespace
+std::int64_t interference_reach(const Deployment& d) {
+  std::int64_t reach = 0;
+  for (std::uint32_t t = 0; t < d.prototiles().size(); ++t) {
+    for (const Point& off : conflict_candidate_offsets(d, t)) {
+      reach = std::max(reach, off.norm_inf());
+    }
+  }
+  return reach;
+}
+
+CsrU32 build_conflict_block(const Deployment& d,
+                            const std::vector<std::uint32_t>& sensors) {
+  std::vector<PointVec> offsets_by_type(d.prototiles().size());
+  const auto offsets_for = [&](std::uint32_t type) -> const PointVec& {
+    PointVec& offsets = offsets_by_type[type];
+    if (offsets.empty()) offsets = conflict_candidate_offsets(d, type);
+    return offsets;
+  };
+  // Single-prototile fast path: a candidate offset a - b hitting a
+  // sensor v means the cell pos_u + a = pos_v + b is covered by both
+  // neighborhoods, so every probe hit IS a conflict — the pairwise
+  // confirmation only matters when v's prototile may differ from the
+  // one b was drawn from.
+  const bool uniform_tiles = d.prototiles().size() == 1;
+  CsrU32 block;
+  block.offsets.reserve(sensors.size() + 1);
+  block.offsets.push_back(0);
+  std::vector<std::uint32_t> row;
+  for (std::uint32_t u : sensors) {
+    if (u >= d.size()) {
+      throw std::invalid_argument(
+          "build_conflict_block: sensor index out of range");
+    }
+    row.clear();
+    const Point& pos = d.position(u);
+    for (const Point& off : offsets_for(d.type_of(u))) {
+      const auto v = d.sensor_at(pos + off);
+      if (v.has_value() && *v != u &&
+          (uniform_tiles || sensors_conflict(d, u, *v))) {
+        row.push_back(static_cast<std::uint32_t>(*v));
+      }
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    block.values.insert(block.values.end(), row.begin(), row.end());
+    if (block.values.size() > 0xFFFFFFFFull) {
+      throw std::length_error(
+          "build_conflict_block: more than 2^32-1 entries in one block");
+    }
+    block.offsets.push_back(static_cast<std::uint32_t>(block.values.size()));
+  }
+  return block;
+}
 
 Graph patch_conflict_graph(const Graph& old_graph, const Deployment& new_d,
                            const std::vector<std::uint32_t>& old_to_new,
@@ -328,7 +374,7 @@ Graph patch_conflict_graph(const Graph& old_graph, const Deployment& new_d,
   for (std::uint32_t u : dirty) {
     const std::uint32_t type = new_d.type_of(u);
     PointVec& offsets = offsets_by_type[type];
-    if (offsets.empty()) offsets = candidate_offsets(new_d, type);
+    if (offsets.empty()) offsets = conflict_candidate_offsets(new_d, type);
     const Point& pos = new_d.position(u);
     std::vector<std::uint32_t>& row = adj[u];
     for (const Point& off : offsets) {

@@ -110,6 +110,27 @@ std::vector<std::vector<std::uint32_t>> build_affects_digraph(
 /// (allocation-free sorted-order merge; used to cross-check the builders).
 bool sensors_conflict(const Deployment& d, std::size_t i, std::size_t j);
 
+/// Candidate neighbor offsets of a sensor of type `type`: every a - b
+/// with a in N_type and b in any prototile of the deployment.  A sensor
+/// v conflicts u iff pos(v) - pos(u) lies in this set (for v's type), so
+/// probing sensor_at over it enumerates every conflict partner of u
+/// without touching the rest of the deployment.
+PointVec conflict_candidate_offsets(const Deployment& d, std::uint32_t type);
+
+/// Chebyshev interference reach of the deployment: the largest l-inf
+/// norm over every type's candidate offsets.  Sensors further apart than
+/// this can never conflict — the halo width of the region sharder.
+std::int64_t interference_reach(const Deployment& d);
+
+/// Streaming per-region conflict rows: a CSR block with one row per
+/// listed sensor (in the given order) holding its full sorted conflict
+/// row as GLOBAL sensor ids.  Built by localized sensor_at probes over
+/// the candidate-offset sets — cost and memory scale with the block, so
+/// million-sensor deployments are planned region by region without ever
+/// materializing the all-pairs adjacency of build_conflict_graph.
+CsrU32 build_conflict_block(const Deployment& d,
+                            const std::vector<std::uint32_t>& sensors);
+
 /// Marks a removed sensor in `old_to_new` index maps.
 inline constexpr std::uint32_t kRemovedSensor = 0xffffffffu;
 

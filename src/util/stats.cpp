@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -151,6 +153,25 @@ double jain_fairness(const std::vector<double>& xs) {
   }
   if (sum_sq == 0.0) return 1.0;
   return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", reinterpret_cast<unsigned long long*>(&kb));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace latticesched

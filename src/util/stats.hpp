@@ -1,9 +1,11 @@
 // Summary statistics used by the benchmark harness and the simulator
 // metrics: online mean/variance (Welford), min/max, and percentile
-// extraction from retained samples.
+// extraction from retained samples — plus the peak-RSS probe the scale
+// benches and the driver's --cache-stats footer report memory with.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -78,5 +80,11 @@ class Histogram {
 /// Jain's fairness index of a vector of allocations: (Σx)² / (n·Σx²).
 /// Returns 1.0 for perfectly equal shares, 1/n for a single hog.
 double jain_fairness(const std::vector<double>& xs);
+
+/// Peak resident set size of THIS process in bytes (VmHWM from
+/// /proc/self/status) — the memory ceiling a run actually hit, which is
+/// what the million-sensor scale benches pin.  Returns 0 on platforms
+/// without procfs.
+std::uint64_t peak_rss_bytes();
 
 }  // namespace latticesched
