@@ -220,10 +220,16 @@ std::string plan_results_to_csv(const std::vector<PlanResult>& results,
 
 std::string plan_results_to_json(const std::vector<PlanResult>& results,
                                  const std::string& scenario) {
+  return plan_results_to_json(results, scenario, 0);
+}
+
+std::string plan_results_to_json(const std::vector<PlanResult>& results,
+                                 const std::string& scenario,
+                                 std::uint64_t step) {
   std::ostringstream os;
   os << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    emit_json_object(os, to_row(results[i], scenario), "  ");
+    emit_json_object(os, to_row(results[i], scenario, step), "  ");
     os << (i + 1 < results.size() ? "," : "") << '\n';
   }
   os << "]\n";

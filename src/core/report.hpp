@@ -23,6 +23,14 @@ std::string plan_results_to_csv(const std::vector<PlanResult>& results,
 std::string plan_results_to_json(const std::vector<PlanResult>& results,
                                  const std::string& scenario = "");
 
+/// JSON rows tagged with a session step — the REPLAN/EVENT result body
+/// of the serve protocol (src/serve); parse_plan_results_json reads it
+/// back, so a remote client reassembles the exact rows a local
+/// PlanSession run would emit.
+std::string plan_results_to_json(const std::vector<PlanResult>& results,
+                                 const std::string& scenario,
+                                 std::uint64_t step);
+
 /// The serialized surface of a PlanResult — what a report row carries
 /// (slot tables themselves ship via core/serialization.hpp).
 struct PlanResultRow {

@@ -62,6 +62,32 @@ FaultAction parse_action(const std::string& text) {
   FaultAction action;
   std::size_t next = 1;
   const bool cache_target = fields[0] == "cache";
+  if (fields[0] == "serve") {
+    const std::string& kind = fields[1];
+    if (kind == "drop-connection") {
+      action.kind = FaultKind::kDropConnection;
+    } else if (kind.rfind("delay-accept-ms=", 0) == 0) {
+      action.kind = FaultKind::kDelayAcceptMs;
+      action.ms = parse_u64(kind.substr(16), "delay-accept-ms");
+    } else {
+      throw std::invalid_argument("fault-plan: serve target only supports "
+                                  "drop-connection / delay-accept-ms, got '" +
+                                  kind + "'");
+    }
+    for (next = 2; next < fields.size(); ++next) {
+      const std::string& param = fields[next];
+      if (param.rfind("after-frames=", 0) == 0) {
+        action.after_frames = parse_u64(param.substr(13), "after-frames");
+      } else if (param.rfind("gens=", 0) == 0) {
+        const std::string v = param.substr(5);
+        action.gens = v == "all" ? 0 : parse_u64(v, "gens");
+      } else {
+        throw std::invalid_argument("fault-plan: unknown param '" + param +
+                                    "'");
+      }
+    }
+    return action;
+  }
   if (cache_target) {
     action.kind = FaultKind::kCorruptCacheWrite;
     if (fields[1] != "corrupt-write") {
@@ -119,9 +145,25 @@ FaultAction parse_action(const std::string& text) {
 
 }  // namespace
 
+namespace {
+
+bool is_serve_kind(FaultKind kind) {
+  return kind == FaultKind::kDropConnection ||
+         kind == FaultKind::kDelayAcceptMs;
+}
+
+}  // namespace
+
 bool FaultPlan::has_cache_faults() const {
   for (const FaultAction& action : actions) {
     if (action.kind == FaultKind::kCorruptCacheWrite) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::has_serve_faults() const {
+  for (const FaultAction& action : actions) {
+    if (is_serve_kind(action.kind)) return true;
   }
   return false;
 }
@@ -146,6 +188,14 @@ std::string FaultPlan::to_spec() const {
     if (action.kind == FaultKind::kCorruptCacheWrite) {
       os << "cache:corrupt-write:nth=" << action.nth;
       if (action.worker >= 0) os << ":worker=" << action.worker;
+    } else if (is_serve_kind(action.kind)) {
+      os << "serve:";
+      if (action.kind == FaultKind::kDropConnection) {
+        os << "drop-connection";
+      } else {
+        os << "delay-accept-ms=" << action.ms;
+      }
+      os << ":after-frames=" << action.after_frames;
     } else {
       os << "worker=";
       if (action.worker < 0) {
@@ -170,6 +220,8 @@ std::string FaultPlan::to_spec() const {
           os << ":delay-io-ms=" << action.ms;
           break;
         case FaultKind::kCorruptCacheWrite:
+        case FaultKind::kDropConnection:
+        case FaultKind::kDelayAcceptMs:
           break;  // handled above
       }
       os << ":after-frames=" << action.after_frames;
@@ -191,6 +243,7 @@ FaultPlan FaultPlan::for_worker(std::size_t slot,
   FaultPlan sub;
   sub.seed = seed;
   for (const FaultAction& action : actions) {
+    if (is_serve_kind(action.kind)) continue;  // server-side only
     if (action.worker >= 0 &&
         static_cast<std::size_t>(action.worker) != slot) {
       continue;
@@ -200,6 +253,19 @@ FaultPlan FaultPlan::for_worker(std::size_t slot,
     // The worker applies everything it receives; the slot/generation
     // scoping was just resolved, so ship the action unscoped.
     forwarded.worker = -1;
+    forwarded.gens = 0;
+    sub.actions.push_back(forwarded);
+  }
+  return sub;
+}
+
+FaultPlan FaultPlan::for_connection(std::uint64_t connection) const {
+  FaultPlan sub;
+  sub.seed = seed;
+  for (const FaultAction& action : actions) {
+    if (!is_serve_kind(action.kind)) continue;
+    if (action.gens != 0 && connection >= action.gens) continue;
+    FaultAction forwarded = action;
     forwarded.gens = 0;
     sub.actions.push_back(forwarded);
   }
@@ -234,7 +300,9 @@ WireFaultInjector::Decision WireFaultInjector::on_frame() {
         if (frame == action.after_frames) decision = Decision::kTruncate;
         break;
       case FaultKind::kCorruptCacheWrite:
-        break;  // handled by the cache hook, not the wire
+      case FaultKind::kDropConnection:
+      case FaultKind::kDelayAcceptMs:
+        break;  // handled by the cache hook / PlanServer, not the wire
     }
   }
   return decision;

@@ -16,9 +16,10 @@
 //
 //   spec    := [ "seed=" N ";" ] action ( ";" action )*
 //   action  := target ":" kind ( ":" param )*
-//   target  := "worker=" ( INDEX | "*" ) | "cache"
+//   target  := "worker=" ( INDEX | "*" ) | "cache" | "serve"
 //   kind    := "crash" | "hang-ms=" N | "drop-frame" | "truncate-frame"
 //            | "delay-io-ms=" N | "corrupt-write"
+//            | "drop-connection" | "delay-accept-ms=" N   (serve only)
 //   param   := "after-frames=" N | "gens=" ( N | "all" ) | "nth=" N
 //            | "worker=" ( INDEX | "*" )          (cache actions only)
 //
@@ -32,11 +33,24 @@
 // respawn.  `nth=K` picks which cache-entry write a `corrupt-write`
 // flips a byte of (1-based, default 1).
 //
+// The `serve` target scripts TCP-side failures for the planning server
+// (src/serve): `drop-connection` hard-closes a client connection right
+// before its (after-frames+1)-th outbound frame — the session itself
+// survives server-side and the client reconnects and resumes — and
+// `delay-accept-ms=N` sleeps N ms before the server services a freshly
+// accepted connection (a slow-accept backlog).  For serve actions,
+// `gens=K` scopes the fault to the first K accepted connections
+// (`gens=all` keeps faulting every connection); `after-frames` is
+// per-connection.  FaultPlan::for_worker never forwards serve actions —
+// they are consumed by the PlanServer, not by workers.
+//
 // Examples:
 //   worker=1:crash:after-frames=1        crash before the first RESULT
 //   worker=0:hang-ms=60000:after-frames=1  wedge (PONGs blocked too)
 //   worker=*:crash:after-frames=0:gens=all  every spawn dies pre-HELLO
 //   cache:corrupt-write:nth=1            flip a byte of the 1st entry
+//   serve:drop-connection:after-frames=2:gens=3  cut the first 3 conns
+//   serve:delay-accept-ms=250:gens=1     stall servicing the 1st accept
 #pragma once
 
 #include <cstdint>
@@ -53,6 +67,8 @@ enum class FaultKind {
   kTruncateFrame,  ///< write a partial frame, then wedge
   kDelayIoMs,      ///< sleep `ms` before this and every later frame
   kCorruptCacheWrite,  ///< flip one byte of the nth persisted entry
+  kDropConnection,     ///< serve: hard-close the client connection
+  kDelayAcceptMs,      ///< serve: sleep `ms` before servicing an accept
 };
 
 struct FaultAction {
@@ -75,6 +91,8 @@ struct FaultPlan {
 
   bool empty() const { return actions.empty(); }
   bool has_cache_faults() const;
+  /// Any serve-target action (kDropConnection / kDelayAcceptMs)?
+  bool has_serve_faults() const;
 
   /// Parses the spec grammar above; throws std::invalid_argument with
   /// the offending token on malformed input.  "" parses to an empty
@@ -89,8 +107,15 @@ struct FaultPlan {
   /// `generation` of worker slot `slot`: wire actions matching the slot
   /// and generation, plus matching cache actions.  Generation filtering
   /// happens HERE, coordinator-side — the worker applies everything it
-  /// is handed.
+  /// is handed.  Serve-target actions are never forwarded (the
+  /// PlanServer consumes them; a worker has no connections to drop).
   FaultPlan for_worker(std::size_t slot, std::uint64_t generation) const;
+
+  /// The serve-target sub-plan for accepted connection number
+  /// `connection` (0-based accept order): serve actions whose gens
+  /// window covers the connection, shipped unscoped (gens=0) like
+  /// for_worker does for slots.  Everything else is filtered out.
+  FaultPlan for_connection(std::uint64_t connection) const;
 };
 
 /// The worker's per-frame fault gate.  Consulted (under the channel's

@@ -21,11 +21,33 @@ ssize_t write_some(int fd, const char* data, std::size_t len) {
   return n;
 }
 
+/// Blocks (without deadline) until `fd` is ready for `events`; only
+/// reached from the EAGAIN path below, i.e. on O_NONBLOCK fds.
+bool wait_ready(int fd, short events) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+}
+
 bool write_full(int fd, const char* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = write_some(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // O_NONBLOCK socket with a full send buffer (the deadline forms
+      // set every serve/dist fd nonblocking, and the blocking forms
+      // share those fds): poll until writable, then resume the partial
+      // write — bailing here would tear the frame mid-stream.
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+          wait_ready(fd, POLLOUT)) {
+        continue;
+      }
       return false;
     }
     data += n;
@@ -39,6 +61,10 @@ bool read_full(int fd, char* data, std::size_t len) {
     const ssize_t n = ::read(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+          wait_ready(fd, POLLIN)) {
+        continue;
+      }
       return false;
     }
     if (n == 0) return false;  // EOF mid-frame (or before one)

@@ -1,18 +1,20 @@
 // Wire protocol of the distributed planning service.
 //
 // Coordinator and workers exchange length-prefixed frames over a
-// socketpair: a 4-byte little-endian payload length, then the payload —
-// a verb line ("HELLO", "ASSIGN", "RESULT", "ERROR", "SHUTDOWN",
-// "PING", "PONG") followed by a body whose content is the existing
-// report JSON (core/report.hpp): ASSIGN bodies are a shard id line plus
-// batch_items_to_json, RESULT bodies a shard id line plus
-// batch_report_to_json.  PING/PONG are empty-bodied liveness probes:
-// the coordinator PINGs a worker that missed a frame deadline, and a
-// worker that is busy planning but healthy answers PONG from its reader
-// thread — only a truly wedged process stays silent.  Text-over-frames
-// keeps the protocol debuggable (dump any frame and read it) while the
-// length prefix makes framing unambiguous regardless of payload
-// content.
+// socketpair or TCP connection: a 4-byte little-endian payload length,
+// then the payload — a verb line ("HELLO", "ASSIGN", "RESULT", "ERROR",
+// "SHUTDOWN", "PING", "PONG", and the v6 session verbs "OPEN", "DELTA",
+// "REPLAN", "SUBSCRIBE", "CLOSE", "EVENT", "OK") followed by a body
+// whose content is the existing report JSON (core/report.hpp): ASSIGN
+// bodies are a shard id line plus batch_items_to_json, RESULT bodies a
+// shard id line plus batch_report_to_json.  PING/PONG are empty-bodied
+// liveness probes: the coordinator PINGs a worker that missed a frame
+// deadline, and a worker that is busy planning but healthy answers PONG
+// from its reader thread — only a truly wedged process stays silent.
+// The session verbs carry a session-id first line (see
+// src/serve/server.hpp for the frame schemas).  Text-over-frames keeps
+// the protocol debuggable (dump any frame and read it) while the length
+// prefix makes framing unambiguous regardless of payload content.
 #pragma once
 
 #include <cstdint>
@@ -36,23 +38,36 @@ namespace latticesched::dist {
 /// sharding knobs) and batch reports the "regions" footer line
 /// (partition / seam / stitch counters) — a v4 worker would throw on a
 /// v5 ASSIGN body's unknown keys.
-inline constexpr int kProtocolVersion = 5;
+/// v6: session verbs (OPEN/DELTA/REPLAN/SUBSCRIBE/CLOSE and the
+/// server-pushed EVENT/OK replies) for the TCP planning server
+/// (src/serve); the server's HELLO also carries a "role" field.  A v5
+/// peer would treat every session verb as an unexpected frame, so both
+/// sides refuse a mismatched HELLO up front.
+inline constexpr int kProtocolVersion = 6;
 
 /// Frames larger than this are a protocol error, not an allocation —
 /// guards the reader against garbage length prefixes.
 inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
 
 struct WireMessage {
-  std::string verb;  ///< HELLO | ASSIGN | RESULT | ERROR | SHUTDOWN | PING | PONG
+  /// HELLO | ASSIGN | RESULT | ERROR | SHUTDOWN | PING | PONG, plus the
+  /// v6 session verbs OPEN | DELTA | REPLAN | SUBSCRIBE | CLOSE | EVENT
+  /// | OK (src/serve).
+  std::string verb;
   std::string body;  ///< verb-specific payload (may be empty)
 };
 
 /// Writes one frame; returns false on any write error (notably EPIPE
-/// from a dead peer — writes never raise SIGPIPE).
+/// from a dead peer — writes never raise SIGPIPE).  Works on blocking
+/// AND O_NONBLOCK fds: a nonblocking socket whose buffer fills polls
+/// for writability and continues, so a partial send never corrupts the
+/// frame stream.
 bool write_frame(int fd, const WireMessage& message);
 
-/// Reads one full frame (blocking); returns false on EOF, a read error,
-/// or a malformed frame.  Restarts interrupted reads.
+/// Reads one full frame; returns false on EOF, a read error, or a
+/// malformed frame.  Restarts interrupted reads and polls through
+/// EAGAIN on O_NONBLOCK fds (no deadline — use read_frame_deadline for
+/// bounded waits).
 bool read_frame(int fd, WireMessage* out);
 
 /// Outcome of the deadline-bounded frame I/O below.  kClosed covers

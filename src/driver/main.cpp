@@ -36,13 +36,26 @@
 // BatchReport a serial run produces.  --cache-dir persists the tiling
 // cache on disk — shared by all workers and across invocations.
 // --worker is the internal worker-process entry point.
+//
+// --serve runs the TCP planning server (src/serve): long-lived sessions
+// over wire-protocol v6, many clients multiplexed over one shared pool
+// and TilingCache, stopped gracefully by SIGTERM/SIGINT.  --listen is
+// the same listener worn as a remote worker (its ASSIGN verb serves
+// coordinator-style batches).  --connect host:port points this driver
+// at such a server: every scenario/backend/steps flag works unchanged,
+// the batch runs through server sessions, and --cache-stats reports the
+// per-session counters the server sent back.
+#include <csignal>
 #include <cstdio>
+#include <cerrno>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/plan_service.hpp"
 #include "core/plan_session.hpp"
@@ -53,6 +66,8 @@
 #include "dist/faults.hpp"
 #include "dist/process.hpp"
 #include "dist/worker.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -146,6 +161,68 @@ void print_item_table(const BatchItemReport& item) {
   std::printf("\n");
 }
 
+// Self-pipe for SIGTERM/SIGINT: the handler writes one byte, the serve
+// loop blocks on the read end — async-signal-safe graceful shutdown.
+int g_stop_pipe[2] = {-1, -1};
+
+void stop_signal_handler(int) {
+  const char byte = 'x';
+  (void)!::write(g_stop_pipe[1], &byte, 1);
+}
+
+/// `latticesched --serve` / `--listen`: run a PlanServer until a stop
+/// signal, then shut down gracefully and report what was served.
+int run_serve(const CliParser& cli) {
+  serve::ServerConfig config;
+  config.host = cli.get_string("host");
+  config.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  config.cache_dir = cli.get_string("cache-dir");
+  config.fault_spec = cli.get_string("fault-plan");
+  serve::PlanServer server(config);
+
+  if (::pipe(g_stop_pipe) != 0) {
+    std::perror("pipe");
+    return 2;
+  }
+  struct sigaction action {};
+  action.sa_handler = stop_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  server.start();
+  std::printf("serve: listening on %s:%u (wire protocol v%d)\n",
+              config.host.c_str(), server.port(), dist::kProtocolVersion);
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (::read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.stop();
+
+  const serve::PlanServer::Stats stats = server.stats();
+  std::printf(
+      "serve: shutdown: %llu connection(s) accepted (%llu dropped by "
+      "faults), %llu session(s) opened, %llu closed, %zu still open, "
+      "%llu event(s) pushed, %llu assign batch(es)\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.connections_dropped),
+      static_cast<unsigned long long>(stats.sessions_opened),
+      static_cast<unsigned long long>(stats.sessions_closed),
+      stats.open_sessions,
+      static_cast<unsigned long long>(stats.events_pushed),
+      static_cast<unsigned long long>(stats.assigns_served));
+  if (const std::int64_t cap_mb = cli.get_int("cache-max-mb");
+      cap_mb > 0 && !config.cache_dir.empty()) {
+    const TilingCache::SweepStats swept = TilingCache::sweep_persist_dir(
+        config.cache_dir, static_cast<std::uint64_t>(cap_mb) << 20);
+    std::printf("serve: cache-gc: %zu file(s) scanned, %zu removed\n",
+                swept.scanned, swept.removed);
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   CliParser cli(
       "Run deployment scenarios through the batch planning service and "
@@ -216,6 +293,23 @@ int run(int argc, char** argv) {
   cli.add_flag("fault-plan", "",
                "internal: deterministic fault-injection spec (see "
                "docs/API.md) forwarded to workers for chaos testing");
+  cli.add_flag("serve", "false",
+               "run the TCP planning server on --host/--port (session "
+               "verbs and worker ASSIGN; SIGTERM/SIGINT stop it "
+               "gracefully)");
+  cli.add_flag("listen", "false",
+               "alias of --serve for remote-worker mode: the same "
+               "listener serves ASSIGN batches a coordinator-style "
+               "client can drive");
+  cli.add_flag("host", "127.0.0.1",
+               "bind address for --serve (0.0.0.0 = any interface)");
+  cli.add_int_flag("port", 0, 0, 65535,
+                   "TCP port for --serve (0 = ephemeral; the bound port "
+                   "is printed on startup)");
+  cli.add_flag("connect", "",
+               "host:port of a running `latticesched --serve`; the "
+               "batch runs remotely through server sessions "
+               "(incompatible with --workers >= 2)");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -250,6 +344,19 @@ int run(int argc, char** argv) {
     options.fault_spec = cli.get_string("fault-plan");
     return dist::run_worker(static_cast<int>(cli.get_int("worker-fd")),
                             options);
+  }
+
+  if (cli.get_bool("serve") || cli.get_bool("listen")) {
+    if (!cli.get_string("connect").empty()) {
+      std::fprintf(stderr, "--serve and --connect are mutually exclusive\n");
+      return 2;
+    }
+    try {
+      return run_serve(cli);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "latticesched: serve: %s\n", e.what());
+      return 2;
+    }
   }
 
   // Scenario selection (a name, a comma list, or the whole registry),
@@ -371,11 +478,33 @@ int run(int argc, char** argv) {
 
   const std::int64_t workers = cli.get_int("workers");
   const std::string cache_dir = cli.get_string("cache-dir");
+  const std::string connect_spec = cli.get_string("connect");
+  if (!connect_spec.empty() && workers >= 2) {
+    std::fprintf(stderr,
+                 "--connect and --workers >= 2 are mutually exclusive "
+                 "(the server owns its own fan-out)\n");
+    return 2;
+  }
   PlanService service;
   std::optional<dist::ShardCoordinator> coordinator;
+  std::optional<serve::PlanClient> client;
   BatchReport report;
   try {
-    if (workers >= 2) {
+    if (!connect_spec.empty()) {
+      // Remote run: every item becomes a server session; the report
+      // comes back with the same structure a local run produces.
+      const serve::HostPort endpoint = serve::parse_host_port(connect_spec);
+      serve::ClientConfig config;
+      config.host = endpoint.host;
+      config.port = endpoint.port;
+      if (const std::int64_t ms = cli.get_int("worker-timeout-ms"); ms != 0) {
+        config.io_timeout_ms = static_cast<int>(ms);
+      } else {
+        config.io_timeout_ms = -1;  // 0 = wait forever, like the workers
+      }
+      client.emplace(config);
+      report = client->run_items(items);
+    } else if (workers >= 2) {
       dist::CoordinatorConfig config;
       config.workers = static_cast<std::size_t>(workers);
       config.strategy = dist::parse_shard_strategy(cli.get_string("shard"));
@@ -440,7 +569,36 @@ int run(int argc, char** argv) {
   // --cache-stats: per-worker counter breakdown when distributed, the
   // service cache (including disk warm-start hits) when in-process.
   const auto print_cache_stats = [&](std::FILE* out) {
-    if (coordinator.has_value()) {
+    if (client.has_value()) {
+      // Remote run: per-session counters the server attributed to each
+      // session over v6 frames, then the batch totals.
+      for (const auto& [label, s] : client->session_stats()) {
+        std::fprintf(
+            out,
+            "cache-stats: session %s: %llu hit(s), %llu miss(es), %llu "
+            "replan(s), %llu delta(s), %llu region(s) replanned\n",
+            label.c_str(), static_cast<unsigned long long>(s.cache_hits),
+            static_cast<unsigned long long>(s.cache_misses),
+            static_cast<unsigned long long>(s.replans),
+            static_cast<unsigned long long>(s.deltas),
+            static_cast<unsigned long long>(s.regions_replanned));
+      }
+      std::fprintf(out,
+                   "cache-stats: total: %llu hit(s), %llu miss(es) "
+                   "(server %s)\n",
+                   static_cast<unsigned long long>(report.cache_hits),
+                   static_cast<unsigned long long>(report.cache_misses),
+                   connect_spec.c_str());
+      if (!report.search_kernel.empty()) {
+        std::fprintf(
+            out,
+            "search-stats: %llu subtree task(s), %llu steal(s), "
+            "kernel=%s\n",
+            static_cast<unsigned long long>(report.search_subtree_tasks),
+            static_cast<unsigned long long>(report.search_steals),
+            report.search_kernel.c_str());
+      }
+    } else if (coordinator.has_value()) {
       for (std::size_t w = 0; w < coordinator->worker_stats().size(); ++w) {
         const dist::WorkerCacheStats& s = coordinator->worker_stats()[w];
         std::string notes;

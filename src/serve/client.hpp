@@ -1,0 +1,146 @@
+// Client side of the TCP planning server (see src/serve/server.hpp for
+// the frame schemas).
+//
+// PlanClient wraps one connection with request/response plumbing that
+// makes the session verbs safe to RETRY: any transport loss
+// (drop-connection fault, server restart of the accept loop, torn
+// write) reconnects and resends the same request, and the protocol's
+// idempotency hooks — the OPEN token, the DELTA seq — guarantee the
+// retry cannot double-open or double-apply.  EVENT frames may arrive
+// interleaved with a response (another client replanned a session this
+// one subscribed to); they are queued for next_event() rather than
+// confused with the reply.
+//
+// run_items() is the remote twin of PlanService::run: it drives every
+// item through a server session (OPEN, DELTA "next" per pending trace
+// step, REPLAN per step, CLOSE) and reassembles a BatchReport with the
+// same structure, labels, steps, and result rows a local run produces —
+// byte-identical through batch_report_to_json modulo wall-clock fields.
+// The driver's --connect path runs every existing scenario/backend/
+// steps flag through it unchanged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan_service.hpp"
+#include "core/report.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp.hpp"
+
+namespace latticesched::serve {
+
+/// A server-reported request failure (the ERROR verb): the request
+/// reached the server and was refused — unlike transport errors
+/// (std::runtime_error), retrying it is pointless.
+struct ServerError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int io_timeout_ms = 30000;    ///< per-frame send/receive deadline
+  int connect_timeout_ms = 5000;
+  /// Reconnect-and-resend attempts per request before giving up.
+  int max_reconnects = 3;
+};
+
+/// Parsed OPEN reply.
+struct OpenInfo {
+  std::uint64_t session = 0;
+  std::string scenario;
+  std::string label;
+  std::size_t sensors = 0;
+  std::uint32_t channels = 1;
+  std::size_t pending = 0;  ///< queued trace steps awaiting DELTA "next"
+};
+
+/// Parsed DELTA reply.
+struct DeltaInfo {
+  std::uint64_t session = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t step = 0;
+  std::size_t sensors = 0;
+  std::size_t pending = 0;
+};
+
+/// Parsed REPLAN result (and EVENT payload — same schema).
+struct ReplanOutcome {
+  std::uint64_t session = 0;
+  std::uint64_t step = 0;
+  std::size_t sensors = 0;
+  std::vector<PlanResultRow> rows;
+};
+
+class PlanClient {
+ public:
+  /// Connects and verifies the server HELLO (protocol version match).
+  /// Throws std::runtime_error on connect/timeout/version failures.
+  explicit PlanClient(ClientConfig config);
+  ~PlanClient();
+
+  PlanClient(const PlanClient&) = delete;
+  PlanClient& operator=(const PlanClient&) = delete;
+
+  /// Session verbs.  Each throws ServerError when the server answers
+  /// ERROR, and std::runtime_error when the transport is lost beyond
+  /// max_reconnects.
+  OpenInfo open(const BatchItem& item);
+  DeltaInfo delta_next(std::uint64_t session);
+  DeltaInfo delta_script(std::uint64_t session, const std::string& script);
+  ReplanOutcome replan(std::uint64_t session);
+  void subscribe(std::uint64_t session);
+  /// Closes the session and returns its server-side stats.  When the
+  /// response was lost to a reconnect and the retry finds the session
+  /// already gone, the close still counts as done and the stats come
+  /// back zeroed (the one retry case the wire cannot make exact).
+  SessionWireStats close_session(std::uint64_t session);
+
+  /// Next queued EVENT, or waits up to `timeout_ms` for one to arrive.
+  /// Returns false on timeout.  NOTE: subscriptions are per-connection;
+  /// a reconnect drops them (re-subscribe after any request that
+  /// reconnected — see reconnected_during_last_request()).
+  bool next_event(ReplanOutcome* out, int timeout_ms);
+
+  /// The remote PlanService::run (see file comment).  Item build
+  /// failures come back as built=false reports, like the local path.
+  BatchReport run_items(const std::vector<BatchItem>& items);
+
+  /// Per-session (label, stats) pairs of the most recent run_items call,
+  /// in item order — the driver's --cache-stats footer rows.
+  const std::vector<std::pair<std::string, SessionWireStats>>&
+  session_stats() const {
+    return session_stats_;
+  }
+
+  /// Raw request/response for protocol tests: sends `message`, queues
+  /// interleaved EVENTs, returns the reply (ERROR replies are returned,
+  /// not thrown).  Reconnects and resends on transport loss.
+  dist::WireMessage request(const dist::WireMessage& message);
+
+  /// True when the most recent request had to reconnect (its response
+  /// may have been served by an idempotent replay; subscriptions died).
+  bool reconnected_during_last_request() const { return reconnected_; }
+
+ private:
+  void connect();
+  dist::WireMessage request_checked(const std::string& verb,
+                                    const std::string& body);
+
+  ClientConfig config_;
+  std::unique_ptr<TcpChannel> channel_;
+  std::vector<std::pair<std::string, SessionWireStats>> session_stats_;
+  std::deque<ReplanOutcome> events_;
+  /// Next DELTA seq per session id (the idempotency counter).
+  std::map<std::uint64_t, std::uint64_t> next_seq_;
+  std::uint64_t next_open_token_ = 0;
+  std::string token_prefix_;  ///< unique-ish per client instance
+  bool reconnected_ = false;
+};
+
+}  // namespace latticesched::serve

@@ -1,0 +1,211 @@
+// The TCP planning server: long-lived PlanSessions as the wire currency.
+//
+// `latticesched --serve` runs a PlanServer — many concurrent client
+// connections multiplexed over the shared fork-join pool and ONE
+// persistent TilingCache, so every tenant's torus searches warm every
+// other tenant's.  Sessions are server-side state DECOUPLED from
+// connections: a dropped connection (network fault, client crash,
+// scripted serve:drop-connection) loses nothing — the client
+// reconnects and keeps driving the same session id.  Replans are
+// result-identical to a local PlanSession over the same deltas (the
+// session IS a PlanSession; pinned by tests/test_serve.cpp).
+//
+// Frame schemas (wire protocol v6; every body is text, frames are the
+// length-prefixed format of src/dist/wire.hpp).  On accept the server
+// sends HELLO `{"protocol": 6, "role": "server"}`; a client verifies
+// the version before its first request.  Client -> server verbs:
+//
+//   OPEN       "<token>\n" + batch_items_to_json (exactly one item).
+//              Builds the scenario, opens a PlanSession on it, queues
+//              the item's mutation trace (scenario-generated or
+//              trace_script override) as pending steps.  A non-empty
+//              token makes the OPEN idempotent: re-OPENing a token the
+//              server has seen replays the original OK (a client
+//              retrying after a dropped connection does not leak a
+//              second session).
+//              -> OK "<id>\n{"session": id, "scenario": s, "label": l,
+//                 "sensors": n, "channels": c, "pending": k}"
+//   DELTA      "<id> <seq>\n" + ("next" | mutation script text).
+//              "next" applies the next pending trace step; a script
+//              body (parse_mutation_script) applies its steps to the
+//              session, timestamps shifted past the session's current
+//              step.  `seq` starts at 0 per session and increments per
+//              applied DELTA; repeating the PREVIOUS seq replays the
+//              stored OK instead of double-applying (reconnect retry).
+//              -> OK "<id>\n{"session": id, "seq": q, "step": t,
+//                 "sensors": n, "pending": k}"
+//   REPLAN     "<id>".  Replans the session's current deployment.
+//              -> RESULT "<id>\n{"session": id, "step": t, "sensors":
+//                 n}\n" + plan_results_to_json(results, label, t) —
+//                 the same rows a local run serializes, and the same
+//                 body is pushed as an EVENT frame to every subscriber
+//                 of the session (the session-event stream).
+//   SUBSCRIBE  "<id>".  Registers this connection for the session's
+//              EVENT stream.  -> OK "<id>\n{"session": id,
+//              "subscribed": true}"
+//   CLOSE      "<id>".  Ends the session and returns its stats.
+//              -> OK "<id>\n" + session_stats_to_json
+//   ASSIGN     "<shard>\n" + batch_items_to_json (any item count) —
+//              the distributed worker verb, served through the same
+//              listener so `--listen` makes this process a remote
+//              worker a ShardCoordinator can drive over TCP.
+//              -> RESULT "<shard>\n" + batch_report_to_json
+//   PING       -> PONG (liveness; not counted by the fault injector)
+//   SHUTDOWN   closes this connection (sessions survive)
+//
+// Any other verb answers ERROR "<message>" and LEAVES THE CONNECTION
+// OPEN (a fat-fingered verb should not kill a session stream); a
+// malformed frame (bad length prefix, empty verb) closes the
+// connection, because a byte stream that lost framing has no resync
+// point.  Per-request failures (unknown scenario, bad delta, unknown
+// session id) answer ERROR with the exception text.
+//
+// Faults: the PR-6 fault plan grammar gains a `serve` target
+// (dist/faults.hpp) — `drop-connection` hard-closes a connection right
+// before a chosen outbound frame and `delay-accept-ms` stalls
+// servicing of fresh accepts; both are consumed here, scoped per
+// accepted connection, and never forwarded to workers.  Dropped
+// connections keep their sessions: zero sessions are lost server-side
+// (the acceptance bar of this subsystem).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/plan_service.hpp"
+#include "dist/faults.hpp"
+#include "serve/tcp.hpp"
+
+namespace latticesched::serve {
+
+/// Per-session accounting returned by CLOSE: the PlanSession's
+/// incremental-reuse counters plus this session's share of the shared
+/// TilingCache traffic.  Cache attribution is a before/after snapshot
+/// around each of the session's operations — exact for a lone client,
+/// approximate (attribution may smear between sessions, totals stay
+/// exact) when sessions plan concurrently.
+struct SessionWireStats {
+  std::uint64_t replans = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t graph_builds = 0;
+  std::uint64_t graph_patches = 0;
+  std::uint64_t warm_greedy = 0;
+  std::uint64_t regions = 0;
+  std::uint64_t regions_replanned = 0;
+  std::uint64_t seam_sensors = 0;
+  std::uint64_t stitch_recolored = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t search_subtree_tasks = 0;
+  std::uint64_t search_steals = 0;
+  std::string search_kernel;
+};
+
+/// One-line JSON form of the CLOSE body (and its parser; round-trip
+/// exact — the client feeds the parse into the --cache-stats footer).
+std::string session_stats_to_json(const SessionWireStats& stats);
+SessionWireStats session_stats_from_json(const std::string& json);
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";  ///< bind address ("0.0.0.0" = any)
+  std::uint16_t port = 0;          ///< 0 = ephemeral; see PlanServer::port
+  std::string cache_dir;           ///< persistent TilingCache directory
+  std::string fault_spec;          ///< dist::FaultPlan grammar (serve kinds)
+  /// Per-frame deadline on connection writes; reads poll in short
+  /// slices so stop() interrupts promptly.
+  int io_timeout_ms = 30000;
+};
+
+class PlanServer {
+ public:
+  /// Validates the fault spec and cache dir eagerly (throws
+  /// std::invalid_argument / std::runtime_error); the socket is not
+  /// bound until start().
+  explicit PlanServer(ServerConfig config);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Binds the listener and launches the accept loop.  Throws
+  /// std::runtime_error when the port cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); the ephemeral pick when
+  /// ServerConfig::port was 0).
+  std::uint16_t port() const;
+
+  /// Graceful shutdown: stops accepting, half-closes every live
+  /// connection, joins every handler thread.  Open sessions are
+  /// preserved until destruction and reported via stats() — a clean
+  /// client fleet closes its sessions first, so open_sessions == 0 at
+  /// a clean SIGTERM.  Idempotent.
+  void stop();
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_dropped = 0;  ///< by drop-connection faults
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_closed = 0;
+    std::uint64_t events_pushed = 0;   ///< EVENT frames sent to subscribers
+    std::uint64_t assigns_served = 0;  ///< worker-verb batches run
+    std::size_t open_sessions = 0;
+  };
+  Stats stats() const;
+
+  /// The shared batch service (one TilingCache for every session and
+  /// ASSIGN batch).
+  PlanService& service() { return service_; }
+
+ private:
+  struct Connection;
+  struct WireSession;
+
+  void accept_loop();
+  void handle_connection(std::shared_ptr<Connection> conn);
+  bool handle_message(Connection& conn, const dist::WireMessage& message);
+
+  void handle_open(Connection& conn, const std::string& body);
+  void handle_delta(Connection& conn, const std::string& body);
+  void handle_replan(Connection& conn, const std::string& body);
+  void handle_subscribe(Connection& conn, const std::string& body);
+  void handle_close(Connection& conn, const std::string& body);
+  void handle_assign(Connection& conn, const std::string& body);
+
+  std::shared_ptr<WireSession> find_session(const std::string& id_text,
+                                            std::uint64_t* id);
+  bool send(Connection& conn, const dist::WireMessage& message);
+
+  ServerConfig config_;
+  dist::FaultPlan fault_plan_;
+  PlanService service_;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::uint64_t, std::shared_ptr<WireSession>> sessions_;
+  std::map<std::string, std::uint64_t> open_tokens_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_dropped_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+  std::atomic<std::uint64_t> events_pushed_{0};
+  std::atomic<std::uint64_t> assigns_served_{0};
+};
+
+}  // namespace latticesched::serve

@@ -1,0 +1,101 @@
+// TCP transport of the planning server (src/serve).
+//
+// The wire layer (src/dist/wire.hpp) is transport-agnostic
+// length-prefixed frames; this file provides the AF_INET endpoints that
+// carry them across hosts: a listening socket that hands out connected
+// fds, a deadline-bounded frame channel over one such fd, and a
+// connector with a connect timeout.  Every fd produced here is
+// O_NONBLOCK (required by the deadline frame I/O) with TCP_NODELAY set
+// (session verbs are small request/response frames; Nagle would add a
+// full RTT of latency to each).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/wire.hpp"
+
+namespace latticesched::serve {
+
+/// A parsed "--connect host:port" endpoint.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (an empty host means 127.0.0.1, so ":9000"
+/// works).  Throws std::invalid_argument on a missing colon, a
+/// non-numeric port, or a port outside [1, 65535] — worded to slot into
+/// the driver's joined flag-error message.
+HostPort parse_host_port(const std::string& spec);
+
+/// Connects to host:port within `timeout_ms` (< 0 = no limit) and
+/// returns a nonblocking TCP_NODELAY fd.  Resolves numeric addresses
+/// and names (AF_INET only).  Throws std::runtime_error on resolution,
+/// connect, or timeout failures.
+int tcp_connect(const std::string& host, std::uint16_t port,
+                int timeout_ms);
+
+/// RAII AF_INET listening socket.  accept_connection is interruptible:
+/// shutdown() (from any thread) wakes a blocked accept so the server's
+/// accept loop can stop without a timeout race.
+class TcpListener {
+ public:
+  /// Binds host:port and listens (port 0 picks an ephemeral port —
+  /// read it back via port()).  Throws std::runtime_error when the
+  /// socket cannot be bound.
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (the ephemeral pick when constructed with 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` (< 0 = forever) for a connection and
+  /// returns its fd (nonblocking, TCP_NODELAY), or -1 on timeout,
+  /// accept error, or shutdown().
+  int accept_connection(int timeout_ms);
+
+  /// Wakes any blocked accept_connection; further calls return -1.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+};
+
+/// Frame channel over one connected fd (owned: the destructor closes
+/// it).  Thin deadline-bounded wrapper — callers that interleave writes
+/// from several threads serialize them themselves (the PlanServer's
+/// per-connection send lock).
+class TcpChannel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  ~TcpChannel();
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  int fd() const { return fd_; }
+
+  dist::WireIoStatus read(dist::WireMessage* out, int timeout_ms) {
+    return dist::read_frame_deadline(fd_, out, timeout_ms);
+  }
+  dist::WireIoStatus write(const dist::WireMessage& message,
+                           int timeout_ms) {
+    return dist::write_frame_deadline(fd_, message, timeout_ms);
+  }
+
+  /// Half-closes both directions: the peer (and any thread blocked in
+  /// read()) sees EOF immediately.  The fd stays open until
+  /// destruction, so concurrent readers never touch a recycled fd.
+  void shutdown();
+
+ private:
+  int fd_;
+};
+
+}  // namespace latticesched::serve

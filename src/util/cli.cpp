@@ -25,7 +25,8 @@ void CliParser::add_flag(const std::string& name,
   if (flags_.count(name) != 0) {
     throw std::invalid_argument("CliParser: duplicate flag --" + name);
   }
-  flags_[name] = Flag{default_value, default_value, help, std::nullopt};
+  flags_[name] = Flag{default_value, default_value, help, std::nullopt,
+                      std::nullopt};
 }
 
 void CliParser::add_int_flag(const std::string& name,
@@ -34,6 +35,15 @@ void CliParser::add_int_flag(const std::string& name,
                              const std::string& help) {
   add_flag(name, std::to_string(default_value), help);
   flags_[name].min_value = min_value;
+}
+
+void CliParser::add_int_flag(const std::string& name,
+                             std::int64_t default_value,
+                             std::int64_t min_value,
+                             std::int64_t max_value,
+                             const std::string& help) {
+  add_int_flag(name, default_value, min_value, help);
+  flags_[name].max_value = max_value;
 }
 
 void CliParser::parse(int argc, const char* const* argv) {
@@ -89,11 +99,20 @@ void CliParser::parse(int argc, const char* const* argv) {
   // their violations land in the SAME single error as the unknown flags.
   std::vector<std::string> problems;
   if (!unknown.empty()) {
+    // Typo hints ride inside the same single message: each unknown flag
+    // is followed by the nearest registered flag, when one is close
+    // enough to plausibly be what the user meant.
+    std::vector<std::string> registered;
+    registered.reserve(flags_.size());
+    for (const auto& [name, flag] : flags_) registered.push_back(name);
     std::string msg =
         unknown.size() == 1 ? "unknown flag " : "unknown flags: ";
     for (std::size_t i = 0; i < unknown.size(); ++i) {
       if (i > 0) msg += ", ";
       msg += unknown[i];
+      const std::string hint =
+          suggest_nearest(unknown[i].substr(2), registered);
+      if (!hint.empty()) msg += " (did you mean --" + hint + "?)";
     }
     problems.push_back(std::move(msg));
   }
@@ -114,6 +133,10 @@ void CliParser::parse(int argc, const char* const* argv) {
     } else if (parsed < *flag.min_value) {
       problems.push_back("flag --" + name + ": must be >= " +
                          std::to_string(*flag.min_value) + ", got " +
+                         flag.value);
+    } else if (flag.max_value.has_value() && parsed > *flag.max_value) {
+      problems.push_back("flag --" + name + ": must be <= " +
+                         std::to_string(*flag.max_value) + ", got " +
                          flag.value);
     }
   }

@@ -44,8 +44,17 @@ class CliParser {
   void add_int_flag(const std::string& name, std::int64_t default_value,
                     std::int64_t min_value, const std::string& help);
 
+  /// Range form: inclusive [min_value, max_value] (e.g. a TCP port is
+  /// [1, 65535], so --port 0 and --port 65536 both land in the single
+  /// joined parse error).
+  void add_int_flag(const std::string& name, std::int64_t default_value,
+                    std::int64_t min_value, std::int64_t max_value,
+                    const std::string& help);
+
   /// Parses argv; throws std::invalid_argument on unknown flags or
-  /// malformed input.  Recognizes --help and sets help_requested().
+  /// malformed input — unknown flags carry a "did you mean --...?" hint
+  /// when a registered flag is within suggest_nearest's edit budget.
+  /// Recognizes --help and sets help_requested().
   void parse(int argc, const char* const* argv);
 
   bool help_requested() const { return help_requested_; }
@@ -64,8 +73,9 @@ class CliParser {
     std::string value;
     std::string default_value;
     std::string help;
-    /// Inclusive lower bound enforced at parse() time (add_int_flag).
+    /// Inclusive bounds enforced at parse() time (add_int_flag).
     std::optional<std::int64_t> min_value;
+    std::optional<std::int64_t> max_value;
   };
   std::string description_;
   std::map<std::string, Flag> flags_;

@@ -3,8 +3,14 @@
 // errors — read_frame returning false, the worker answering ERROR —
 // never a crash or an unbounded allocation.  Runs under the ASan job
 // like the rest of the suite.
+//
+// The TCP section drives the same frame layer over real AF_INET
+// loopback sockets (via src/serve): throttled drip reads, partial
+// writes through a full send buffer, pre-handshake garbage, truncated
+// v6 frames, and unknown session verbs against a live PlanServer.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <sys/socket.h>
@@ -15,6 +21,8 @@
 #include "core/report.hpp"
 #include "dist/wire.hpp"
 #include "dist/worker.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp.hpp"
 #include "util/rng.hpp"
 
 namespace latticesched {
@@ -205,6 +213,211 @@ TEST(WireFuzz, WorkerSurvivesEmptyAssignmentAndShutsDownCleanly) {
   ASSERT_EQ(responses.size(), 1u);
   EXPECT_EQ(responses[0].verb, "RESULT");
   EXPECT_EQ(responses[0].body.substr(0, 2), "7\n");
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: the frame layer over real AF_INET loopback sockets.
+// ---------------------------------------------------------------------------
+
+/// A connected loopback pair: `client` from tcp_connect, `server` from
+/// the listener's accept.  Both nonblocking, as the serve stack uses.
+struct TcpPair {
+  serve::TcpListener listener{"127.0.0.1", 0};
+  int client = -1;
+  int server = -1;
+  TcpPair() {
+    client = serve::tcp_connect("127.0.0.1", listener.port(), 2000);
+    server = listener.accept_connection(2000);
+  }
+  ~TcpPair() {
+    if (client >= 0) ::close(client);
+    if (server >= 0) ::close(server);
+  }
+};
+
+TEST(WireFuzzTcp, DrippedFrameAssemblesUnderDeadline) {
+  // Throttled loopback: the frame arrives a few bytes at a time with
+  // real gaps, so read_frame_deadline must poll through many short
+  // reads (EAGAIN on a nonblocking TCP fd) without losing bytes.
+  TcpPair pair;
+  ASSERT_GE(pair.client, 0);
+  ASSERT_GE(pair.server, 0);
+  const std::string payload = "ASSIGN\n" + std::string(257, 'x');
+  std::string raw;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    raw.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  raw += payload;
+  std::thread dripper([&] {
+    for (std::size_t at = 0; at < raw.size(); at += 7) {
+      const std::size_t n = std::min<std::size_t>(7, raw.size() - at);
+      ASSERT_EQ(::send(pair.client, raw.data() + at, n, MSG_NOSIGNAL),
+                static_cast<ssize_t>(n));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  WireMessage message;
+  EXPECT_EQ(dist::read_frame_deadline(pair.server, &message, 10000),
+            dist::WireIoStatus::kOk);
+  EXPECT_EQ(message.verb, "ASSIGN");
+  EXPECT_EQ(message.body.size(), 257u);
+  dripper.join();
+}
+
+TEST(WireFuzzTcp, LargeFrameSurvivesPartialWritesBothDirections) {
+  // A multi-megabyte body cannot fit the socket send buffer, so the
+  // writer hits partial writes + EAGAIN and must poll; the reader
+  // drains concurrently.  Blocking-form write_frame/read_frame must
+  // also cope, since serve fds are permanently O_NONBLOCK.
+  TcpPair pair;
+  ASSERT_GE(pair.client, 0);
+  ASSERT_GE(pair.server, 0);
+  WireMessage big{"RESULT", std::string(8u << 20, 'r')};
+  big.body[1234567] = 'Q';
+  std::thread writer([&] {
+    EXPECT_EQ(dist::write_frame_deadline(pair.client, big, 20000),
+              dist::WireIoStatus::kOk);
+    WireMessage echo;
+    EXPECT_TRUE(dist::read_frame(pair.client, &echo));
+    EXPECT_EQ(echo.body, big.body);
+  });
+  WireMessage received;
+  EXPECT_EQ(dist::read_frame_deadline(pair.server, &received, 20000),
+            dist::WireIoStatus::kOk);
+  EXPECT_EQ(received.verb, "RESULT");
+  EXPECT_EQ(received.body.size(), big.body.size());
+  EXPECT_EQ(received.body[1234567], 'Q');
+  EXPECT_TRUE(dist::write_frame(pair.server, received));
+  writer.join();
+}
+
+TEST(WireFuzzTcp, DeadlineExpiresOnStalledPeer) {
+  TcpPair pair;
+  ASSERT_GE(pair.server, 0);
+  // Nothing ever arrives: the read must time out, not spin or hang.
+  WireMessage message;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(dist::read_frame_deadline(pair.server, &message, 100),
+            dist::WireIoStatus::kTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::seconds(5));
+}
+
+/// A server running for the duration of one test.
+struct ServeFixture {
+  serve::PlanServer server{serve::ServerConfig{}};
+  ServeFixture() { server.start(); }
+  ~ServeFixture() { server.stop(); }
+  int connect() {
+    return serve::tcp_connect("127.0.0.1", server.port(), 2000);
+  }
+  /// Reads the server HELLO off a fresh fd.
+  void handshake(int fd) {
+    WireMessage hello;
+    ASSERT_EQ(dist::read_frame_deadline(fd, &hello, 5000),
+              dist::WireIoStatus::kOk);
+    ASSERT_EQ(hello.verb, "HELLO");
+    ASSERT_NE(hello.body.find("\"role\": \"server\""), std::string::npos);
+  }
+};
+
+TEST(WireFuzzTcp, GarbagePreHandshakeClosesConnectionNotServer) {
+  ServeFixture fx;
+  Rng rng(99);
+  for (int round = 0; round < 8; ++round) {
+    const int fd = fx.connect();
+    ASSERT_GE(fd, 0);
+    fx.handshake(fd);
+    std::string garbage(1 + rng.next_below(256), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.next_below(256));
+    (void)::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL);
+    // The server either answers ERROR (the garbage parsed as a frame
+    // with an unknown verb) or drops the connection (lost framing);
+    // either way it must never crash.
+    ::close(fd);
+  }
+  // Still alive: a clean client gets a clean HELLO and a PONG.
+  const int fd = fx.connect();
+  ASSERT_GE(fd, 0);
+  fx.handshake(fd);
+  ASSERT_EQ(dist::write_frame_deadline(fd, {"PING", ""}, 2000),
+            dist::WireIoStatus::kOk);
+  WireMessage pong;
+  ASSERT_EQ(dist::read_frame_deadline(fd, &pong, 5000),
+            dist::WireIoStatus::kOk);
+  EXPECT_EQ(pong.verb, "PONG");
+  ::close(fd);
+}
+
+TEST(WireFuzzTcp, TruncatedSessionFrameClosesConnectionCleanly) {
+  ServeFixture fx;
+  const int fd = fx.connect();
+  ASSERT_GE(fd, 0);
+  fx.handshake(fd);
+  // A v6 frame that promises 64 bytes and delivers 11: framing is lost,
+  // so the server must close rather than stall or misparse.
+  const unsigned char prefix[4] = {64, 0, 0, 0};
+  ASSERT_EQ(::send(fd, prefix, 4, MSG_NOSIGNAL), 4);
+  ASSERT_EQ(::send(fd, "OPEN\ntoken\n", 11, MSG_NOSIGNAL), 11);
+  ::shutdown(fd, SHUT_WR);
+  WireMessage reply;
+  EXPECT_EQ(dist::read_frame_deadline(fd, &reply, 5000),
+            dist::WireIoStatus::kClosed);
+  ::close(fd);
+  // The listener still accepts.
+  const int fd2 = fx.connect();
+  ASSERT_GE(fd2, 0);
+  fx.handshake(fd2);
+  ::close(fd2);
+}
+
+TEST(WireFuzzTcp, UnknownSessionVerbAnswersErrorAndKeepsConnection) {
+  ServeFixture fx;
+  const int fd = fx.connect();
+  ASSERT_GE(fd, 0);
+  fx.handshake(fd);
+  ASSERT_EQ(dist::write_frame_deadline(fd, {"FROBNICATE", "v6?"}, 2000),
+            dist::WireIoStatus::kOk);
+  WireMessage reply;
+  ASSERT_EQ(dist::read_frame_deadline(fd, &reply, 5000),
+            dist::WireIoStatus::kOk);
+  EXPECT_EQ(reply.verb, "ERROR");
+  EXPECT_NE(reply.body.find("FROBNICATE"), std::string::npos);
+  // Same connection keeps working — a typo must not kill a session
+  // stream.
+  ASSERT_EQ(dist::write_frame_deadline(fd, {"PING", ""}, 2000),
+            dist::WireIoStatus::kOk);
+  ASSERT_EQ(dist::read_frame_deadline(fd, &reply, 5000),
+            dist::WireIoStatus::kOk);
+  EXPECT_EQ(reply.verb, "PONG");
+  ::close(fd);
+}
+
+TEST(WireFuzzTcp, MalformedSessionBodiesAnswerErrorNotCrash) {
+  ServeFixture fx;
+  const int fd = fx.connect();
+  ASSERT_GE(fd, 0);
+  fx.handshake(fd);
+  const std::vector<WireMessage> bad = {
+      {"OPEN", "tok\n[\n  {\"scenario\": \"no-such-scenario\"}\n]\n"},
+      {"DELTA", "not-a-number 0\nnext"},
+      {"DELTA", "77"},  // missing seq
+      {"REPLAN", "123456"},
+      {"SUBSCRIBE", "garbage"},
+      {"CLOSE", "99"},
+  };
+  for (const WireMessage& message : bad) {
+    ASSERT_EQ(dist::write_frame_deadline(fd, message, 2000),
+              dist::WireIoStatus::kOk)
+        << message.verb;
+    WireMessage reply;
+    ASSERT_EQ(dist::read_frame_deadline(fd, &reply, 10000),
+              dist::WireIoStatus::kOk)
+        << message.verb;
+    EXPECT_EQ(reply.verb, "ERROR") << message.verb;
+  }
+  ::close(fd);
 }
 
 TEST(WireFuzz, BatchItemParsersRejectGarbageWithCleanErrors) {
