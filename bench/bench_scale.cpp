@@ -49,6 +49,11 @@ struct ScaleRecord {
   std::uint64_t seam_sensors = 0;
   std::uint64_t stitch_recolored = 0;
   double peak_rss_mb = 0.0;
+  /// Knob-sweep provenance (tune::KnobSpace names): set on records that
+  /// measure one knob setting, so tooling can join sweeps against the
+  /// registry without parsing record names.
+  std::string knob;
+  double value = 0.0;
 };
 
 std::vector<ScaleRecord>& records() {
@@ -67,18 +72,25 @@ void write_bench_json() {
   os << "{\n  \"benchmarks\": [\n";
   const auto& rs = records();
   for (std::size_t i = 0; i < rs.size(); ++i) {
-    char buf[512];
+    char buf[640];
+    std::string knob_fields;
+    if (!rs[i].knob.empty()) {
+      char kb[128];
+      std::snprintf(kb, sizeof kb, ", \"knob\": \"%s\", \"value\": %g",
+                    rs[i].knob.c_str(), rs[i].value);
+      knob_fields = kb;
+    }
     std::snprintf(
         buf, sizeof buf,
         "    {\"name\": \"%s\", \"sensors\": %zu, \"regions\": %zu, "
         "\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.2f, "
         "\"seam_sensors\": %llu, \"stitch_recolored\": %llu, "
-        "\"peak_rss_mb\": %.1f}%s\n",
+        "\"peak_rss_mb\": %.1f%s}%s\n",
         rs[i].name.c_str(), rs[i].sensors, rs[i].regions, rs[i].threads,
         rs[i].wall_ms, rs[i].speedup,
         static_cast<unsigned long long>(rs[i].seam_sensors),
         static_cast<unsigned long long>(rs[i].stitch_recolored),
-        rs[i].peak_rss_mb, i + 1 < rs.size() ? "," : "");
+        rs[i].peak_rss_mb, knob_fields.c_str(), i + 1 < rs.size() ? "," : "");
     os << buf;
   }
   os << "  ]\n}\n";
@@ -157,6 +169,8 @@ void report() {
       rec.seam_sensors = stats.seam_sensors;
       rec.stitch_recolored = stats.stitch_recolored;
       rec.peak_rss_mb = bench::peak_rss_mb();
+      rec.knob = "regions";
+      rec.value = static_cast<double>(regions);
       records().push_back(rec);
       std::printf(
           "threads=%zu regions=%zu: %.2fms (%.2fx vs unsharded), %llu "

@@ -36,6 +36,11 @@ struct SessionRecord {
   double cold_ms = 0.0;         // cold plan of the mutated deployment
   double incremental_ms = 0.0;  // session replan after the delta
   double speedup = 0.0;
+  /// Knob-sweep provenance (tune::KnobSpace names): set on records that
+  /// measure one knob setting, so tooling can join sweeps against the
+  /// registry without parsing record names.
+  std::string knob;
+  double value = 0.0;
 };
 
 std::vector<SessionRecord>& records() {
@@ -54,12 +59,20 @@ void write_bench_json() {
   os << "{\n  \"benchmarks\": [\n";
   const auto& rs = records();
   for (std::size_t i = 0; i < rs.size(); ++i) {
-    char buf[256];
+    char buf[384];
+    std::string knob_fields;
+    if (!rs[i].knob.empty()) {
+      char kb[128];
+      std::snprintf(kb, sizeof kb, ", \"knob\": \"%s\", \"value\": %g",
+                    rs[i].knob.c_str(), rs[i].value);
+      knob_fields = kb;
+    }
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"cold_ms\": %.3f, "
-                  "\"incremental_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                  "\"incremental_ms\": %.3f, \"speedup\": %.2f%s}%s\n",
                   rs[i].name.c_str(), rs[i].cold_ms, rs[i].incremental_ms,
-                  rs[i].speedup, i + 1 < rs.size() ? "," : "");
+                  rs[i].speedup, knob_fields.c_str(),
+                  i + 1 < rs.size() ? "," : "");
     os << buf;
   }
   os << "  ]\n}\n";
@@ -240,6 +253,8 @@ void report() {
             return delta;
           });
       SessionRecord record = timed;
+      record.knob = "graph_patch_dirty_denominator";
+      record.value = static_cast<double>(denom);
       if (denom == 0) rebuild_ms = timed.incremental_ms;
       // For the sweep the interesting ratio is vs the always-rebuild
       // mode, not vs a cold plan.

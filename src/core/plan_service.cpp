@@ -52,6 +52,7 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
   }
 
   const TilingCache::Stats before = cache_.stats();
+  const tune::TuneCache::Stats tune_before = tune_cache_.stats();
   const auto t0 = std::chrono::steady_clock::now();
 
   BatchReport report;
@@ -98,6 +99,13 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
       if (instance.tiling.has_value()) config.tiling = &*instance.tiling;
       config.tiling_cache = &cache_;
       config.planners = planners_;
+      config.tune_cache = &tune_cache_;
+      config.tune_trials = item.tune_trials;
+      config.tune_budget_ms = item.tune_budget_ms;
+      // Families bucket by scenario name, so a sweep's items of the
+      // same family share tuned configs (and the distributed shards of
+      // one sweep agree on them).
+      config.tune_family = item.query.scenario;
       PlanSession session(std::move(instance.deployment), config);
       if (trace.empty()) {
         out.results = session.replan();
@@ -142,6 +150,11 @@ BatchReport PlanService::run(const std::vector<BatchItem>& items) {
   report.regions = regions_max.load(std::memory_order_relaxed);
   report.seam_sensors = seam_total.load(std::memory_order_relaxed);
   report.stitch_recolored = recolor_total.load(std::memory_order_relaxed);
+  const tune::TuneCache::Stats tune_after = tune_cache_.stats();
+  report.tune_hits = tune_after.hits - tune_before.hits;
+  report.tune_misses = tune_after.misses - tune_before.misses;
+  report.tune_searches = tune_after.searches - tune_before.searches;
+  report.tune_trials_run = tune_after.trials - tune_before.trials;
   return report;
 }
 

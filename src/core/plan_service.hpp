@@ -19,6 +19,7 @@
 #include "core/planner.hpp"
 #include "core/scenario.hpp"
 #include "core/tiling_cache.hpp"
+#include "tune/tune_cache.hpp"
 
 namespace latticesched {
 
@@ -47,6 +48,11 @@ struct BatchItem {
   /// driver's --script flag ships through here — including over the
   /// distributed wire.
   std::string trace_script;
+  /// Auto-backend tuning budgets (SessionConfig::{tune_trials,
+  /// tune_budget_ms}); ship over the distributed wire like every other
+  /// planning knob.
+  std::size_t tune_trials = 8;
+  std::uint64_t tune_budget_ms = 0;
 };
 
 /// Results of one step of a dynamic item.
@@ -88,6 +94,14 @@ struct BatchReport {
   /// Mask-kernel implementation the searches dispatched to ("scalar" /
   /// "avx2"; empty when no search ran this batch).
   std::string search_kernel;
+  /// Tuning counters of THIS run (TuneCache::Stats deltas): auto-backend
+  /// cache hits/misses, bounded tuning searches run on misses, and
+  /// candidate configs measured by those searches.  All 0 when no item
+  /// planned with the `auto` backend.
+  std::uint64_t tune_hits = 0;
+  std::uint64_t tune_misses = 0;
+  std::uint64_t tune_searches = 0;
+  std::uint64_t tune_trials_run = 0;
   /// Region-shard counters of THIS run: `regions` is the largest region
   /// partition any item planned with; the other two sum over every
   /// item's stitch passes (SessionStats).  All 0 when no item ran the
@@ -127,6 +141,7 @@ class PlanService {
                        const ScenarioRegistry* scenarios = nullptr);
 
   TilingCache& tiling_cache() { return cache_; }
+  tune::TuneCache& tune_cache() { return tune_cache_; }
 
   /// Plans every item (fanned over the shared pool; results in request
   /// order at any thread count).  Scenario-build failures are reported
@@ -150,6 +165,7 @@ class PlanService {
   const PlannerRegistry* planners_;
   const ScenarioRegistry* scenarios_;
   TilingCache cache_;
+  tune::TuneCache tune_cache_;
 };
 
 }  // namespace latticesched

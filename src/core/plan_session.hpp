@@ -159,6 +159,14 @@ struct SessionConfig {
   TilingCache* tiling_cache = nullptr;
   /// Planner registry; null = PlannerRegistry::global().
   const PlannerRegistry* planners = nullptr;
+  /// Shared tuning cache for the `auto` backend (PlanRequest::tune_cache);
+  /// null = each auto plan tunes into a private in-memory cache.
+  tune::TuneCache* tune_cache = nullptr;
+  /// Auto-backend tuning budgets (PlanRequest::{tune_trials,
+  /// tune_budget_ms}) and scenario-family label (PlanRequest::tune_family).
+  std::size_t tune_trials = 8;
+  std::uint64_t tune_budget_ms = 0;
+  std::string tune_family;
 };
 
 class PlanSession {

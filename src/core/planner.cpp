@@ -16,6 +16,7 @@
 #include "core/tiling_scheduler.hpp"
 #include "graph/coloring.hpp"
 #include "lattice/lattice.hpp"
+#include "tune/auto_planner.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 
@@ -357,6 +358,7 @@ PlannerRegistry& PlannerRegistry::global() {
     r->register_planner(std::make_unique<RegionGreedyPlanner>());
     r->register_planner(std::make_unique<TdmaPlanner>());
     r->register_planner(std::make_unique<MobilePlanner>());
+    r->register_planner(std::make_unique<tune::AutoPlanner>());
     return r;
   }();
   return *registry;

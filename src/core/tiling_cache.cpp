@@ -1,15 +1,14 @@
 #include "core/tiling_cache.hpp"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
-#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <unistd.h>
 #include <utility>
+
+#include "util/persist.hpp"
 
 namespace latticesched {
 
@@ -193,41 +192,10 @@ std::string TilingCache::entry_path(std::uint64_t hash) const {
 
 namespace {
 
+// Envelope framing (magic/version/checksum/atomic publish) is the
+// shared persist machinery of util/persist.hpp; only the body format
+// below is tiling-cache-specific.
 constexpr const char* kDiskMagic = "latticesched-tiling-cache";
-
-/// Byte-stream FNV-1a64 — the entry checksum (the word-mixing Fnv above
-/// hashes keys; this one must cover the exact serialized bytes).
-std::uint64_t fnv1a_bytes(const char* data, std::size_t len) {
-  std::uint64_t state = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < len; ++i) {
-    state ^= static_cast<unsigned char>(data[i]);
-    state *= 0x100000001b3ull;
-  }
-  return state;
-}
-
-std::string checksum_line(const std::string& body) {
-  char line[32];
-  std::snprintf(line, sizeof line, "checksum %016llx\n",
-                static_cast<unsigned long long>(
-                    fnv1a_bytes(body.data(), body.size())));
-  return line;
-}
-
-/// Verifies the trailing "checksum <hex>" line of a serialized entry
-/// against its body (everything up to and including the "end" line).
-/// False on a missing, malformed, or mismatched trailer.
-bool verify_entry_checksum(const std::string& content) {
-  const std::size_t trailer = content.rfind("\nchecksum ");
-  if (trailer == std::string::npos) return false;
-  const std::string body = content.substr(0, trailer + 1);
-  // The body must actually end at "end" — a trailer glued onto trailing
-  // garbage is corruption, not a valid entry.
-  if (body.size() < 4 || body.compare(body.size() - 4, 4, "end\n") != 0) {
-    return false;
-  }
-  return content.substr(trailer + 1) == checksum_line(body);
-}
 
 void write_matrix(std::ostream& os, const IntMatrix& m) {
   os << m.rows();
@@ -267,32 +235,26 @@ std::optional<std::optional<Tiling>> TilingCache::load_from_disk(
     const Key& key, std::uint64_t hash) const {
   const std::string path = entry_path(hash);
   std::string content;
-  {
-    std::ifstream file(path, std::ios::binary);
-    if (!file) return std::nullopt;  // no entry; not worth a warning
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    content = buffer.str();
-  }
-  std::istringstream is(content);
-  try {
-    std::string magic;
-    int version = 0;
-    if (!(is >> magic >> version) || magic != kDiskMagic) {
-      throw std::invalid_argument("bad magic");
-    }
-    if (version != kDiskFormatVersion) {
+  switch (persist::load_entry(path, kDiskMagic, kDiskFormatVersion,
+                              &content)) {
+    case persist::EntryStatus::kMissing:
+      return std::nullopt;  // no entry; not worth a warning
+    case persist::EntryStatus::kStaleVersion: {
+      std::istringstream header(content);
+      std::string magic;
+      int version = 0;
+      header >> magic >> version;
       std::fprintf(stderr,
                    "tiling-cache: skipping %s (format v%d, expected v%d)\n",
                    path.c_str(), version, kDiskFormatVersion);
       return std::nullopt;
     }
-    if (!verify_entry_checksum(content)) {
-      // The right version but a body that does not match its checksum:
-      // silent disk corruption.  Evict the file — leaving it would warn
-      // on every load until the key happens to be recomputed.
+    case persist::EntryStatus::kCorrupt:
+      // Garbage, truncation, or a body that does not match its
+      // checksum: disk corruption.  Evict the file — leaving it would
+      // warn on every load until the key happens to be recomputed.
       std::fprintf(stderr,
-                   "tiling-cache: checksum mismatch in %s; evicting and "
+                   "tiling-cache: corrupt entry %s; evicting and "
                    "recomputing\n",
                    path.c_str());
       {
@@ -301,7 +263,16 @@ std::optional<std::optional<Tiling>> TilingCache::load_from_disk(
       }
       (void)std::remove(path.c_str());
       return std::nullopt;
-    }
+    case persist::EntryStatus::kOk:
+      break;
+  }
+  std::istringstream is(content);
+  try {
+    // Envelope (magic + version + checksum) already validated by
+    // load_entry; skip the header tokens and parse the body.
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
 
     // Reconstruct the stored key and require it to match the request —
     // a hash collision or a stale file for a re-hashed key is a miss.
@@ -403,8 +374,6 @@ std::optional<std::optional<Tiling>> TilingCache::load_from_disk(
 void TilingCache::store_to_disk(const Key& key, std::uint64_t hash,
                                 const std::optional<Tiling>& tiling) const {
   const std::string path = entry_path(hash);
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   std::string content;
   {
     std::ostringstream os;
@@ -443,46 +412,13 @@ void TilingCache::store_to_disk(const Key& key, std::uint64_t hash,
     os << "end\n";
     content = os.str();
   }
-  content += checksum_line(content);
+  content += persist::checksum_line(content);
   // Fault hook AFTER the checksum: an injected corruption models a disk
   // flipping bits on an already-valid entry, which the load-time
   // verification must catch.
   if (write_corruption_hook_) write_corruption_hook_(content);
 
-  // POSIX write + fsync + atomic rename: without the fsync, a crash
-  // after the rename can publish a name pointing at unwritten data — a
-  // torn entry that still exists under the final path.  Racing writers
-  // of the same key rename identical content, so whichever rename lands
-  // last is equally valid.
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    std::fprintf(stderr, "tiling-cache: cannot write %s\n", tmp.c_str());
-    return;
-  }
-  const char* data = content.data();
-  std::size_t left = content.size();
-  bool ok = true;
-  while (left > 0) {
-    const ssize_t n = ::write(fd, data, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ok = false;
-      break;
-    }
-    data += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  if (ok && ::fsync(fd) != 0) ok = false;
-  if (::close(fd) != 0) ok = false;
-  if (!ok) {
-    std::fprintf(stderr, "tiling-cache: short write to %s\n", tmp.c_str());
-    std::remove(tmp.c_str());
-    return;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::fprintf(stderr, "tiling-cache: cannot publish %s\n", path.c_str());
-    std::remove(tmp.c_str());
-  }
+  (void)persist::write_entry_atomic(path, content, "tiling-cache");
 }
 
 namespace {
@@ -492,19 +428,10 @@ namespace {
 /// are evicted by the GC as corrupt, not kept until some load trips
 /// over them.
 bool entry_looks_valid(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return false;
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  const std::string content = buffer.str();
-  std::istringstream is(content);
-  std::string magic;
-  int version = 0;
-  if (!(is >> magic >> version) || magic != kDiskMagic ||
-      version != TilingCache::kDiskFormatVersion) {
-    return false;
-  }
-  return verify_entry_checksum(content);
+  std::string content;
+  return persist::load_entry(path, kDiskMagic,
+                             TilingCache::kDiskFormatVersion,
+                             &content) == persist::EntryStatus::kOk;
 }
 
 }  // namespace

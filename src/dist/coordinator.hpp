@@ -118,6 +118,13 @@ struct WorkerCacheStats {
   /// shards).
   std::uint64_t search_subtree_tasks = 0;
   std::uint64_t search_steals = 0;
+  /// Auto-backend tuning counters of this worker's shards
+  /// (BatchReport::{tune_hits, tune_misses, tune_searches,
+  /// tune_trials_run}, summed).
+  std::uint64_t tune_hits = 0;
+  std::uint64_t tune_misses = 0;
+  std::uint64_t tune_searches = 0;
+  std::uint64_t tune_trials = 0;
   std::size_t shards_completed = 0;
   bool failed = false;     ///< some generation crashed or exited nonzero
   bool timed_out = false;  ///< some generation was killed for a missed deadline

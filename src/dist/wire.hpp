@@ -43,7 +43,12 @@ namespace latticesched::dist {
 /// (src/serve); the server's HELLO also carries a "role" field.  A v5
 /// peer would treat every session verb as an unexpected frame, so both
 /// sides refuse a mismatched HELLO up front.
-inline constexpr int kProtocolVersion = 6;
+/// v7: batch items gained "tune_trials"/"tune_budget_ms" (auto-backend
+/// tuning budgets), report rows "tuned"/"tuned_config" provenance
+/// columns and batch reports the "tuning" footer line (tune-cache
+/// hit/miss/search/trial counters) — a v6 coordinator would silently
+/// drop a v7 worker's tuning counters from the merged report.
+inline constexpr int kProtocolVersion = 7;
 
 /// Frames larger than this are a protocol error, not an allocation —
 /// guards the reader against garbage length prefixes.

@@ -68,6 +68,8 @@
 #include "dist/worker.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "tune/knob_space.hpp"
+#include "tune/tune_cache.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -261,6 +263,13 @@ int run(int argc, char** argv) {
   cli.add_flag("seed", "1", "seed for randomized scenarios");
   cli.add_flag("channels", "2", "channels for the multichannel scenario");
   cli.add_flag("sa-iters", "60000", "annealing iteration budget");
+  cli.add_int_flag("tune-trials", 8, 0,
+                   "trial budget per tuning search of the 'auto' backend "
+                   "(0 = defaults only)");
+  cli.add_int_flag("tune-budget-ms", 0, 0,
+                   "wall-clock budget per tuning search of the 'auto' "
+                   "backend (0 = unbounded; bounded runs are not "
+                   "deterministic)");
   cli.add_flag("no-verify", "false", "skip the collision checker");
   cli.add_int_flag("workers", 1, 1,
                    "worker processes for the batch (1 = in-process; >= 2 "
@@ -325,8 +334,23 @@ int run(int argc, char** argv) {
     return 0;
   }
   if (cli.get_bool("list-backends")) {
+    // One line per backend, then its tunable knobs (the same registry
+    // the auto backend searches) with defaults and ranges.
+    const auto print_knobs = [](const std::vector<tune::KnobSpec>& knobs) {
+      for (const tune::KnobSpec& k : knobs) {
+        std::printf("    %-32s default %-12g range [%g, %g]  %s\n",
+                    k.name.c_str(), k.def, k.min, k.max, k.doc.c_str());
+      }
+    };
     for (const std::string& name : PlannerRegistry::global().names()) {
       std::printf("%s\n", name.c_str());
+      print_knobs(tune::KnobSpace::global().knobs_for(name));
+    }
+    const std::vector<tune::KnobSpec> session_knobs =
+        tune::KnobSpace::global().knobs_for("");
+    if (!session_knobs.empty()) {
+      std::printf("(session-level)\n");
+      print_knobs(session_knobs);
     }
     return 0;
   }
@@ -465,6 +489,10 @@ int run(int argc, char** argv) {
             item.region_halo = cli.get_int("region-halo");
             item.sa.max_iters =
                 static_cast<std::uint64_t>(cli.get_int("sa-iters"));
+            item.tune_trials =
+                static_cast<std::size_t>(cli.get_int("tune-trials"));
+            item.tune_budget_ms =
+                static_cast<std::uint64_t>(cli.get_int("tune-budget-ms"));
             item.verify = !cli.get_bool("no-verify");
             items.push_back(std::move(item));
           }
@@ -523,6 +551,7 @@ int run(int argc, char** argv) {
     } else {
       if (!cache_dir.empty()) {
         service.tiling_cache().set_persist_dir(cache_dir);
+        service.tune_cache().set_persist_dir(cache_dir);
       }
       // Chaos testing of the serial path too: cache faults apply to the
       // in-process cache exactly as they do inside a worker.
@@ -569,6 +598,22 @@ int run(int argc, char** argv) {
   // --cache-stats: per-worker counter breakdown when distributed, the
   // service cache (including disk warm-start hits) when in-process.
   const auto print_cache_stats = [&](std::FILE* out) {
+    // Tune-cache footer shared by all three modes; silent when the batch
+    // never touched the auto backend.
+    const auto print_tune_totals = [&](std::FILE* o) {
+      if (report.tune_hits + report.tune_misses + report.tune_searches +
+              report.tune_trials_run ==
+          0) {
+        return;
+      }
+      std::fprintf(o,
+                   "tune-stats: %llu hit(s), %llu miss(es), %llu "
+                   "search(es), %llu trial(s)\n",
+                   static_cast<unsigned long long>(report.tune_hits),
+                   static_cast<unsigned long long>(report.tune_misses),
+                   static_cast<unsigned long long>(report.tune_searches),
+                   static_cast<unsigned long long>(report.tune_trials_run));
+    };
     if (client.has_value()) {
       // Remote run: per-session counters the server attributed to each
       // session over v6 frames, then the batch totals.
@@ -598,10 +643,16 @@ int run(int argc, char** argv) {
             static_cast<unsigned long long>(report.search_steals),
             report.search_kernel.c_str());
       }
+      print_tune_totals(out);
     } else if (coordinator.has_value()) {
       for (std::size_t w = 0; w < coordinator->worker_stats().size(); ++w) {
         const dist::WorkerCacheStats& s = coordinator->worker_stats()[w];
         std::string notes;
+        if (s.tune_hits + s.tune_misses + s.tune_searches + s.tune_trials >
+            0) {
+          notes += ", " + std::to_string(s.tune_hits) + " tune hit(s), " +
+                   std::to_string(s.tune_searches) + " tune search(es)";
+        }
         if (s.respawns > 0) {
           notes += ", " + std::to_string(s.respawns) + " respawn(s)";
         }
@@ -637,6 +688,7 @@ int run(int argc, char** argv) {
             static_cast<unsigned long long>(report.search_steals),
             report.search_kernel.c_str());
       }
+      print_tune_totals(out);
     } else {
       const TilingCache::Stats s = service.tiling_cache().stats();
       std::fprintf(out,
@@ -653,6 +705,18 @@ int run(int argc, char** argv) {
             static_cast<unsigned long long>(s.search_subtree_tasks),
             static_cast<unsigned long long>(s.search_steals),
             s.search_kernel.c_str());
+      }
+      const tune::TuneCache::Stats t = service.tune_cache().stats();
+      if (t.hits + t.misses + t.searches + t.trials > 0) {
+        std::fprintf(out,
+                     "tune-stats: %llu hit(s) (%llu from disk), %llu "
+                     "miss(es), %llu search(es), %llu trial(s), %zu "
+                     "entrie(s)\n",
+                     static_cast<unsigned long long>(t.hits),
+                     static_cast<unsigned long long>(t.disk_hits),
+                     static_cast<unsigned long long>(t.misses),
+                     static_cast<unsigned long long>(t.searches),
+                     static_cast<unsigned long long>(t.trials), t.entries);
       }
     }
     if (report.regions > 0) {

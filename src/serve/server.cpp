@@ -172,6 +172,7 @@ PlanServer::PlanServer(ServerConfig config) : config_(std::move(config)) {
   }
   if (!config_.cache_dir.empty()) {
     service_.tiling_cache().set_persist_dir(config_.cache_dir);
+    service_.tune_cache().set_persist_dir(config_.cache_dir);
   }
   if (fault_plan_.has_cache_faults()) {
     service_.tiling_cache().set_write_corruption_hook(
@@ -397,6 +398,10 @@ void PlanServer::handle_open(Connection& conn, const std::string& body) {
   if (ws->tiling.has_value()) config.tiling = &*ws->tiling;
   config.tiling_cache = &service_.tiling_cache();
   config.planners = &PlannerRegistry::global();
+  config.tune_cache = &service_.tune_cache();
+  config.tune_trials = item.tune_trials;
+  config.tune_budget_ms = item.tune_budget_ms;
+  config.tune_family = item.query.scenario;
   ws->session =
       std::make_unique<PlanSession>(std::move(instance.deployment), config);
 

@@ -1,0 +1,72 @@
+#include "tune/auto_planner.hpp"
+
+#include <stdexcept>
+
+#include "tune/tune_cache.hpp"
+#include "tune/tuner.hpp"
+
+namespace latticesched::tune {
+
+PlanResult AutoPlanner::plan(const PlanRequest& request) const {
+  if (request.deployment == nullptr) {
+    throw std::invalid_argument("auto: request.deployment is null");
+  }
+  // Resolve the registry lazily: the auto planner is itself registered
+  // into PlannerRegistry::global() during its construction.
+  const PlannerRegistry& registry = PlannerRegistry::global();
+
+  // Null cache = a private in-memory one: the search still runs and the
+  // provenance is honest, the knowledge just dies with the call.
+  TuneCache local_cache;
+  TuneCache* cache =
+      request.tune_cache != nullptr ? request.tune_cache : &local_cache;
+
+  const Fingerprint fp = fingerprint_of(request);
+  std::string provenance;
+  TunedConfig config;
+  std::optional<TunedConfig> cached = cache->find(fp);
+  if (cached.has_value() &&
+      registry.find(cached->backend) != nullptr) {
+    config = std::move(*cached);
+    provenance = "cache-hit";
+  } else {
+    Tuner tuner(&registry, cache);
+    TuneOptions options;
+    options.trials = request.tune_trials;
+    options.budget_ms = request.tune_budget_ms;
+    const TuneOutcome outcome = tuner.search(request, options);
+    config = outcome.best;
+    provenance = "searched";
+  }
+
+  const Planner* delegate = registry.find(config.backend);
+  if (delegate == nullptr) {
+    // A cache entry naming an unregistered backend was filtered above;
+    // this is a search returning one, which cannot happen — but degrade
+    // to an explicit error rather than crash.
+    PlanResult failed;
+    failed.backend = "auto";
+    failed.error = "auto: unknown delegate backend " + config.backend;
+    failed.channels = request.channels;
+    return failed;
+  }
+
+  // The real run keeps the caller's verification and tiling cache —
+  // only the trial measurements bypassed them.
+  PlanRequest delegated = request;
+  delegated.tune_cache = nullptr;
+  apply_config(config, &delegated);
+  PlanResult result = delegate->plan(delegated);
+  result.backend = "auto";
+  result.detail = "auto(" + config.backend + ") " + result.detail;
+  result.tuned = provenance;
+  result.tuned_config = config.serialize();
+  return result;
+}
+
+Planner::Raw AutoPlanner::compute(const PlanRequest& request) const {
+  (void)request;
+  throw std::logic_error("auto: compute() is unreachable");
+}
+
+}  // namespace latticesched::tune

@@ -1,0 +1,46 @@
+// The `auto` backend: tuned planning as a planner.
+//
+// AutoPlanner is a meta-backend — it owns no scheduling algorithm.  It
+// fingerprints the request, asks the TuneCache for the family's winning
+// config (a cache hit is the fleet warm-start: zero search), falls back
+// to a bounded Tuner search on a miss, applies the chosen config onto a
+// delegate request, and runs the chosen delegate's full pipeline.  The
+// result is re-badged "auto" with the delegate named in `detail` and
+// the provenance stamped into PlanResult::{tuned, tuned_config}, so
+// reports can distinguish a cache-hit plan from a freshly searched one.
+//
+// Excluded from the default "all backends" selection (in_default_set()
+// is false): an "all" sweep already runs every delegate, and auto would
+// plan the winner a second time.
+#pragma once
+
+#include "core/planner.hpp"
+
+namespace latticesched::tune {
+
+class AutoPlanner : public Planner {
+ public:
+  std::string name() const override { return "auto"; }
+
+  /// Supports whatever some delegate supports — in practice everything,
+  /// since the coloring backends are unconditional.
+  bool supports(const PlanRequest& request) const override {
+    (void)request;
+    return true;
+  }
+
+  /// The chosen delegate may be a coloring backend; let the session
+  /// prebuild the conflict graph once so delegates (and trial runs)
+  /// share it.
+  bool wants_conflict_graph() const override { return true; }
+
+  bool in_default_set() const override { return false; }
+
+  PlanResult plan(const PlanRequest& request) const override;
+
+ protected:
+  /// Unreachable — plan() is fully overridden.
+  Raw compute(const PlanRequest& request) const override;
+};
+
+}  // namespace latticesched::tune

@@ -1,0 +1,82 @@
+// Seeded knob-space search: how the auto backend picks a config.
+//
+// The tuner enumerates candidate (backend, knob-values) points — the
+// default config first, then every other supporting backend at its
+// defaults, then hill-climb neighbors of the incumbent interleaved with
+// seeded random probes — and measures each through the ordinary
+// Planner::plan path.  Cost is DETERMINISTIC lexicographic
+// (plan ok, effective period, work proxy, candidate order): wall time
+// never enters the comparison, so the same seed and trial budget pick
+// the same config on any machine at any load.  The cost model
+// (TuneCache::predict) prunes candidates whose predicted cost is
+// strictly worse than the incumbent's measured cost before paying for a
+// measurement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tune/knob_space.hpp"
+#include "tune/tune_cache.hpp"
+
+namespace latticesched {
+
+struct PlanRequest;
+class PlannerRegistry;
+
+namespace tune {
+
+/// The fingerprint of `request`: family from request.tune_family (or a
+/// derived d<dim>c<channels>p<prototiles> shape tag), features from the
+/// deployment (size, interference reach, bounding-box density).
+Fingerprint fingerprint_of(const PlanRequest& request);
+
+struct TuneOptions {
+  /// Candidate configs to measure (>= 1; the default config is always
+  /// candidate 0, so the chosen config never loses to the default).
+  std::size_t trials = 8;
+  /// Wall-clock cutoff in ms checked between measurements (0 = none).
+  /// Inherently timing-dependent: determinism holds only when the trial
+  /// budget binds first.
+  std::uint64_t budget_ms = 0;
+  /// Seed of the random-probe stream (mixed with the family hash, so
+  /// different families explore differently under one seed).
+  std::uint64_t seed = 0x5eed;
+};
+
+/// One measured candidate.
+struct TrialOutcome {
+  TunedConfig config;
+  bool ok = false;
+  std::uint32_t effective_period = 0;
+  double work = 0.0;     ///< deterministic effort proxy (see tuner.cpp)
+  double wall_ms = 0.0;  ///< measured wall time, informational only
+};
+
+struct TuneOutcome {
+  TunedConfig best;
+  std::vector<TrialOutcome> trials;  ///< in measurement order
+  std::size_t pruned = 0;  ///< candidates skipped via the cost model
+};
+
+class Tuner {
+ public:
+  /// Both pointers must outlive the Tuner; `cache` receives the
+  /// search/trial accounting and every observation.
+  Tuner(const PlannerRegistry* registry, TuneCache* cache);
+
+  /// Runs a bounded search for `request` and records winner +
+  /// observations under its fingerprint.  The returned best config is
+  /// always at least as good (by the deterministic cost order) as the
+  /// default config, which is measured first.
+  TuneOutcome search(const PlanRequest& request,
+                     const TuneOptions& options) const;
+
+ private:
+  const PlannerRegistry* registry_;
+  TuneCache* cache_;
+};
+
+}  // namespace tune
+}  // namespace latticesched

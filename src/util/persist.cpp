@@ -1,0 +1,98 @@
+#include "util/persist.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+namespace latticesched::persist {
+
+std::uint64_t fnv1a_bytes(const char* data, std::size_t len) {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= static_cast<unsigned char>(data[i]);
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+std::string checksum_line(const std::string& body) {
+  char line[32];
+  std::snprintf(line, sizeof line, "checksum %016llx\n",
+                static_cast<unsigned long long>(
+                    fnv1a_bytes(body.data(), body.size())));
+  return line;
+}
+
+bool verify_entry_checksum(const std::string& content) {
+  const std::size_t trailer = content.rfind("\nchecksum ");
+  if (trailer == std::string::npos) return false;
+  const std::string body = content.substr(0, trailer + 1);
+  // The body must actually end at "end" — a trailer glued onto trailing
+  // garbage is corruption, not a valid entry.
+  if (body.size() < 4 || body.compare(body.size() - 4, 4, "end\n") != 0) {
+    return false;
+  }
+  return content.substr(trailer + 1) == checksum_line(body);
+}
+
+EntryStatus load_entry(const std::string& path, const std::string& magic,
+                       int version, std::string* content) {
+  {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return EntryStatus::kMissing;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    *content = buffer.str();
+  }
+  std::istringstream is(*content);
+  std::string file_magic;
+  int file_version = 0;
+  if (!(is >> file_magic >> file_version) || file_magic != magic) {
+    return EntryStatus::kCorrupt;
+  }
+  if (file_version != version) return EntryStatus::kStaleVersion;
+  if (!verify_entry_checksum(*content)) return EntryStatus::kCorrupt;
+  return EntryStatus::kOk;
+}
+
+bool write_entry_atomic(const std::string& path, const std::string& content,
+                        const char* label) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "%s: cannot write %s\n", label, tmp.c_str());
+    return false;
+  }
+  const char* data = content.data();
+  std::size_t left = content.size();
+  bool ok = true;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    std::fprintf(stderr, "%s: short write to %s\n", label, tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "%s: cannot publish %s\n", label, path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace latticesched::persist
